@@ -1,0 +1,50 @@
+"""Fig. 1 benchmark: per-stage power of the seven 13-bit candidates.
+
+Two modes are exercised:
+
+* analytic (fast screen) — asserts the full ordering story;
+* transistor-level synthesis with block reuse — the paper's actual Fig. 1
+  flow; asserts stage-1 flatness and that 4-3-2 lands on top of the
+  aggressive family (softer assertions because the annealer is stochastic).
+"""
+
+import pytest
+
+from repro.experiments.fig1 import fig1_stage_powers, format_fig1
+from repro.flow.cache import BlockCache
+from repro.tech import CMOS025
+
+
+def test_fig1_analytic(once):
+    result = once(fig1_stage_powers, mode="analytic")
+    print()
+    print(format_fig1(result))
+    # The paper's observation: first-stage power nearly independent of m1.
+    assert result.stage1_spread_excluding("2-2-2-2-2-2") < 1.5
+    assert result.stage1_spread < 2.5
+    # 4-3-2 is the least-power 13-bit configuration.
+    assert result.topology.best.label == "4-3-2"
+    # Stage powers decrease monotonically along every pipeline.
+    for label, series in result.series.items():
+        assert all(a >= b for a, b in zip(series, series[1:])), label
+
+
+@pytest.mark.slow
+def test_fig1_synthesis(once):
+    cache = BlockCache(CMOS025, budget=300, retarget_budget=80, seed=3)
+    result = once(fig1_stage_powers, mode="synthesis", cache=cache)
+    print()
+    print(format_fig1(result))
+    print(
+        f"blocks: {cache.unique_blocks} unique "
+        f"({cache.cold_runs} cold + {cache.retargeted_runs} retargeted, "
+        f"{cache.cache_hits} cache hits)"
+    )
+    # Block reuse: ~a dozen MDACs cover all seven candidates (paper: 11).
+    assert cache.unique_blocks <= 13
+    assert cache.cache_hits > 0
+    # Stage-1 power stays within a modest spread across candidates.
+    assert result.stage1_spread_excluding("2-2-2-2-2-2") < 2.0
+    # The synthesized ranking keeps 4-3-2 in the leading group.
+    ranked = [e.label for e in result.topology.evaluations]
+    assert "4-3-2" in ranked[:3]

@@ -1,0 +1,22 @@
+"""Fig. 2 benchmark: total front-end power for every candidate, K = 10..13.
+
+Prints the paper's bars and asserts its four optima plus the 2-bit
+last-stage rule.
+"""
+
+from repro.experiments.fig2 import PAPER_OPTIMA, fig2_total_power, format_fig2
+
+
+def test_fig2_total_power(once):
+    result = once(fig2_total_power)
+    print()
+    print(format_fig2(result))
+    assert result.matches_paper, f"winners {result.winners} != paper {PAPER_OPTIMA}"
+    for k, topo in result.by_resolution.items():
+        assert topo.best.candidate.resolutions[-1] == 2, f"K={k} last stage not 2-bit"
+
+
+def test_fig2_power_grows_with_resolution(once):
+    result = once(fig2_total_power)
+    totals = [r.best.total_power for _, r in sorted(result.by_resolution.items())]
+    assert all(a < b for a, b in zip(totals, totals[1:]))

@@ -1,0 +1,17 @@
+"""Fig. 3 benchmark: the designer decision rules extracted from the sweep."""
+
+from repro.experiments.fig3 import fig3_designer_rules, format_fig3
+
+
+def test_fig3_rules(once):
+    result = once(fig3_designer_rules)
+    print()
+    print(format_fig3(result))
+    # The paper's bands: 3-bit first stage at 9-10 bits, 4-bit at >= 11.
+    assert result.winners[10].startswith("3")
+    assert result.winners[11].startswith("4")
+    assert result.winners[12].startswith("4")
+    assert result.winners[13].startswith("4")
+    assert result.last_stage_always_2bit
+    # The bands compress into at most three rules over 9..14 bits.
+    assert len(result.rules) <= 3

@@ -1,0 +1,23 @@
+"""Shared benchmark configuration.
+
+Benchmarks print the same rows/series the paper reports, assert the
+qualitative claims, and time the underlying flow via pytest-benchmark.
+Heavy synthesis-based benches run a single round.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` with a single round/iteration (for heavy flows)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

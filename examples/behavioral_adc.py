@@ -1,0 +1,71 @@
+"""Behavioral validation: does the chosen topology actually convert?
+
+Builds the 13-bit 4-3-2 pipeline at the bit level (sub-ADC decisions,
+MDAC residues, redundancy, digital correction plus an ideal backend), runs
+a coherent sine test, and shows that comparator offsets within the
+redundancy margin cost essentially nothing — the property the per-stage
+redundant bit pays for.
+
+Run with::
+
+    python examples/behavioral_adc.py
+"""
+
+import numpy as np
+
+from repro.behavioral import BehavioralPipeline, StageErrorModel, enob, sfdr_db, sndr_db
+from repro.behavioral.signals import full_scale_sine
+from repro.enumeration import PipelineCandidate
+
+
+def report(name: str, pipeline: BehavioralPipeline, cycles: int = 479, n: int = 4096):
+    signal = full_scale_sine(n, cycles, pipeline.full_scale)
+    codes = pipeline.convert_array(signal)
+    print(f"  {name:34s} SNDR={sndr_db(codes, cycles):6.2f} dB  "
+          f"ENOB={enob(codes, cycles):5.2f} bits  SFDR={sfdr_db(codes, cycles):6.1f} dB")
+
+
+def main() -> None:
+    cand = PipelineCandidate((4, 3, 2), 13, 7)
+    print(f"Candidate {cand.label}: stage gains {[cand.stage_gain(i) for i in range(3)]}, "
+          f"backend resolves {cand.total_bits - cand.frontend_bits} bits\n")
+
+    print("Coherent sine test (4096 points, bin 479):")
+    report("ideal pipeline", BehavioralPipeline(cand))
+
+    rng = np.random.default_rng(11)
+    offset_errors = []
+    for m in cand.resolutions:
+        tol = 2.0 / 2 ** (m + 1)
+        offsets = tuple(rng.uniform(-0.8 * tol, 0.8 * tol, 2**m - 2))
+        offset_errors.append(StageErrorModel(comparator_offsets=offsets))
+    report(
+        "comparator offsets at 80% of margin",
+        BehavioralPipeline(cand, stage_errors=tuple(offset_errors)),
+    )
+
+    dac_errors = []
+    for m in cand.resolutions:
+        errs = tuple(rng.normal(0.0, 1.5e-3, 2**m - 1))
+        dac_errors.append(StageErrorModel(dac_level_errors=errs))
+    report(
+        "1.5 mV rms DAC (capacitor) errors",
+        BehavioralPipeline(cand, stage_errors=tuple(dac_errors)),
+    )
+
+    noise_errors = tuple(
+        StageErrorModel(noise_rms=70e-6 / (1 if i == 0 else 8))
+        for i in range(3)
+    )
+    rng2 = np.random.default_rng(7)
+    pipeline = BehavioralPipeline(cand, stage_errors=noise_errors)
+    signal = full_scale_sine(4096, 479, 2.0)
+    codes = np.array([pipeline.convert(float(v), rng2) for v in signal])
+    print(f"  {'kT/C-budget thermal noise':34s} SNDR={sndr_db(codes, 479):6.2f} dB  "
+          f"ENOB={enob(codes, 479):5.2f} bits")
+    print("\nRedundancy absorbs sub-ADC errors; DAC mismatch and noise do the damage —")
+    print("exactly the budget split repro.specs enforces.")
+
+
+if __name__ == "__main__":
+    main()

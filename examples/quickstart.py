@@ -1,0 +1,43 @@
+"""Quickstart: find the minimum-power topology for a 13-bit 40 MSPS ADC.
+
+Runs the paper's full designer-driven flow in its fast (analytic) mode:
+enumerate the front-end candidates, translate the system spec into
+per-stage block specs, evaluate power, and rank.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import AdcSpec, optimize_topology
+
+
+def main() -> None:
+    spec = AdcSpec(resolution_bits=13, sample_rate_hz=40e6)
+    print(f"Target: {spec.resolution_bits}-bit, {spec.sample_rate_hz/1e6:.0f} MSPS, "
+          f"{spec.tech.name}, {spec.tech.vdd} V")
+    print(f"Quantization-limited SNR: {spec.ideal_snr_db():.1f} dB\n")
+
+    result = optimize_topology(spec)
+
+    print("Front-end candidates (stages resolving the first "
+          f"{spec.resolution_bits - 7} effective bits), ranked by power:")
+    for label, mw in result.power_table():
+        marker = "  <- optimum" if label == result.best.label else ""
+        print(f"  {label:14s} {mw:7.2f} mW{marker}")
+
+    best = result.best
+    print(f"\nOptimum configuration: {best.label} (paper: 4-3-2)")
+    print("Per-stage detail:")
+    for mdac, power_w in zip(best.plan.mdacs, best.stage_powers):
+        caps = mdac.caps
+        print(
+            f"  stage {mdac.stage_index + 1}: {mdac.stage_bits}-bit, gain {mdac.gain}, "
+            f"input accuracy {mdac.input_accuracy_bits} bits, "
+            f"C_s={caps.total*1e15:.0f} fF ({caps.binding_constraint}-bound), "
+            f"gm={mdac.gm_required*1e3:.2f} mS -> {power_w*1e3:.2f} mW"
+        )
+
+
+if __name__ == "__main__":
+    main()

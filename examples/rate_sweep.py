@@ -1,0 +1,39 @@
+"""Extension study: how the optimum topology moves with sample rate.
+
+The paper fixes 40 MSPS; its methodology, however, is a reusable flow.
+This example sweeps the conversion rate for a 13-bit target and watches
+the optimum configuration and its power: at low rates settling is easy and
+capacitors dominate; at high rates the settling (gm) burden amplifies the
+feedback-factor penalty of aggressive front stages.
+
+Run with::
+
+    python examples/rate_sweep.py
+"""
+
+from repro import AdcSpec, optimize_topology
+from repro.power.report import stage_table
+
+
+def main() -> None:
+    print("13-bit optimum vs sample rate (analytic flow):\n")
+    print("  rate [MSPS]   optimum      total [mW]   runner-up")
+    for rate_msps in (10, 20, 40, 60, 80):
+        spec = AdcSpec(resolution_bits=13, sample_rate_hz=rate_msps * 1e6)
+        result = optimize_topology(spec)
+        best, second = result.evaluations[0], result.evaluations[1]
+        print(
+            f"  {rate_msps:11d}   {best.label:10s} {best.total_power*1e3:9.2f}"
+            f"     {second.label} (+{(second.total_power-best.total_power)*1e3:.2f} mW)"
+        )
+
+    print("\nDetail at the paper's 40 MSPS point:")
+    spec = AdcSpec(resolution_bits=13, sample_rate_hz=40e6)
+    from repro.power import candidate_power
+
+    best = optimize_topology(spec).best
+    print(stage_table(candidate_power(spec, best.candidate)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""repro — reproduction of "Designer-Driven Topology Optimization for
+Pipelined Analog to Digital Converters" (Chien et al., DATE 2005).
+
+The package builds the paper's full stack from scratch:
+
+* a circuit simulator (MNA DC/AC/transient/noise/pole-zero) and compact
+  0.25 um CMOS device models (:mod:`repro.analysis`, :mod:`repro.tech`);
+* the DPI/SFG + Mason's-rule symbolic transfer-function engine
+  (:mod:`repro.sfg`, :mod:`repro.symbolic`);
+* annealing-based block synthesis with hybrid equation + simulation
+  evaluation — the NeoCircuit substitute (:mod:`repro.synth`);
+* candidate enumeration, spec translation and power models
+  (:mod:`repro.enumeration`, :mod:`repro.specs`, :mod:`repro.power`);
+* the behavioral pipelined-ADC simulator (:mod:`repro.behavioral`);
+* the topology-optimization flow and the experiments regenerating every
+  figure (:mod:`repro.flow`, :mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import AdcSpec, optimize_topology
+    result = optimize_topology(AdcSpec(resolution_bits=13))
+    print(result.best.label)   # '4-3-2'
+"""
+
+from repro.enumeration import PipelineCandidate, enumerate_candidates
+from repro.flow import optimize_topology
+from repro.power import candidate_power
+from repro.specs import AdcSpec, plan_stages
+from repro.tech import CMOS025
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdcSpec",
+    "CMOS025",
+    "PipelineCandidate",
+    "enumerate_candidates",
+    "plan_stages",
+    "candidate_power",
+    "optimize_topology",
+    "__version__",
+]

@@ -1,0 +1,104 @@
+"""AC (frequency sweep) analysis on a linearized circuit."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.analysis.mna import GROUND
+from repro.analysis.smallsignal import LinearizedCircuit
+from repro.errors import AnalysisError
+
+
+def ac_response(
+    linear: LinearizedCircuit, frequencies_hz: np.ndarray
+) -> np.ndarray:
+    """Complex solution vectors over a frequency sweep.
+
+    Returns an array of shape ``(len(frequencies), size)`` whose rows are the
+    MNA unknowns at each frequency, driven by the circuit's ``ac`` sources.
+    """
+    frequencies_hz = np.asarray(frequencies_hz, dtype=float)
+    out = np.empty((len(frequencies_hz), linear.size), dtype=complex)
+    for row, frequency in enumerate(frequencies_hz):
+        s = 2j * math.pi * frequency
+        try:
+            out[row] = np.linalg.solve(linear.system_at(s), linear.b_ac)
+        except np.linalg.LinAlgError as exc:
+            raise AnalysisError(f"AC solve failed at {frequency:.3e} Hz") from exc
+    return out
+
+
+def ac_transfer(
+    linear: LinearizedCircuit,
+    output_net: str,
+    frequencies_hz: np.ndarray,
+    negative_net: str | None = None,
+) -> np.ndarray:
+    """Complex transfer to ``output_net`` (optionally differential) per Hz.
+
+    The excitation is whatever ``ac`` magnitudes the circuit's sources carry;
+    with a single unit-magnitude source this is the transfer function.
+    """
+    response = ac_response(linear, frequencies_hz)
+    i = linear.index(output_net)
+    if i == GROUND:
+        raise AnalysisError("output_net must not be ground")
+    h = response[:, i]
+    if negative_net is not None:
+        j = linear.index(negative_net)
+        if j == GROUND:
+            raise AnalysisError("negative_net must not be ground")
+        h = h - response[:, j]
+    return h
+
+
+def dc_gain(linear: LinearizedCircuit, output_net: str, negative_net: str | None = None) -> float:
+    """Small-signal gain at (near) DC."""
+    h = ac_transfer(linear, output_net, np.array([1e-3]), negative_net)
+    return float(np.real(h[0]))
+
+
+def unity_gain_frequency(
+    linear: LinearizedCircuit,
+    output_net: str,
+    negative_net: str | None = None,
+    f_min: float = 1e2,
+    f_max: float = 1e12,
+    points_per_decade: int = 24,
+) -> float | None:
+    """Frequency where |H| crosses unity (None if it never does)."""
+    decades = math.log10(f_max / f_min)
+    freqs = np.logspace(
+        math.log10(f_min), math.log10(f_max), int(decades * points_per_decade) + 1
+    )
+    mags = np.abs(ac_transfer(linear, output_net, freqs, negative_net))
+    crossing = None
+    for k in range(len(freqs) - 1):
+        if mags[k] >= 1.0 > mags[k + 1]:
+            crossing = k
+    if crossing is None:
+        return None
+    lo, hi = freqs[crossing], freqs[crossing + 1]
+    for _ in range(50):
+        mid = math.sqrt(lo * hi)
+        mag = abs(ac_transfer(linear, output_net, np.array([mid]), negative_net)[0])
+        if mag >= 1.0:
+            lo = mid
+        else:
+            hi = mid
+    return math.sqrt(lo * hi)
+
+
+def phase_margin_deg(
+    linear: LinearizedCircuit,
+    output_net: str,
+    negative_net: str | None = None,
+) -> float | None:
+    """Phase margin of the (loop) transfer at its unity crossing, or None."""
+    fu = unity_gain_frequency(linear, output_net, negative_net)
+    if fu is None:
+        return None
+    h = ac_transfer(linear, output_net, np.array([fu]), negative_net)[0]
+    return 180.0 + math.degrees(math.atan2(h.imag, h.real))

@@ -1,0 +1,147 @@
+"""Modified nodal analysis: unknown layout and matrix stamp helpers.
+
+Sign conventions (used consistently across DC/AC/transient):
+
+* Node equations state that the sum of currents *leaving* the node is zero.
+* A current source drives positive current from its ``positive`` terminal
+  through the source to its ``negative`` terminal (SPICE convention), so it
+  contributes ``-I`` to the RHS of the positive node's equation.
+* Branch currents (voltage sources, VCVS, inductors) flow from the branch's
+  positive terminal through the element to the negative terminal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.elements import Inductor, Vcvs, VoltageSource
+from repro.circuit.netlist import GROUND_NAMES, Circuit
+from repro.errors import NetlistError
+
+#: Index used for ground (rows/columns are simply skipped).
+GROUND = -1
+
+
+class MnaLayout:
+    """Assigns MNA unknown indices for a circuit.
+
+    Unknowns are the non-ground node voltages followed by one branch current
+    per voltage-defined element (independent V source, VCVS, inductor).
+    """
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        nets = circuit.non_ground_nets()
+        self.node_of = {net: i for i, net in enumerate(nets)}
+        self.nets = nets
+        branch_elements = [
+            e for e in circuit if isinstance(e, (VoltageSource, Vcvs, Inductor))
+        ]
+        self.branch_of = {
+            e.name: len(nets) + k for k, e in enumerate(branch_elements)
+        }
+        self.branch_elements = branch_elements
+        self.size = len(nets) + len(branch_elements)
+
+    def index(self, net: str) -> int:
+        """Unknown index of a net; :data:`GROUND` for the reference node."""
+        if net in GROUND_NAMES:
+            return GROUND
+        try:
+            return self.node_of[net]
+        except KeyError:
+            raise NetlistError(f"net {net!r} not in circuit {self.circuit.name!r}") from None
+
+    def branch(self, element_name: str) -> int:
+        """Unknown index of a branch current."""
+        try:
+            return self.branch_of[element_name]
+        except KeyError:
+            raise NetlistError(
+                f"element {element_name!r} has no branch current"
+            ) from None
+
+    def voltages(self, x: np.ndarray) -> dict[str, float]:
+        """Extract node voltages (ground included as 0) from a solution."""
+        out = {net: float(x[i]) for net, i in self.node_of.items()}
+        out["gnd"] = 0.0
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Stamp helpers.  All skip ground indices transparently.
+# ---------------------------------------------------------------------------
+
+
+def stamp_conductance(matrix: np.ndarray, i: int, j: int, g: float) -> None:
+    """Stamp a conductance ``g`` between unknowns ``i`` and ``j``."""
+    if i != GROUND:
+        matrix[i, i] += g
+    if j != GROUND:
+        matrix[j, j] += g
+    if i != GROUND and j != GROUND:
+        matrix[i, j] -= g
+        matrix[j, i] -= g
+
+
+def stamp_transconductance(
+    matrix: np.ndarray, op: int, on: int, cp: int, cn: int, gm: float
+) -> None:
+    """Stamp a VCCS: current gm*(v_cp - v_cn) leaving ``op`` into ``on``."""
+    for row, sign_row in ((op, +1.0), (on, -1.0)):
+        if row == GROUND:
+            continue
+        if cp != GROUND:
+            matrix[row, cp] += sign_row * gm
+        if cn != GROUND:
+            matrix[row, cn] -= sign_row * gm
+
+
+def stamp_current(rhs: np.ndarray, p: int, n: int, current: float) -> None:
+    """Stamp an independent current source (positive current p -> n)."""
+    if p != GROUND:
+        rhs[p] -= current
+    if n != GROUND:
+        rhs[n] += current
+
+
+def stamp_voltage_source(
+    matrix: np.ndarray, rhs: np.ndarray, p: int, n: int, k: int, value: float
+) -> None:
+    """Stamp an independent voltage source with branch index ``k``."""
+    if p != GROUND:
+        matrix[p, k] += 1.0
+        matrix[k, p] += 1.0
+    if n != GROUND:
+        matrix[n, k] -= 1.0
+        matrix[k, n] -= 1.0
+    rhs[k] += value
+
+
+def stamp_vcvs(
+    matrix: np.ndarray, op: int, on: int, cp: int, cn: int, k: int, gain: float
+) -> None:
+    """Stamp a VCVS with branch index ``k``: v_op - v_on = gain*(v_cp - v_cn)."""
+    if op != GROUND:
+        matrix[op, k] += 1.0
+        matrix[k, op] += 1.0
+    if on != GROUND:
+        matrix[on, k] -= 1.0
+        matrix[k, on] -= 1.0
+    if cp != GROUND:
+        matrix[k, cp] -= gain
+    if cn != GROUND:
+        matrix[k, cn] += gain
+
+
+def stamp_inductor_branch(
+    g_matrix: np.ndarray, c_matrix: np.ndarray, p: int, n: int, k: int, inductance: float
+) -> None:
+    """Stamp an inductor branch for (G + sC) analyses: v_p - v_n - s*L*i = 0."""
+    if p != GROUND:
+        g_matrix[p, k] += 1.0
+        g_matrix[k, p] += 1.0
+    if n != GROUND:
+        g_matrix[n, k] -= 1.0
+        g_matrix[k, n] -= 1.0
+    c_matrix[k, k] -= inductance

@@ -1,0 +1,81 @@
+"""Output-referred noise analysis via the adjoint (transposed-system) method.
+
+One linear solve of the transposed MNA system per frequency yields the
+transfer from *every* element noise-current source to the chosen output, so
+total output noise costs O(frequencies) solves regardless of how many noisy
+elements the circuit has.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.analysis.mna import GROUND
+from repro.analysis.smallsignal import LinearizedCircuit
+from repro.errors import AnalysisError
+
+
+def output_noise_psd(
+    linear: LinearizedCircuit,
+    output_net: str,
+    frequencies_hz: np.ndarray,
+    negative_net: str | None = None,
+) -> np.ndarray:
+    """Output noise voltage PSD [V^2/Hz] at each frequency."""
+    i = linear.index(output_net)
+    if i == GROUND:
+        raise AnalysisError("output_net must not be ground")
+    frequencies_hz = np.asarray(frequencies_hz, dtype=float)
+    c_vec = np.zeros(linear.size)
+    c_vec[i] = 1.0
+    if negative_net is not None:
+        j = linear.index(negative_net)
+        if j == GROUND:
+            raise AnalysisError("negative_net must not be ground")
+        c_vec[j] = -1.0
+
+    psd = np.zeros(len(frequencies_hz))
+    for row, frequency in enumerate(frequencies_hz):
+        s = 2j * math.pi * frequency
+        try:
+            y = np.linalg.solve(linear.system_at(s).T, c_vec.astype(complex))
+        except np.linalg.LinAlgError as exc:
+            raise AnalysisError(f"adjoint solve failed at {frequency:.3e} Hz") from exc
+        total = 0.0
+        for _, p, n, psd_fn in linear.noise_sources:
+            # A noise current injected between nodes p and n: the RHS it
+            # creates is -1 at p and +1 at n (current-source convention).
+            transfer = 0.0 + 0.0j
+            if p != GROUND:
+                transfer -= y[p]
+            if n != GROUND:
+                transfer += y[n]
+            total += psd_fn(frequency) * float(np.abs(transfer)) ** 2
+        psd[row] = total
+    return psd
+
+
+def integrated_output_noise(
+    linear: LinearizedCircuit,
+    output_net: str,
+    f_min: float = 1e2,
+    f_max: float = 1e10,
+    points_per_decade: int = 20,
+    negative_net: str | None = None,
+) -> float:
+    """Total RMS output noise voltage [V] integrated over (f_min, f_max).
+
+    Uses log-spaced trapezoidal integration, which resolves both the 1/f
+    corner and the thermal roll-off with few points.
+    """
+    if f_min <= 0 or f_max <= f_min:
+        raise AnalysisError("need 0 < f_min < f_max")
+    decades = math.log10(f_max / f_min)
+    freqs = np.logspace(
+        math.log10(f_min), math.log10(f_max), int(decades * points_per_decade) + 1
+    )
+    psd = output_noise_psd(linear, output_net, freqs, negative_net)
+    variance = float(np.trapezoid(psd, freqs))
+    return math.sqrt(variance)

@@ -1,0 +1,199 @@
+"""Linearization: build small-signal G and C matrices at a DC operating point.
+
+The linearized circuit is the bridge between the nonlinear netlist and every
+frequency-domain analysis (AC, poles/zeros, noise).  It is also what the
+DPI/SFG construction consumes: each entry of G/C is a branch admittance the
+signal-flow graph can be read from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.dc import DcSolution, solve_dc
+from repro.analysis.mna import (
+    GROUND,
+    MnaLayout,
+    stamp_conductance,
+    stamp_inductor_branch,
+    stamp_transconductance,
+    stamp_vcvs,
+    stamp_voltage_source,
+)
+from repro.circuit.elements import (
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    Mosfet,
+    Resistor,
+    Switch,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+)
+from repro.circuit.netlist import Circuit
+from repro.errors import AnalysisError
+
+
+@dataclass
+class LinearizedCircuit:
+    """Small-signal view: (G + sC) x = b with noise-source bookkeeping."""
+
+    layout: MnaLayout
+    #: Conductance matrix (real).
+    g_matrix: np.ndarray
+    #: Capacitance matrix (real); system is G + s*C.
+    c_matrix: np.ndarray
+    #: AC excitation vector (from source ``ac`` values).
+    b_ac: np.ndarray
+    #: The DC solution this linearization was taken at.
+    op: DcSolution
+    #: Noise sources: (label, node_p, node_n, psd_fn(frequency_hz) -> A^2/Hz).
+    noise_sources: list[tuple[str, int, int, object]]
+
+    @property
+    def size(self) -> int:
+        """Number of MNA unknowns."""
+        return self.layout.size
+
+    def index(self, net: str) -> int:
+        """Unknown index of a net (GROUND for the reference)."""
+        return self.layout.index(net)
+
+    def system_at(self, s: complex) -> np.ndarray:
+        """The complex MNA matrix G + s*C."""
+        return self.g_matrix + s * self.c_matrix
+
+
+def linearize(
+    circuit: Circuit,
+    op: DcSolution | None = None,
+    include_noise: bool = True,
+) -> LinearizedCircuit:
+    """Linearize ``circuit`` around its DC operating point.
+
+    Solves DC first if ``op`` is not supplied.  Independent sources keep
+    their ``ac`` magnitudes in the excitation vector; DC values are zeroed
+    (superposition around the operating point).
+    """
+    if op is None:
+        op = solve_dc(circuit)
+    layout = MnaLayout(circuit)
+    n = layout.size
+    g_matrix = np.zeros((n, n))
+    c_matrix = np.zeros((n, n))
+    b_ac = np.zeros(n, dtype=complex)
+    noise_sources: list[tuple[str, int, int, object]] = []
+
+    from repro.constants import KT_ROOM
+    from repro.tech.mosfet import flicker_noise_psd, thermal_noise_psd
+
+    for element in circuit:
+        if isinstance(element, Resistor):
+            i, j = layout.index(element.n1), layout.index(element.n2)
+            g = 1.0 / element.resistance
+            stamp_conductance(g_matrix, i, j, g)
+            psd = 4.0 * KT_ROOM * g
+
+            def resistor_psd(frequency_hz: float, _psd=psd) -> float:
+                return _psd
+
+            noise_sources.append((element.name, i, j, resistor_psd))
+        elif isinstance(element, Switch):
+            i, j = layout.index(element.n1), layout.index(element.n2)
+            g = 1.0 / element.resistance_at(0.0)
+            stamp_conductance(g_matrix, i, j, g)
+        elif isinstance(element, Capacitor):
+            i, j = layout.index(element.n1), layout.index(element.n2)
+            c = element.capacitance
+            if i != GROUND:
+                c_matrix[i, i] += c
+            if j != GROUND:
+                c_matrix[j, j] += c
+            if i != GROUND and j != GROUND:
+                c_matrix[i, j] -= c
+                c_matrix[j, i] -= c
+        elif isinstance(element, Inductor):
+            p, nn = layout.index(element.n1), layout.index(element.n2)
+            k = layout.branch(element.name)
+            stamp_inductor_branch(g_matrix, c_matrix, p, nn, k, element.inductance)
+        elif isinstance(element, VoltageSource):
+            p, nn = layout.index(element.positive), layout.index(element.negative)
+            k = layout.branch(element.name)
+            stamp_voltage_source(g_matrix, np.zeros(n), p, nn, k, 0.0)
+            b_ac[k] += element.ac
+        elif isinstance(element, CurrentSource):
+            p, nn = layout.index(element.positive), layout.index(element.negative)
+            if p != GROUND:
+                b_ac[p] -= element.ac
+            if nn != GROUND:
+                b_ac[nn] += element.ac
+        elif isinstance(element, Vcvs):
+            op_, on_ = layout.index(element.out_positive), layout.index(element.out_negative)
+            cp, cn = layout.index(element.ctrl_positive), layout.index(element.ctrl_negative)
+            stamp_vcvs(g_matrix, op_, on_, cp, cn, layout.branch(element.name), element.gain)
+        elif isinstance(element, Vccs):
+            op_, on_ = layout.index(element.out_positive), layout.index(element.out_negative)
+            cp, cn = layout.index(element.ctrl_positive), layout.index(element.ctrl_negative)
+            stamp_transconductance(g_matrix, op_, on_, cp, cn, element.gm)
+        elif isinstance(element, Mosfet):
+            if element.name not in op.device_ops:
+                raise AnalysisError(
+                    f"no operating point for device {element.name!r}; "
+                    "was the DC solution computed on the same circuit?"
+                )
+            device_op = op.device_ops[element.name]
+            d = layout.index(element.drain)
+            g_ = layout.index(element.gate)
+            s = layout.index(element.source)
+            b = layout.index(element.bulk)
+            stamp_transconductance(g_matrix, d, s, g_, s, device_op.gm)
+            stamp_conductance(g_matrix, d, s, device_op.gds)
+            stamp_transconductance(g_matrix, d, s, b, s, device_op.gmb)
+            for (i, j, c) in (
+                (g_, s, device_op.cgs),
+                (g_, d, device_op.cgd),
+                (g_, b, device_op.cgb),
+                (d, b, device_op.cdb),
+                (s, b, device_op.csb),
+            ):
+                if c == 0.0:
+                    continue
+                if i != GROUND:
+                    c_matrix[i, i] += c
+                if j != GROUND:
+                    c_matrix[j, j] += c
+                if i != GROUND and j != GROUND:
+                    c_matrix[i, j] -= c
+                    c_matrix[j, i] -= c
+            if include_noise:
+                params, w, l = element.params, element.w * element.mult, element.l
+                gm_val = device_op.gm
+
+                def mosfet_psd(
+                    frequency_hz: float,
+                    _params=params,
+                    _w=w,
+                    _l=l,
+                    _gm=gm_val,
+                ) -> float:
+                    return thermal_noise_psd(_params, _gm) + flicker_noise_psd(
+                        _params, _w, _l, _gm, frequency_hz
+                    )
+
+                noise_sources.append((element.name, d, s, mosfet_psd))
+        else:
+            raise AnalysisError(
+                f"element type {type(element).__name__} not supported in AC"
+            )
+
+    return LinearizedCircuit(
+        layout=layout,
+        g_matrix=g_matrix,
+        c_matrix=c_matrix,
+        b_ac=b_ac,
+        op=op,
+        noise_sources=noise_sources,
+    )

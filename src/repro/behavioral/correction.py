@@ -1,0 +1,52 @@
+"""Digital error correction: combine redundant stage codes into one word.
+
+Each stage's code ``c_i`` (``0 .. 2^m_i - 2``) represents the signed DAC
+index ``d_i = c_i - (levels_i - 1)/2``.  Unrolling the residue recursion
+``v_{i+1} = 2^{e_i} v_i - d_i FS/2`` (``e_i = m_i - 1``) gives
+
+``v_1 = FS/2 * sum_i d_i 2^{-E_i} + v_backend 2^{-E_n}``
+
+with ``E_i`` the cumulative effective bits.  In LSB-of-K units every term
+is an integer, so the combination — the "digital correction logic" the
+paper budgets one redundant bit per stage for — is exact integer addition.
+Comparator offsets move ``d_i`` by one step and the residue compensates,
+which is why the redundancy absorbs sub-ADC errors.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SpecificationError
+
+
+def combine_codes(
+    stage_codes: list[int],
+    stage_bits: list[int],
+    backend_code: int,
+    backend_bits: int,
+    total_bits: int,
+) -> int:
+    """Combine front-end stage codes and the backend code into a K-bit word.
+
+    Returns an unsigned code in ``[0, 2^total_bits - 1]`` (clipped).
+    """
+    if len(stage_codes) != len(stage_bits):
+        raise SpecificationError("one code per stage required")
+    cumulative = 0
+    acc = 0
+    for code, m in zip(stage_codes, stage_bits):
+        levels = 2**m - 1
+        if not 0 <= code < levels:
+            raise SpecificationError(f"code {code} out of range for {m}-bit stage")
+        cumulative += m - 1
+        if cumulative > total_bits - 1:
+            raise SpecificationError("stages resolve more than total_bits")
+        d = code - (levels - 1) // 2  # signed DAC index, always an integer
+        acc += d * 2 ** (total_bits - 1 - cumulative)
+    if backend_bits != total_bits - cumulative:
+        raise SpecificationError(
+            f"backend_bits {backend_bits} != remaining {total_bits - cumulative}"
+        )
+    if not 0 <= backend_code < 2**backend_bits:
+        raise SpecificationError("backend code out of range")
+    word = 2 ** (total_bits - 1) + acc + (backend_code - 2 ** (backend_bits - 1))
+    return max(0, min(2**total_bits - 1, word))

@@ -1,0 +1,37 @@
+"""Per-stage error models for the behavioral pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class StageErrorModel:
+    """Imperfections of one pipeline stage.
+
+    * ``gain_error`` — relative interstage-gain error (finite opamp gain,
+      capacitor ratio error): actual gain = G * (1 + gain_error).
+    * ``settling_error`` — relative dynamic error left at the end of the
+      amplification phase; it scales the *step* the output makes.
+    * ``comparator_offsets`` — per-comparator input-referred offsets [V];
+      redundancy should absorb these up to FS/2^(m+1).
+    * ``noise_rms`` — input-referred noise added to the residue input [V].
+    * ``dac_level_errors`` — additive error of each DAC level [V]
+      (capacitor mismatch); length 2^m - 1 or empty.
+    """
+
+    gain_error: float = 0.0
+    settling_error: float = 0.0
+    comparator_offsets: tuple[float, ...] = ()
+    noise_rms: float = 0.0
+    dac_level_errors: tuple[float, ...] = ()
+
+    @staticmethod
+    def ideal() -> "StageErrorModel":
+        """No errors at all."""
+        return StageErrorModel()
+
+    @property
+    def effective_gain_factor(self) -> float:
+        """Combined multiplicative gain factor including settling loss."""
+        return (1.0 + self.gain_error) * (1.0 - self.settling_error)

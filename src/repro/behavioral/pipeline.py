@@ -1,0 +1,123 @@
+"""Stage-accurate behavioral pipelined ADC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.behavioral.correction import combine_codes
+from repro.behavioral.nonideal import StageErrorModel
+from repro.blocks.sah import SampleAndHold
+from repro.blocks.subadc import FlashSubAdc
+from repro.enumeration.candidates import PipelineCandidate
+from repro.errors import SpecificationError
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One pipeline stage: sub-ADC decision plus MDAC residue."""
+
+    stage_bits: int
+    full_scale: float
+    errors: StageErrorModel = field(default_factory=StageErrorModel.ideal)
+
+    def __post_init__(self) -> None:
+        if self.errors.comparator_offsets:
+            expected = 2**self.stage_bits - 2
+            if len(self.errors.comparator_offsets) != expected:
+                raise SpecificationError(
+                    f"{self.stage_bits}-bit stage needs {expected} offsets"
+                )
+        if self.errors.dac_level_errors:
+            if len(self.errors.dac_level_errors) != 2**self.stage_bits - 1:
+                raise SpecificationError("one DAC error per level required")
+
+    def _sub_adc(self) -> FlashSubAdc:
+        if self.errors.comparator_offsets:
+            return FlashSubAdc.with_offsets(
+                self.stage_bits, self.full_scale, list(self.errors.comparator_offsets)
+            )
+        return FlashSubAdc(self.stage_bits, self.full_scale)
+
+    def convert(
+        self, vin: float, rng: np.random.Generator | None = None
+    ) -> tuple[int, float]:
+        """Return (code, residue) for one input sample."""
+        if self.errors.noise_rms > 0.0:
+            if rng is None:
+                raise SpecificationError("rng required for noisy stage")
+            vin = vin + rng.normal(0.0, self.errors.noise_rms)
+        code = self._sub_adc().quantize(vin, rng)
+        levels = 2**self.stage_bits - 1
+        gain = 2.0 ** (self.stage_bits - 1) * self.errors.effective_gain_factor
+        dac = (code - (levels - 1) / 2.0) * self.full_scale / 2.0
+        if self.errors.dac_level_errors:
+            dac += self.errors.dac_level_errors[code]
+        return code, gain * vin - dac
+
+
+@dataclass(frozen=True)
+class BehavioralPipeline:
+    """A complete K-bit pipelined converter: front-end stages + ideal backend.
+
+    The enumerated front-end stages come from a candidate configuration;
+    the backend (the paper's un-enumerated "...") is modelled as an ideal
+    quantizer of the final residue at the remaining resolution.
+    """
+
+    candidate: PipelineCandidate
+    full_scale: float = 2.0
+    stage_errors: tuple[StageErrorModel, ...] = ()
+    sah: SampleAndHold = field(default_factory=SampleAndHold)
+
+    def __post_init__(self) -> None:
+        if self.stage_errors and len(self.stage_errors) != self.candidate.stage_count:
+            raise SpecificationError("one error model per stage required")
+
+    @property
+    def total_bits(self) -> int:
+        """Converter resolution K."""
+        return self.candidate.total_bits
+
+    @property
+    def backend_bits(self) -> int:
+        """Bits resolved by the ideal backend."""
+        return self.candidate.total_bits - self.candidate.frontend_bits
+
+    def _stages(self) -> list[PipelineStage]:
+        errors = self.stage_errors or tuple(
+            StageErrorModel.ideal() for _ in range(self.candidate.stage_count)
+        )
+        return [
+            PipelineStage(m, self.full_scale, e)
+            for m, e in zip(self.candidate.resolutions, errors)
+        ]
+
+    def convert(self, vin: float, rng: np.random.Generator | None = None) -> int:
+        """Convert one sample to a K-bit output code."""
+        v = self.sah.sample(vin, rng)
+        codes: list[int] = []
+        for stage in self._stages():
+            code, v = stage.convert(v, rng)
+            codes.append(code)
+        backend_code = self._backend_quantize(v)
+        return combine_codes(
+            codes,
+            list(self.candidate.resolutions),
+            backend_code,
+            self.backend_bits,
+            self.total_bits,
+        )
+
+    def _backend_quantize(self, residue: float) -> int:
+        """Ideal backend: quantize the residue to the remaining bits."""
+        n = 2**self.backend_bits
+        code = int(np.floor((residue / self.full_scale + 0.5) * n))
+        return max(0, min(n - 1, code))
+
+    def convert_array(
+        self, samples: np.ndarray, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Convert an array of samples."""
+        return np.array([self.convert(float(v), rng) for v in samples], dtype=int)

@@ -1,0 +1,39 @@
+"""Test-signal generation for converter characterization."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import SpecificationError
+
+
+def coherent_sine(
+    n_samples: int,
+    cycles: int,
+    amplitude: float,
+    offset: float = 0.0,
+    phase: float = 0.0,
+) -> np.ndarray:
+    """A sine that completes exactly ``cycles`` periods in ``n_samples``.
+
+    Coherent sampling puts all signal energy in one FFT bin; ``cycles``
+    should be odd and coprime with ``n_samples`` so every code is exercised.
+    """
+    if n_samples < 8:
+        raise SpecificationError("n_samples too small")
+    if not 0 < cycles < n_samples / 2:
+        raise SpecificationError("cycles must be in (0, n_samples/2)")
+    if math.gcd(cycles, n_samples) != 1:
+        raise SpecificationError(
+            f"cycles={cycles} and n_samples={n_samples} must be coprime"
+        )
+    t = np.arange(n_samples)
+    return offset + amplitude * np.sin(2 * np.pi * cycles * t / n_samples + phase)
+
+
+def full_scale_sine(n_samples: int, cycles: int, full_scale: float, backoff_db: float = 0.5) -> np.ndarray:
+    """A near-full-scale coherent sine (backed off to avoid clipping)."""
+    amplitude = (full_scale / 2.0) * 10 ** (-backoff_db / 20.0)
+    return coherent_sine(n_samples, cycles, amplitude)

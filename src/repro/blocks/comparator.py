@@ -1,0 +1,30 @@
+"""Behavioral comparator model with offset and noise injection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BehavioralComparator:
+    """A clocked comparator deciding sign(vin - threshold + errors).
+
+    ``offset`` is a static input-referred offset [V]; ``noise_rms`` adds
+    white decision noise.  Both model the imperfections the pipeline's
+    digital correction is supposed to absorb.
+    """
+
+    threshold: float
+    offset: float = 0.0
+    noise_rms: float = 0.0
+
+    def decide(self, vin: float, rng: np.random.Generator | None = None) -> bool:
+        """True if the (noisy, offset) input exceeds the threshold."""
+        noise = 0.0
+        if self.noise_rms > 0.0:
+            if rng is None:
+                raise ValueError("rng required when noise_rms > 0")
+            noise = rng.normal(0.0, self.noise_rms)
+        return vin + self.offset + noise > self.threshold

@@ -1,0 +1,24 @@
+"""Behavioral front-end sample-and-hold."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SampleAndHold:
+    """Samples the input with optional gain error and kT/C-style noise."""
+
+    gain_error: float = 0.0
+    noise_rms: float = 0.0
+
+    def sample(self, vin: float, rng: np.random.Generator | None = None) -> float:
+        """One held sample of ``vin``."""
+        noise = 0.0
+        if self.noise_rms > 0.0:
+            if rng is None:
+                raise ValueError("rng required when noise_rms > 0")
+            noise = rng.normal(0.0, self.noise_rms)
+        return vin * (1.0 + self.gain_error) + noise

@@ -1,0 +1,69 @@
+"""Behavioral flash sub-ADC: 2^m - 2 comparators with redundant thresholds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.blocks.comparator import BehavioralComparator
+from repro.errors import SpecificationError
+
+
+@dataclass(frozen=True)
+class FlashSubAdc:
+    """An m-bit flash quantizer with the pipeline's redundant level coding.
+
+    Thresholds sit halfway between DAC levels: for ``levels = 2^m - 1``
+    output codes, the ``levels - 1 = 2^m - 2`` thresholds are at
+    ``(k - (levels-2)/2) * FS / 2^m`` — the classic +-FS/8, 0 arrangement
+    for a 1.5-bit stage.
+    """
+
+    stage_bits: int
+    full_scale: float
+    comparators: tuple[BehavioralComparator, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.stage_bits < 2:
+            raise SpecificationError("stage_bits must be >= 2")
+        if not self.comparators:
+            object.__setattr__(
+                self, "comparators", tuple(self._ideal_comparators())
+            )
+        expected = 2**self.stage_bits - 2
+        if len(self.comparators) != expected:
+            raise SpecificationError(
+                f"{self.stage_bits}-bit sub-ADC needs {expected} comparators, "
+                f"got {len(self.comparators)}"
+            )
+
+    def _ideal_comparators(self) -> list[BehavioralComparator]:
+        return [BehavioralComparator(t) for t in self.ideal_thresholds()]
+
+    def ideal_thresholds(self) -> list[float]:
+        """Threshold voltages, ascending."""
+        count = 2**self.stage_bits - 2
+        step = self.full_scale / 2**self.stage_bits
+        return [(k - (count - 1) / 2.0) * step for k in range(count)]
+
+    @staticmethod
+    def with_offsets(
+        stage_bits: int,
+        full_scale: float,
+        offsets: list[float],
+        noise_rms: float = 0.0,
+    ) -> "FlashSubAdc":
+        """Build a sub-ADC whose comparators carry the given offsets."""
+        base = FlashSubAdc(stage_bits, full_scale)
+        if len(offsets) != len(base.comparators):
+            raise SpecificationError("one offset per comparator required")
+        comps = tuple(
+            BehavioralComparator(c.threshold, offset=o, noise_rms=noise_rms)
+            for c, o in zip(base.comparators, offsets)
+        )
+        return FlashSubAdc(stage_bits, full_scale, comps)
+
+    def quantize(self, vin: float, rng: np.random.Generator | None = None) -> int:
+        """Thermometer decision: the output code in [0, 2^m - 2]."""
+        return sum(1 for c in self.comparators if c.decide(vin, rng))

@@ -1,0 +1,37 @@
+"""Circuit netlist representation.
+
+A :class:`~repro.circuit.netlist.Circuit` is a named collection of elements
+connected by string-named nets (``"0"`` and ``"gnd"`` are ground).  The
+representation is *passive data*: all analysis (stamping, solving) lives in
+:mod:`repro.analysis`, so circuits can be built, inspected and serialized
+without pulling in numerics.
+"""
+
+from repro.circuit.elements import (
+    Capacitor,
+    CurrentSource,
+    Element,
+    Inductor,
+    Mosfet,
+    Resistor,
+    Switch,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+)
+from repro.circuit.netlist import GROUND_NAMES, Circuit
+
+__all__ = [
+    "Circuit",
+    "GROUND_NAMES",
+    "Element",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "VoltageSource",
+    "CurrentSource",
+    "Vcvs",
+    "Vccs",
+    "Mosfet",
+    "Switch",
+]

@@ -1,0 +1,207 @@
+"""Fluent construction helper for circuits.
+
+``CircuitBuilder`` auto-names elements (``r1``, ``m3``, ...) and returns the
+created element so callers can keep references.  It exists purely for
+ergonomics; everything can also be done with :class:`Circuit.add`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable
+
+from repro.circuit.elements import (
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    Mosfet,
+    Resistor,
+    Switch,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+)
+from repro.circuit.netlist import Circuit
+from repro.tech.process import MosfetParams, Technology
+
+
+class CircuitBuilder:
+    """Builds a :class:`Circuit` with automatically numbered element names."""
+
+    def __init__(self, name: str = "circuit", tech: Technology | None = None):
+        self.circuit = Circuit(name)
+        self.tech = tech
+        self._counters: dict[str, int] = defaultdict(int)
+
+    def _next_name(self, prefix: str, name: str | None) -> str:
+        if name is not None:
+            return name
+        self._counters[prefix] += 1
+        return f"{prefix}{self._counters[prefix]}"
+
+    def r(self, n1: str, n2: str, resistance: float, name: str | None = None) -> Resistor:
+        """Add a resistor."""
+        element = Resistor(self._next_name("r", name), n1, n2, resistance)
+        self.circuit.add(element)
+        return element
+
+    def c(self, n1: str, n2: str, capacitance: float, name: str | None = None) -> Capacitor:
+        """Add a capacitor."""
+        element = Capacitor(self._next_name("c", name), n1, n2, capacitance)
+        self.circuit.add(element)
+        return element
+
+    def l(self, n1: str, n2: str, inductance: float, name: str | None = None) -> Inductor:
+        """Add an inductor."""
+        element = Inductor(self._next_name("l", name), n1, n2, inductance)
+        self.circuit.add(element)
+        return element
+
+    def v(
+        self,
+        positive: str,
+        negative: str,
+        dc: float = 0.0,
+        ac: float = 0.0,
+        waveform: Callable[[float], float] | None = None,
+        name: str | None = None,
+    ) -> VoltageSource:
+        """Add an independent voltage source."""
+        element = VoltageSource(
+            self._next_name("v", name), positive, negative, dc, ac, waveform
+        )
+        self.circuit.add(element)
+        return element
+
+    def i(
+        self,
+        positive: str,
+        negative: str,
+        dc: float = 0.0,
+        ac: float = 0.0,
+        waveform: Callable[[float], float] | None = None,
+        name: str | None = None,
+    ) -> CurrentSource:
+        """Add an independent current source."""
+        element = CurrentSource(
+            self._next_name("i", name), positive, negative, dc, ac, waveform
+        )
+        self.circuit.add(element)
+        return element
+
+    def vcvs(
+        self,
+        out_positive: str,
+        out_negative: str,
+        ctrl_positive: str,
+        ctrl_negative: str,
+        gain: float,
+        name: str | None = None,
+    ) -> Vcvs:
+        """Add a voltage-controlled voltage source."""
+        element = Vcvs(
+            self._next_name("e", name),
+            out_positive,
+            out_negative,
+            ctrl_positive,
+            ctrl_negative,
+            gain,
+        )
+        self.circuit.add(element)
+        return element
+
+    def vccs(
+        self,
+        out_positive: str,
+        out_negative: str,
+        ctrl_positive: str,
+        ctrl_negative: str,
+        gm: float,
+        name: str | None = None,
+    ) -> Vccs:
+        """Add a voltage-controlled current source."""
+        element = Vccs(
+            self._next_name("g", name),
+            out_positive,
+            out_negative,
+            ctrl_positive,
+            ctrl_negative,
+            gm,
+        )
+        self.circuit.add(element)
+        return element
+
+    def _mos(
+        self,
+        polarity: str,
+        drain: str,
+        gate: str,
+        source: str,
+        bulk: str,
+        w: float,
+        l: float,
+        mult: int,
+        name: str | None,
+        params: MosfetParams | None,
+    ) -> Mosfet:
+        if params is None:
+            if self.tech is None:
+                raise ValueError(
+                    "CircuitBuilder needs a Technology (or explicit params) for MOSFETs"
+                )
+            params = self.tech.device(polarity)
+        element = Mosfet(
+            self._next_name("m", name), drain, gate, source, bulk, params, w, l, mult
+        )
+        self.circuit.add(element)
+        return element
+
+    def nmos(
+        self,
+        drain: str,
+        gate: str,
+        source: str,
+        bulk: str = "gnd",
+        w: float = 1e-6,
+        l: float = 0.25e-6,
+        mult: int = 1,
+        name: str | None = None,
+        params: MosfetParams | None = None,
+    ) -> Mosfet:
+        """Add an NMOS transistor (bulk defaults to ground)."""
+        return self._mos("nmos", drain, gate, source, bulk, w, l, mult, name, params)
+
+    def pmos(
+        self,
+        drain: str,
+        gate: str,
+        source: str,
+        bulk: str,
+        w: float = 2e-6,
+        l: float = 0.25e-6,
+        mult: int = 1,
+        name: str | None = None,
+        params: MosfetParams | None = None,
+    ) -> Mosfet:
+        """Add a PMOS transistor (bulk is usually the supply net)."""
+        return self._mos("pmos", drain, gate, source, bulk, w, l, mult, name, params)
+
+    def switch(
+        self,
+        n1: str,
+        n2: str,
+        phase: Callable[[float], bool],
+        r_on: float = 100.0,
+        r_off: float = 1e12,
+        name: str | None = None,
+    ) -> Switch:
+        """Add an ideal clocked switch."""
+        element = Switch(self._next_name("s", name), n1, n2, phase, r_on, r_off)
+        self.circuit.add(element)
+        return element
+
+    def build(self, validate: bool = True) -> Circuit:
+        """Finish building; optionally validate the netlist."""
+        if validate:
+            self.circuit.validate()
+        return self.circuit

@@ -1,0 +1,223 @@
+"""Circuit elements.
+
+Every element is an immutable dataclass naming its terminals (net names) and
+parameters.  Analysis code dispatches on the element type; elements carry no
+behaviour beyond validation, in keeping with the netlist-as-data design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import NetlistError
+from repro.tech.process import MosfetParams
+
+
+@dataclass(frozen=True)
+class Element:
+    """Base class: a named element; subclasses define terminals."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise NetlistError("element name must be non-empty")
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        """Net names this element touches, in terminal order."""
+        raise NotImplementedError
+
+
+def _check_positive(value: float, what: str) -> None:
+    if value <= 0 or value != value:  # also rejects NaN
+        raise NetlistError(f"{what} must be positive, got {value!r}")
+
+
+@dataclass(frozen=True)
+class Resistor(Element):
+    """A linear resistor between ``n1`` and ``n2``."""
+
+    n1: str
+    n2: str
+    resistance: float
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _check_positive(self.resistance, "resistance")
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.n1, self.n2)
+
+
+@dataclass(frozen=True)
+class Capacitor(Element):
+    """A linear capacitor between ``n1`` and ``n2``."""
+
+    n1: str
+    n2: str
+    capacitance: float
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _check_positive(self.capacitance, "capacitance")
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.n1, self.n2)
+
+
+@dataclass(frozen=True)
+class Inductor(Element):
+    """A linear inductor between ``n1`` and ``n2`` (MNA branch element)."""
+
+    n1: str
+    n2: str
+    inductance: float
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _check_positive(self.inductance, "inductance")
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.n1, self.n2)
+
+
+@dataclass(frozen=True)
+class VoltageSource(Element):
+    """An independent voltage source from ``positive`` to ``negative``.
+
+    ``dc`` is the operating-point value; ``ac`` the small-signal magnitude;
+    ``waveform`` (optional) a function of time for transient analysis, which
+    overrides ``dc`` when present.
+    """
+
+    positive: str
+    negative: str
+    dc: float = 0.0
+    ac: float = 0.0
+    waveform: Callable[[float], float] | None = field(default=None, compare=False)
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.positive, self.negative)
+
+    def value_at(self, time: float) -> float:
+        """Source voltage at ``time`` for transient analysis."""
+        if self.waveform is not None:
+            return self.waveform(time)
+        return self.dc
+
+
+@dataclass(frozen=True)
+class CurrentSource(Element):
+    """An independent current source pushing current from ``positive`` to
+    ``negative`` through the source (i.e. out of the ``negative`` terminal
+    into the circuit, SPICE convention)."""
+
+    positive: str
+    negative: str
+    dc: float = 0.0
+    ac: float = 0.0
+    waveform: Callable[[float], float] | None = field(default=None, compare=False)
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.positive, self.negative)
+
+    def value_at(self, time: float) -> float:
+        """Source current at ``time`` for transient analysis."""
+        if self.waveform is not None:
+            return self.waveform(time)
+        return self.dc
+
+
+@dataclass(frozen=True)
+class Vcvs(Element):
+    """Voltage-controlled voltage source: V(out) = gain * V(ctrl)."""
+
+    out_positive: str
+    out_negative: str
+    ctrl_positive: str
+    ctrl_negative: str
+    gain: float
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.out_positive, self.out_negative, self.ctrl_positive, self.ctrl_negative)
+
+
+@dataclass(frozen=True)
+class Vccs(Element):
+    """Voltage-controlled current source: I(out+ -> out-) = gm * V(ctrl)."""
+
+    out_positive: str
+    out_negative: str
+    ctrl_positive: str
+    ctrl_negative: str
+    gm: float
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.out_positive, self.out_negative, self.ctrl_positive, self.ctrl_negative)
+
+
+@dataclass(frozen=True)
+class Mosfet(Element):
+    """A MOSFET instance: terminals drain, gate, source, bulk.
+
+    The compact model lives in :mod:`repro.tech.mosfet`; the instance holds
+    geometry (``w``, ``l``) and a parameter set.  ``mult`` is the parallel
+    multiplicity (m-factor).
+    """
+
+    drain: str
+    gate: str
+    source: str
+    bulk: str
+    params: MosfetParams
+    w: float
+    l: float
+    mult: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _check_positive(self.w, "width")
+        _check_positive(self.l, "length")
+        if self.mult < 1:
+            raise NetlistError(f"mult must be >= 1, got {self.mult}")
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.drain, self.gate, self.source, self.bulk)
+
+
+@dataclass(frozen=True)
+class Switch(Element):
+    """An ideal clocked switch modelled as a two-state resistor.
+
+    ``phase`` maps time [s] to True (closed, ``r_on``) or False (open,
+    ``r_off``).  In DC and AC analyses the switch takes its state at t=0.
+    """
+
+    n1: str
+    n2: str
+    phase: Callable[[float], bool] = field(compare=False)
+    r_on: float = 100.0
+    r_off: float = 1e12
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _check_positive(self.r_on, "r_on")
+        _check_positive(self.r_off, "r_off")
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.n1, self.n2)
+
+    def resistance_at(self, time: float) -> float:
+        """Switch resistance at ``time``."""
+        return self.r_on if self.phase(time) else self.r_off

@@ -1,0 +1,75 @@
+"""Command-line interface: regenerate any of the paper's figures.
+
+Examples::
+
+    repro-adc fig1                # analytic stage powers, 13-bit
+    repro-adc fig1 --synthesis    # transistor-level synthesis (slower)
+    repro-adc fig2
+    repro-adc fig3
+    repro-adc runtime
+    repro-adc explore --bits 12
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    fig1_stage_powers,
+    fig2_total_power,
+    fig3_designer_rules,
+    format_fig1,
+    format_fig2,
+    format_fig3,
+    format_runtime,
+    retarget_economy,
+)
+from repro.flow.topology import optimize_topology
+from repro.specs.adc import AdcSpec
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``repro-adc`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro-adc",
+        description="Designer-driven pipelined-ADC topology optimization (DATE 2005 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig1 = sub.add_parser("fig1", help="stage power per 13-bit candidate")
+    p_fig1.add_argument("--synthesis", action="store_true", help="use transistor-level synthesis")
+
+    sub.add_parser("fig2", help="total front-end power, K=10..13")
+    sub.add_parser("fig3", help="designer decision rules")
+
+    p_rt = sub.add_parser("runtime", help="cold vs retargeted synthesis effort")
+    p_rt.add_argument("--budget", type=int, default=400)
+
+    p_explore = sub.add_parser("explore", help="rank candidates for one resolution")
+    p_explore.add_argument("--bits", type=int, default=13)
+    p_explore.add_argument("--rate", type=float, default=40e6, help="sample rate [Hz]")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "fig1":
+        mode = "synthesis" if args.synthesis else "analytic"
+        print(format_fig1(fig1_stage_powers(mode=mode)))
+    elif args.command == "fig2":
+        print(format_fig2(fig2_total_power()))
+    elif args.command == "fig3":
+        print(format_fig3(fig3_designer_rules()))
+    elif args.command == "runtime":
+        print(format_runtime(retarget_economy(cold_budget=args.budget)))
+    elif args.command == "explore":
+        spec = AdcSpec(resolution_bits=args.bits, sample_rate_hz=args.rate)
+        result = optimize_topology(spec)
+        print(f"{args.bits}-bit, {args.rate/1e6:.0f} MSPS front-end candidates:")
+        for label, mw in result.power_table():
+            print(f"  {label:14s} {mw:7.2f} mW")
+        print(f"optimum: {result.best.label}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError` so applications can catch library failures without
+swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class NetlistError(ReproError):
+    """Raised for malformed circuits (unknown nets, duplicate names, ...)."""
+
+
+class AnalysisError(ReproError):
+    """Base class for simulation-engine failures."""
+
+
+class ConvergenceError(AnalysisError):
+    """Raised when an iterative solver (DC Newton, transient) fails to converge."""
+
+
+class SingularCircuitError(AnalysisError):
+    """Raised when the MNA system is singular (floating node, V-source loop)."""
+
+
+class SymbolicError(ReproError):
+    """Raised for invalid symbolic-algebra operations."""
+
+
+class SfgError(ReproError):
+    """Raised for malformed signal-flow graphs or Mason's-rule failures."""
+
+
+class SpecificationError(ReproError):
+    """Raised when a system or block specification is inconsistent."""
+
+
+class EnumerationError(ReproError):
+    """Raised when candidate enumeration is asked for an infeasible target."""
+
+
+class SynthesisError(ReproError):
+    """Raised when block-level synthesis cannot produce a feasible design."""

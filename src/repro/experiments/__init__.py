@@ -1,0 +1,22 @@
+"""Experiment drivers that regenerate every figure of the paper.
+
+Each function returns structured data *and* can print the same rows/series
+the paper reports; the benchmark harness under ``benchmarks/`` wraps these
+and asserts the qualitative claims.
+"""
+
+from repro.experiments.fig1 import fig1_stage_powers, format_fig1
+from repro.experiments.fig2 import fig2_total_power, format_fig2
+from repro.experiments.fig3 import fig3_designer_rules, format_fig3
+from repro.experiments.runtime import retarget_economy, format_runtime
+
+__all__ = [
+    "fig1_stage_powers",
+    "format_fig1",
+    "fig2_total_power",
+    "format_fig2",
+    "fig3_designer_rules",
+    "format_fig3",
+    "retarget_economy",
+    "format_runtime",
+]

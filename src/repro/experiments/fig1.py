@@ -1,0 +1,68 @@
+"""Fig. 1 — stage power for every 13-bit ADC configuration.
+
+The paper's Fig. 1 plots per-stage power (mW) against stage index for the
+seven 13-bit candidates, synthesized with the commercial tool.  Here the
+series can be produced either from the analytic model (fast) or from real
+transistor-level synthesis with block reuse (``mode="synthesis"``), and the
+headline observation — first-stage power nearly independent of the
+first-stage resolution — is checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flow.cache import BlockCache
+from repro.flow.topology import TopologyResult, optimize_topology
+from repro.specs.adc import AdcSpec
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    """Per-candidate stage-power series for the 13-bit converter."""
+
+    #: label -> per-stage power [mW], stage 1 first.
+    series: dict[str, list[float]]
+    #: The underlying topology run.
+    topology: TopologyResult
+    mode: str
+
+    @property
+    def stage1_spread(self) -> float:
+        """max/min ratio of first-stage power across candidates."""
+        firsts = [s[0] for s in self.series.values()]
+        return max(firsts) / min(firsts)
+
+    def stage1_spread_excluding(self, label: str) -> float:
+        """Stage-1 spread excluding one outlier configuration."""
+        firsts = [s[0] for key, s in self.series.items() if key != label]
+        return max(firsts) / min(firsts)
+
+
+def fig1_stage_powers(
+    mode: str = "analytic",
+    resolution_bits: int = 13,
+    cache: BlockCache | None = None,
+) -> Fig1Result:
+    """Regenerate Fig. 1's series for the given evaluation mode."""
+    spec = AdcSpec(resolution_bits=resolution_bits)
+    result = optimize_topology(spec, mode=mode, cache=cache)
+    series = {
+        e.label: [p * 1e3 for p in e.stage_powers] for e in result.evaluations
+    }
+    return Fig1Result(series=series, topology=result, mode=mode)
+
+
+def format_fig1(result: Fig1Result) -> str:
+    """The figure as text: one row per candidate, columns are stages."""
+    max_stages = max(len(s) for s in result.series.values())
+    header = "config        " + "".join(f"  stage{j+1:>2}" for j in range(max_stages))
+    lines = [f"Fig. 1 — stage power [mW], 13-bit, mode={result.mode}", header]
+    for label, powers in sorted(result.series.items()):
+        cells = "".join(f"  {p:7.2f}" for p in powers)
+        lines.append(f"{label:14s}{cells}")
+    lines.append(
+        f"stage-1 spread: {result.stage1_spread:.2f}x "
+        f"({result.stage1_spread_excluding('2-2-2-2-2-2'):.2f}x excluding 2-2-2-2-2-2)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Fig. 2 — total front-end power for all candidates at K = 10..13.
+
+Reproduces the paper's headline rankings: 3-2... optimal at 10 bits,
+4-2... at 11, 4-2-2... at 12, 4-3-2... at 13, with a 2-bit final
+front-end stage optimal everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flow.topology import TopologyResult, optimize_topology
+from repro.specs.adc import AdcSpec
+
+#: The paper's reported optima.
+PAPER_OPTIMA = {10: "3-2", 11: "4-2", 12: "4-2-2", 13: "4-3-2"}
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """Total power per candidate per resolution."""
+
+    #: resolution -> ranked TopologyResult.
+    by_resolution: dict[int, TopologyResult]
+
+    @property
+    def winners(self) -> dict[int, str]:
+        """resolution -> winning label."""
+        return {k: r.best.label for k, r in self.by_resolution.items()}
+
+    @property
+    def matches_paper(self) -> bool:
+        """True when every winner equals the paper's."""
+        return all(
+            self.winners.get(k) == label
+            for k, label in PAPER_OPTIMA.items()
+            if k in self.winners
+        )
+
+
+def fig2_total_power(
+    resolutions: tuple[int, ...] = (10, 11, 12, 13),
+    mode: str = "analytic",
+) -> Fig2Result:
+    """Regenerate Fig. 2's bars."""
+    by_resolution = {
+        k: optimize_topology(AdcSpec(resolution_bits=k), mode=mode)
+        for k in resolutions
+    }
+    return Fig2Result(by_resolution=by_resolution)
+
+
+def format_fig2(result: Fig2Result) -> str:
+    """The figure as text: per resolution, candidates ranked by power."""
+    lines = ["Fig. 2 — total front-end power [mW] per candidate"]
+    for k, topo in sorted(result.by_resolution.items()):
+        paper = PAPER_OPTIMA.get(k, "?")
+        rows = ", ".join(f"{label}={mw:.2f}" for label, mw in topo.power_table())
+        marker = "OK" if topo.best.label == paper else f"paper said {paper}"
+        lines.append(f"  K={k}: {rows}   [winner {topo.best.label}; {marker}]")
+    return "\n".join(lines)

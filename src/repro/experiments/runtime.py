@@ -1,0 +1,92 @@
+"""Section 4's effort claim: first synthesis is expensive, retargets are cheap.
+
+The paper reports 2-3 weeks to set up the first synthesis and ~1 day per
+retargeted block (vs 1-2 weeks of manual design each).  The mechanical
+content of that claim is that a warm-started search needs an order of
+magnitude fewer evaluations than a cold one; this experiment measures it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.enumeration.candidates import PipelineCandidate
+from repro.specs.adc import AdcSpec
+from repro.specs.stage import plan_stages
+from repro.synth.retarget import retarget_mdac
+from repro.synth.synthesis import synthesize_mdac
+from repro.tech.process import CMOS025
+
+
+@dataclass(frozen=True)
+class RetargetEconomy:
+    """Cold-vs-warm synthesis effort comparison."""
+
+    cold_evals: int
+    cold_seconds: float
+    cold_power_mw: float
+    retarget_evals: int
+    retarget_seconds: float
+    retarget_power_mw: float
+    #: Both blocks met their specs.
+    both_feasible: bool
+
+    @property
+    def eval_reduction(self) -> float:
+        """Cold / warm evaluation ratio."""
+        return self.cold_evals / max(self.retarget_evals, 1)
+
+
+def retarget_economy(
+    cold_budget: int = 400,
+    retarget_budget: int = 60,
+    seed: int = 3,
+    verify_transient: bool = True,
+) -> RetargetEconomy:
+    """Synthesize a 3-bit/10-bit block cold, then retarget it to 3-bit/11-bit."""
+    spec13 = AdcSpec(resolution_bits=13)
+    donor_plan = plan_stages(spec13, PipelineCandidate((4, 3, 2), 13, 7))
+    donor_spec = donor_plan.mdacs[1]  # 3-bit at 10-bit accuracy
+
+    t0 = time.perf_counter()
+    cold = synthesize_mdac(
+        donor_spec, CMOS025, budget=cold_budget, seed=seed,
+        verify_transient=verify_transient,
+    )
+    cold_seconds = time.perf_counter() - t0
+
+    target_plan = plan_stages(spec13, PipelineCandidate((3, 3, 3), 13, 7))
+    target_spec = target_plan.mdacs[1]  # 3-bit at 11-bit accuracy
+
+    t0 = time.perf_counter()
+    warm = retarget_mdac(
+        cold, target_spec, CMOS025, budget=retarget_budget,
+        verify_transient=verify_transient,
+    )
+    warm_seconds = time.perf_counter() - t0
+
+    return RetargetEconomy(
+        cold_evals=cold.equation_evals,
+        cold_seconds=cold_seconds,
+        cold_power_mw=cold.power * 1e3,
+        retarget_evals=warm.equation_evals,
+        retarget_seconds=warm_seconds,
+        retarget_power_mw=warm.power * 1e3,
+        both_feasible=cold.feasible and warm.feasible,
+    )
+
+
+def format_runtime(economy: RetargetEconomy) -> str:
+    """The effort table as text."""
+    return "\n".join(
+        [
+            "Synthesis-effort economy (paper: 2-3 weeks cold, ~1 day retargeted)",
+            f"  cold synthesis:   {economy.cold_evals:4d} evals, "
+            f"{economy.cold_seconds:6.1f} s, {economy.cold_power_mw:.2f} mW",
+            f"  retargeted block: {economy.retarget_evals:4d} evals, "
+            f"{economy.retarget_seconds:6.1f} s, {economy.retarget_power_mw:.2f} mW",
+            f"  effort reduction: {economy.eval_reduction:.1f}x "
+            f"({'both feasible' if economy.both_feasible else 'CHECK FEASIBILITY'})",
+        ]
+    )

@@ -1,0 +1,20 @@
+"""The designer-driven topology-optimization flow (the paper's core).
+
+``optimize_topology`` chains everything: enumerate candidates, translate
+specs, evaluate every stage (analytically, or by transistor-level synthesis
+with block reuse), add sub-ADC power, and rank.  ``extract_rules`` distils
+the sweep into the designer decision diagram of Fig. 3.
+"""
+
+from repro.flow.cache import BlockCache
+from repro.flow.topology import CandidateEvaluation, TopologyResult, optimize_topology
+from repro.flow.designer import DesignerRule, extract_rules
+
+__all__ = [
+    "BlockCache",
+    "optimize_topology",
+    "TopologyResult",
+    "CandidateEvaluation",
+    "DesignerRule",
+    "extract_rules",
+]

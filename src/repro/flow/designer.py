@@ -1,0 +1,79 @@
+"""Designer-rule extraction: the decision diagram of the paper's Fig. 3.
+
+Sweeping the topology optimizer over target resolutions yields simple rules
+a designer can apply without rerunning anything — which first-stage
+resolution to pick per resolution band, and that the last enumerated stage
+is always 1.5-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flow.topology import optimize_topology
+from repro.power.model import PowerModel, DEFAULT_POWER_MODEL
+from repro.specs.adc import AdcSpec
+
+
+@dataclass(frozen=True)
+class DesignerRule:
+    """One extracted rule: a resolution band and its first-stage choice."""
+
+    #: Inclusive resolution band [bits].
+    k_min: int
+    k_max: int
+    #: Optimal first-stage raw resolution for the band.
+    first_stage_bits: int
+    #: Winning configuration label per resolution in the band.
+    winners: tuple[str, ...]
+
+    def __str__(self) -> str:
+        band = (
+            f"K = {self.k_min}" if self.k_min == self.k_max
+            else f"{self.k_min} <= K <= {self.k_max}"
+        )
+        return f"{band}: first stage {self.first_stage_bits}-bit ({', '.join(self.winners)})"
+
+
+def extract_rules(
+    resolutions: list[int] | None = None,
+    model: PowerModel = DEFAULT_POWER_MODEL,
+    sample_rate_hz: float = 40e6,
+    two_bit_rule_range: tuple[int, int] = (10, 13),
+) -> tuple[list[DesignerRule], dict[int, str], bool]:
+    """Sweep K, find winners, and compress into first-stage-choice bands.
+
+    Returns ``(rules, winners_by_k, last_stage_always_2bit)``; the 2-bit
+    last-stage rule is evaluated over ``two_bit_rule_range`` — the paper
+    states it for 10..13-bit converters.
+    """
+    if resolutions is None:
+        resolutions = list(range(9, 15))
+    winners: dict[int, str] = {}
+    last_stage_2bit = True
+    for k in resolutions:
+        spec = AdcSpec(resolution_bits=k, sample_rate_hz=sample_rate_hz)
+        best = optimize_topology(spec, mode="analytic", model=model).best
+        winners[k] = best.label
+        if two_bit_rule_range[0] <= k <= two_bit_rule_range[1]:
+            last_stage_2bit &= best.candidate.resolutions[-1] == 2
+
+    rules: list[DesignerRule] = []
+    ks = sorted(winners)
+    band_start = ks[0]
+    for i, k in enumerate(ks):
+        first_bits = int(winners[k].split("-")[0])
+        is_last = i == len(ks) - 1
+        next_first = None if is_last else int(winners[ks[i + 1]].split("-")[0])
+        if is_last or next_first != first_bits:
+            rules.append(
+                DesignerRule(
+                    k_min=band_start,
+                    k_max=k,
+                    first_stage_bits=first_bits,
+                    winners=tuple(winners[j] for j in range(band_start, k + 1)),
+                )
+            )
+            if not is_last:
+                band_start = ks[i + 1]
+    return rules, winners, last_stage_2bit

@@ -1,0 +1,125 @@
+"""Topology optimization: enumerate -> translate -> evaluate -> rank."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.enumeration.candidates import PipelineCandidate, enumerate_candidates
+from repro.errors import SpecificationError
+from repro.flow.cache import BlockCache
+from repro.power.analytic import CandidatePower, candidate_power
+from repro.power.comparator import sub_adc_power
+from repro.power.model import PowerModel, DEFAULT_POWER_MODEL
+from repro.specs.adc import AdcSpec
+from repro.specs.stage import StagePlan, plan_stages
+
+
+@dataclass(frozen=True)
+class CandidateEvaluation:
+    """One candidate's evaluated power."""
+
+    candidate: PipelineCandidate
+    plan: StagePlan
+    #: Per-stage total power [W] (MDAC + sub-ADC).
+    stage_powers: tuple[float, ...]
+    #: Per-stage MDAC-only power [W].
+    mdac_powers: tuple[float, ...]
+    #: Which path produced the MDAC numbers: 'analytic' or 'synthesis'.
+    mode: str
+    #: Whether every synthesized block met its constraints (True for analytic).
+    all_feasible: bool
+
+    @property
+    def total_power(self) -> float:
+        """Front-end total [W]."""
+        return sum(self.stage_powers)
+
+    @property
+    def label(self) -> str:
+        """Candidate label, e.g. '4-3-2'."""
+        return self.candidate.label
+
+
+@dataclass(frozen=True)
+class TopologyResult:
+    """Ranked outcome of one topology-optimization run."""
+
+    spec: AdcSpec
+    evaluations: tuple[CandidateEvaluation, ...]
+    #: Unique MDAC blocks synthesized (0 in analytic mode).
+    unique_blocks: int
+
+    @property
+    def best(self) -> CandidateEvaluation:
+        """The minimum-power candidate."""
+        return self.evaluations[0]
+
+    def power_table(self) -> list[tuple[str, float]]:
+        """(label, total mW) rows, best first."""
+        return [(e.label, e.total_power * 1e3) for e in self.evaluations]
+
+
+def optimize_topology(
+    spec: AdcSpec,
+    mode: str = "analytic",
+    model: PowerModel = DEFAULT_POWER_MODEL,
+    cache: BlockCache | None = None,
+    candidates: list[PipelineCandidate] | None = None,
+) -> TopologyResult:
+    """Run the full designer-driven flow for one ADC spec.
+
+    ``mode`` selects the MDAC evaluation path:
+
+    * ``"analytic"`` — the fast equation-based screen (every candidate);
+    * ``"synthesis"`` — transistor-level block synthesis with reuse via the
+      :class:`BlockCache` (the paper's Fig. 1 flow).
+
+    Sub-ADC power always comes from the comparator model; ranking ascending
+    by total front-end power.
+    """
+    if candidates is None:
+        candidates = enumerate_candidates(spec.resolution_bits)
+    if mode not in ("analytic", "synthesis"):
+        raise SpecificationError(f"unknown mode {mode!r}")
+
+    if mode == "synthesis" and cache is None:
+        cache = BlockCache(spec.tech)
+
+    evaluations: list[CandidateEvaluation] = []
+    for candidate in candidates:
+        plan = plan_stages(spec, candidate)
+        if mode == "analytic":
+            cp: CandidatePower = candidate_power(spec, candidate, model, plan)
+            stage_powers = tuple(s.total_power for s in cp.stages)
+            mdac_powers = tuple(s.mdac.total_power for s in cp.stages)
+            feasible = True
+        else:
+            mdac_powers_list: list[float] = []
+            stage_powers_list: list[float] = []
+            feasible = True
+            for mdac_spec, sub_spec in zip(plan.mdacs, plan.sub_adcs):
+                block = cache.get(mdac_spec)
+                feasible &= block.feasible
+                mdac_w = block.power + model.fixed_overhead_w
+                sub_w = sub_adc_power(sub_spec, model, vdd=spec.tech.vdd).total_power
+                mdac_powers_list.append(mdac_w)
+                stage_powers_list.append(mdac_w + sub_w)
+            stage_powers = tuple(stage_powers_list)
+            mdac_powers = tuple(mdac_powers_list)
+        evaluations.append(
+            CandidateEvaluation(
+                candidate=candidate,
+                plan=plan,
+                stage_powers=stage_powers,
+                mdac_powers=mdac_powers,
+                mode=mode,
+                all_feasible=feasible,
+            )
+        )
+
+    evaluations.sort(key=lambda e: e.total_power)
+    return TopologyResult(
+        spec=spec,
+        evaluations=tuple(evaluations),
+        unique_blocks=cache.unique_blocks if cache else 0,
+    )

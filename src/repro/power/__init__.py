@@ -1,0 +1,26 @@
+"""Power models for pipelined ADC building blocks.
+
+:mod:`repro.power.analytic` is the *equation-based* evaluation path (the
+style of Hershenson's geometric-programming ADC work, reference [5] of the
+paper): every stage's power follows in closed form from its block spec.
+The transistor-level synthesis flow (:mod:`repro.synth`) provides the
+*simulation-based* counterpart; the paper's point is that the hybrid of the
+two is practical, and our benchmarks compare all three.
+"""
+
+from repro.power.model import PowerModel, DEFAULT_POWER_MODEL
+from repro.power.mdac import MdacPower, mdac_power
+from repro.power.comparator import SubAdcPower, sub_adc_power
+from repro.power.analytic import CandidatePower, StagePower, candidate_power
+
+__all__ = [
+    "PowerModel",
+    "DEFAULT_POWER_MODEL",
+    "MdacPower",
+    "mdac_power",
+    "SubAdcPower",
+    "sub_adc_power",
+    "CandidatePower",
+    "StagePower",
+    "candidate_power",
+]

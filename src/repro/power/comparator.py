@@ -1,0 +1,65 @@
+"""Sub-ADC (flash comparator bank) power model.
+
+Each comparator is a dynamic latch with a preamp sized for the stage's
+offset tolerance.  Redundancy makes the tolerance generous
+(``FS / 2^(m+1)``), but it still tightens by 2x per extra stage bit while
+the comparator count grows as ``2^m - 2`` — the exponential cost that
+ultimately caps useful per-stage resolution at 4 bits.
+
+Non-first sub-ADCs additionally carry static tracking preamps: they must
+resolve the previous stage's late-settling residue inside the non-overlap
+window, and the redundancy margin that would excuse an early decision
+shrinks as ``2^-m``.  First-stage sub-ADCs are exempt because the front
+S/H holds their input for a full clock phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.model import PowerModel, DEFAULT_POWER_MODEL
+from repro.specs.stage import SubAdcSpec
+
+
+@dataclass(frozen=True)
+class SubAdcPower:
+    """Power breakdown of one flash sub-ADC."""
+
+    #: Energy of one comparator decision [J].
+    energy_per_decision: float
+    #: All comparators' dynamic power [W].
+    comparator_power: float
+    #: Static tracking-preamp power (non-first stages only) [W].
+    tracking_power: float
+    #: Ladder/encode overhead [W].
+    fixed_power: float
+    #: Total [W].
+    total_power: float
+
+
+def sub_adc_power(
+    sub_adc: SubAdcSpec,
+    model: PowerModel = DEFAULT_POWER_MODEL,
+    vdd: float = 3.3,
+) -> SubAdcPower:
+    """Power of one sub-ADC at its decision rate."""
+    difficulty = (model.comparator_vchar / sub_adc.offset_tolerance) ** 2
+    energy = model.comparator_e0 * (1.0 + difficulty)
+    dynamic = sub_adc.comparator_count * energy * sub_adc.sample_rate_hz
+    if sub_adc.is_first_stage:
+        tracking = 0.0
+    else:
+        tracking = (
+            sub_adc.comparator_count
+            * model.tracking_preamp_current
+            * 2.0 ** (sub_adc.stage_bits - 2)
+            * vdd
+        )
+    total = dynamic + tracking + model.sub_adc_fixed_w
+    return SubAdcPower(
+        energy_per_decision=energy,
+        comparator_power=dynamic,
+        tracking_power=tracking,
+        fixed_power=model.sub_adc_fixed_w,
+        total_power=total,
+    )

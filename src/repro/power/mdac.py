@@ -1,0 +1,55 @@
+"""MDAC (opamp) power from its block specification."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.model import PowerModel, DEFAULT_POWER_MODEL
+from repro.specs.stage import MdacSpec
+from repro.tech.process import Technology
+
+
+@dataclass(frozen=True)
+class MdacPower:
+    """Power breakdown of one MDAC stage."""
+
+    #: Signal-branch current demanded by linear settling (gm / (gm/Id)) [A].
+    gm_current: float
+    #: Signal-branch current demanded by slewing [A].
+    slew_current: float
+    #: The binding branch current [A].
+    branch_current: float
+    #: Total opamp supply current including topology and bias overhead [A].
+    total_current: float
+    #: Total power including fixed overhead [W].
+    total_power: float
+    #: Which requirement bound the current: 'gm' or 'slew'.
+    binding_constraint: str
+
+
+def mdac_power(
+    mdac: MdacSpec,
+    tech: Technology,
+    model: PowerModel = DEFAULT_POWER_MODEL,
+) -> MdacPower:
+    """Power of one MDAC: the larger of the gm- and slew-driven currents.
+
+    The branch current is what one side of the differential signal path must
+    carry; the topology factor scales it to the full opamp (both sides plus
+    folded branches), and bias/CMFB overheads are added on top.
+    """
+    gm_current = mdac.gm_required / model.gm_over_id
+    slew_current = mdac.slew_current / model.slew_availability
+    branch = max(gm_current, slew_current)
+    binding = "gm" if gm_current >= slew_current else "slew"
+    total_current = branch * model.topology_current_factor
+    total_current *= 1.0 + model.bias_overhead_fraction
+    power = tech.vdd * total_current + model.fixed_overhead_w
+    return MdacPower(
+        gm_current=gm_current,
+        slew_current=slew_current,
+        branch_current=branch,
+        total_current=total_current,
+        total_power=power,
+        binding_constraint=binding,
+    )

@@ -1,0 +1,62 @@
+"""Calibration knobs of the analytic power model.
+
+These constants encode the opamp topology and comparator implementation the
+paper's blocks were synthesized with.  They are *calibrated once* (see
+``tests/power/test_calibration.py`` and EXPERIMENTS.md) so that magnitudes
+land in the paper's range; the configuration *orderings* then emerge from
+the physics in :mod:`repro.specs`, not from per-figure tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SpecificationError
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Constants mapping block specs to power draw."""
+
+    #: gm/Id of the opamp input devices [1/V] (strong inversion, Vov~0.25 V).
+    gm_over_id: float = 8.0
+    #: Total opamp supply current per unit of signal-branch current.
+    #: A fully-differential folded cascode burns the tail current plus two
+    #: folded branches: ~2x the pair current on each side.
+    topology_current_factor: float = 4.0
+    #: Proportional bias/CMFB overhead on the opamp current.
+    bias_overhead_fraction: float = 0.20
+    #: Fixed per-opamp overhead (bias generator, CMFB amp, clocking) [W].
+    fixed_overhead_w: float = 0.5e-3
+    #: How much of the opamp's total current is available to slew the load.
+    #: A class-A stage can steer the full tail (2x the branch current) into
+    #: the output during slewing.
+    slew_availability: float = 2.0
+    #: Comparator energy at very relaxed offset requirements [J/decision].
+    comparator_e0: float = 0.8e-12
+    #: Offset-difficulty voltage: energy doubles when the tolerance equals
+    #: this value (preamp/sizing cost ~ (vchar/tolerance)^2) [V].
+    comparator_vchar: float = 90e-3
+    #: Sub-ADC reference-ladder + encoding overhead per stage [W].
+    sub_adc_fixed_w: float = 0.05e-3
+    #: Static tracking-preamp current per comparator for *non-first* stages,
+    #: at a 1.5-bit stage's difficulty [A].  Scales with 2^(m-2): a mid-
+    #: pipeline flash must resolve the late-settling residue inside the
+    #: non-overlap window, and the redundancy margin that would excuse an
+    #: early decision shrinks as 2^-m.
+    tracking_preamp_current: float = 50e-6
+
+    def __post_init__(self) -> None:
+        if self.gm_over_id <= 0:
+            raise SpecificationError("gm_over_id must be positive")
+        if self.topology_current_factor < 1:
+            raise SpecificationError("topology_current_factor must be >= 1")
+        if not 0 <= self.bias_overhead_fraction < 1:
+            raise SpecificationError("bias_overhead_fraction must be in [0, 1)")
+        for name in ("fixed_overhead_w", "comparator_e0", "comparator_vchar", "sub_adc_fixed_w"):
+            if getattr(self, name) < 0:
+                raise SpecificationError(f"{name} must be non-negative")
+
+
+#: The calibrated model used throughout the experiments.
+DEFAULT_POWER_MODEL = PowerModel()

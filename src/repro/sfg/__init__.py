@@ -1,0 +1,26 @@
+"""Driving-Point Impedance / Signal-Flow Graph circuit analysis.
+
+This package implements the symbolic half of the paper's block-level flow:
+
+1. :mod:`repro.sfg.dpi` reads a linear(ized) circuit and builds its
+   signal-flow graph by the Driving-Point Impedance method: each node
+   equation ``V_k = Z_k * (I_k + sum_j y_kj V_j)`` becomes a set of SFG
+   branches with rational-function weights carrying *symbolic* small-signal
+   parameters (``gm_m1``, ``cgs_m2``, ...).
+2. :mod:`repro.sfg.mason` applies Mason's gain formula to the graph,
+   producing the symbolic transfer function.
+3. Binding the symbols to values extracted from a DC simulation yields the
+   "numerical transfer function" the paper evaluates in each synthesis
+   iteration.
+"""
+
+from repro.sfg.graph import SignalFlowGraph
+from repro.sfg.mason import mason_gain
+from repro.sfg.dpi import build_sfg, small_signal_bindings
+
+__all__ = [
+    "SignalFlowGraph",
+    "mason_gain",
+    "build_sfg",
+    "small_signal_bindings",
+]

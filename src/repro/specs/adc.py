@@ -1,0 +1,81 @@
+"""System-level ADC specification."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constants import lsb
+from repro.errors import SpecificationError
+from repro.tech.process import CMOS025, Technology
+
+
+@dataclass(frozen=True)
+class AdcSpec:
+    """Target specification of the pipelined converter.
+
+    Defaults correspond to the paper's experiments: 40 MSPS converters at
+    10-13 bits in a 0.25 um 3.3 V CMOS process with a 2 V differential
+    full-scale range.
+    """
+
+    #: Target resolution K [bits].
+    resolution_bits: int
+    #: Conversion rate [samples/s].
+    sample_rate_hz: float = 40e6
+    #: Differential full-scale range [V].
+    full_scale: float = 2.0
+    #: Technology the blocks are synthesized in.
+    tech: Technology = CMOS025
+    #: Fraction of the quantization noise power granted to thermal noise.
+    thermal_noise_fraction: float = 1.0
+    #: Non-overlap + switching margin subtracted from each half-period [s].
+    non_overlap_time: float = 1.0e-9
+    #: Fraction of the settling window allowed for slewing.
+    slew_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 6 <= self.resolution_bits <= 18:
+            raise SpecificationError(
+                f"resolution_bits {self.resolution_bits} outside supported 6..18"
+            )
+        if self.sample_rate_hz <= 0:
+            raise SpecificationError("sample_rate_hz must be positive")
+        if self.full_scale <= 0:
+            raise SpecificationError("full_scale must be positive")
+        if not 0 < self.thermal_noise_fraction <= 4.0:
+            raise SpecificationError("thermal_noise_fraction must be in (0, 4]")
+        if not 0 <= self.slew_fraction < 0.9:
+            raise SpecificationError("slew_fraction must be in [0, 0.9)")
+        if self.settling_window <= 0:
+            raise SpecificationError(
+                "non_overlap_time leaves no settling window at this sample rate"
+            )
+
+    @property
+    def lsb(self) -> float:
+        """LSB voltage at the target resolution [V]."""
+        return lsb(self.full_scale, self.resolution_bits)
+
+    @property
+    def quantization_noise_power(self) -> float:
+        """Quantization noise power Delta^2 / 12 [V^2]."""
+        return self.lsb**2 / 12.0
+
+    @property
+    def thermal_noise_budget(self) -> float:
+        """Total input-referred thermal-noise power budget [V^2]."""
+        return self.thermal_noise_fraction * self.quantization_noise_power
+
+    @property
+    def half_period(self) -> float:
+        """Half the clock period (one pipeline phase) [s]."""
+        return 0.5 / self.sample_rate_hz
+
+    @property
+    def settling_window(self) -> float:
+        """Usable settling time per phase [s]."""
+        return self.half_period - self.non_overlap_time
+
+    def ideal_snr_db(self) -> float:
+        """Ideal quantization-limited SNR: 6.02 K + 1.76 dB."""
+        return 6.02 * self.resolution_bits + 1.76

@@ -1,0 +1,108 @@
+"""Sampling-capacitor sizing: noise, matching and technology floors.
+
+The sampling capacitor of stage ``i`` must simultaneously satisfy:
+
+* **kT/C noise** — its input-referred sampled noise (divided by the squared
+  gain in front of the stage) must fit the stage's noise allocation;
+* **matching** — the unit capacitors of the MDAC's capacitive DAC must match
+  well enough that DAC errors stay below the stage's input-accuracy LSB;
+* **floors** — a minimum manufacturable unit capacitor and a parasitic
+  routing floor.
+
+Which constraint binds is resolution-dependent, and that dependence is what
+moves the paper's optimum configuration with K (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.constants import KT_ROOM
+from repro.errors import SpecificationError
+from repro.tech.process import Technology
+
+#: Sampled-noise multiplier: the sampling phase and the amplification phase
+#: each contribute ~kT/C, and switch/opamp excess adds a little more.
+NOISE_PHASE_FACTOR = 2.0
+
+#: How much of the stage input-accuracy LSB the DAC mismatch may consume
+#: (1-sigma), leaving room for the other error mechanisms.
+MATCHING_MARGIN = 0.5
+
+
+@dataclass(frozen=True)
+class CapacitorSizing:
+    """Outcome of sizing one stage's sampling network."""
+
+    #: Total sampling capacitance Cs + Cf [F].
+    total: float
+    #: Unit capacitor [F] (total / 2^(m-1) units).
+    unit: float
+    #: Number of unit capacitors.
+    units: int
+    #: Which constraint set the size: 'noise', 'matching', or 'floor'.
+    binding_constraint: str
+    #: The three individual requirements for reporting [F].
+    noise_requirement: float
+    matching_requirement: float
+    floor_requirement: float
+
+
+def size_sampling_capacitor(
+    tech: Technology,
+    stage_bits: int,
+    input_accuracy_bits: int,
+    cumulative_gain: float,
+    noise_allocation: float,
+    full_scale: float,
+) -> CapacitorSizing:
+    """Size the total sampling capacitor of an MDAC stage.
+
+    ``cumulative_gain`` is the product of residue gains in front of this
+    stage (1.0 for the first stage); ``noise_allocation`` is the
+    input-referred noise power granted to this stage [V^2].
+    """
+    if stage_bits < 2:
+        raise SpecificationError("stage_bits must be >= 2")
+    if cumulative_gain < 1.0:
+        raise SpecificationError("cumulative_gain must be >= 1")
+    if noise_allocation <= 0.0:
+        raise SpecificationError("noise_allocation must be positive")
+
+    units = 2 ** (stage_bits - 1)
+
+    # kT/C: stage noise referred to the converter input is
+    # NOISE_PHASE_FACTOR * kT/C / cumulative_gain^2.
+    c_noise = NOISE_PHASE_FACTOR * KT_ROOM / (noise_allocation * cumulative_gain**2)
+
+    # Matching: the MSB half of the DAC array (units/2 unit caps) must land
+    # within MATCHING_MARGIN of the *input-referred* LSB.  Relative MSB error
+    # is sigma_u / sqrt(units/2); as a fraction of full scale the MSB weight
+    # is 1/2, so the error it causes is sigma_u / (2 sqrt(units/2)) of FS.
+    lsb_fraction = 2.0**-input_accuracy_bits
+    sigma_u_max = MATCHING_MARGIN * lsb_fraction * 2.0 * math.sqrt(max(units / 2.0, 1.0))
+    # sigma_u = cap_matching / sqrt(area_um2), area = Cu / density / 1e-12.
+    area_um2 = (tech.cap_matching / sigma_u_max) ** 2
+    cu_matching = area_um2 * 1e-12 * tech.cap_density
+    c_matching = cu_matching * units
+
+    c_floor = max(tech.cap_min * units, tech.cpar_floor)
+
+    total = max(c_noise, c_matching, c_floor)
+    if total == c_noise:
+        binding = "noise"
+    elif total == c_matching:
+        binding = "matching"
+    else:
+        binding = "floor"
+
+    return CapacitorSizing(
+        total=total,
+        unit=total / units,
+        units=units,
+        binding_constraint=binding,
+        noise_requirement=c_noise,
+        matching_requirement=c_matching,
+        floor_requirement=c_floor,
+    )

@@ -1,0 +1,67 @@
+"""Thermal-noise budgeting across pipeline stages.
+
+The converter's total input-referred thermal noise must stay inside
+``AdcSpec.thermal_noise_budget``.  Stage ``i``'s kT/C noise is divided by
+the squared cumulative gain in front of it, so later stages matter
+geometrically less; we allocate the budget geometrically (ratio ``r`` per
+stage) with a reserved share for the un-enumerated backend, then let
+capacitor sizing consume each allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.enumeration.candidates import PipelineCandidate
+from repro.errors import SpecificationError
+from repro.specs.adc import AdcSpec
+
+#: Per-stage geometric allocation ratio: stage i+1 receives r times the
+#: budget share of stage i.  Values near 0.85 reflect that later stages'
+#: capacitors are floor-bound anyway, so starving them of budget (small r)
+#: only inflates the front-end capacitor.
+DEFAULT_STAGE_RATIO = 0.85
+
+#: Fraction of the total budget reserved for the backend + S/H + reference.
+DEFAULT_BACKEND_RESERVE = 0.25
+
+
+@dataclass(frozen=True)
+class NoiseBudget:
+    """Input-referred noise-power allocations per front-end stage [V^2]."""
+
+    #: Allocation for each enumerated stage, input-referred [V^2].
+    stage_allocations: tuple[float, ...]
+    #: Reserved input-referred allocation for everything downstream [V^2].
+    backend_allocation: float
+    #: Total budget the allocations were drawn from [V^2].
+    total_budget: float
+
+    def __post_init__(self) -> None:
+        spent = sum(self.stage_allocations) + self.backend_allocation
+        if spent > self.total_budget * (1 + 1e-9):
+            raise SpecificationError("noise allocations exceed the total budget")
+
+
+def allocate_noise_budget(
+    spec: AdcSpec,
+    candidate: PipelineCandidate,
+    stage_ratio: float = DEFAULT_STAGE_RATIO,
+    backend_reserve: float = DEFAULT_BACKEND_RESERVE,
+) -> NoiseBudget:
+    """Split the thermal-noise budget geometrically over front-end stages."""
+    if not 0 < stage_ratio <= 1:
+        raise SpecificationError("stage_ratio must be in (0, 1]")
+    if not 0 <= backend_reserve < 1:
+        raise SpecificationError("backend_reserve must be in [0, 1)")
+
+    frontend_budget = spec.thermal_noise_budget * (1.0 - backend_reserve)
+    n = candidate.stage_count
+    weights = [stage_ratio**i for i in range(n)]
+    scale = frontend_budget / sum(weights)
+    allocations = tuple(w * scale for w in weights)
+    return NoiseBudget(
+        stage_allocations=allocations,
+        backend_allocation=spec.thermal_noise_budget * backend_reserve,
+        total_budget=spec.thermal_noise_budget,
+    )

@@ -1,0 +1,49 @@
+"""Synthesis result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.specs.stage import MdacSpec
+from repro.synth.evaluator import EvalResult
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of synthesizing one MDAC block."""
+
+    #: The spec that was targeted.
+    spec: MdacSpec
+    #: Final evaluation of the chosen sizing (includes transient check).
+    final: EvalResult
+    #: Optimizer cost trace (best-so-far per evaluation).
+    history: list[float]
+    #: Equation-mode evaluations spent.
+    equation_evals: int
+    #: Transient (simulation-mode) evaluations spent.
+    transient_evals: int
+    #: Whether this synthesis was warm-started from another block.
+    retargeted: bool
+
+    @property
+    def power(self) -> float:
+        """Synthesized block power [W]."""
+        return self.final.power
+
+    @property
+    def feasible(self) -> bool:
+        """True when the final design meets every constraint."""
+        return self.final.feasible
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        pm = self.final.phase_margin
+        pm_text = f"{pm:.1f} deg" if pm is not None else "n/a"
+        settle = self.final.settling_error
+        settle_text = f"{settle:.2e}" if settle is not None else "n/a"
+        return (
+            f"m={self.spec.stage_bits} acc={self.spec.input_accuracy_bits}b: "
+            f"P={self.power * 1e3:.2f} mW, A0={self.final.dc_gain:.0f}, "
+            f"PM={pm_text}, settle={settle_text} (spec {self.spec.settling_error:.1e}), "
+            f"{'feasible' if self.feasible else 'INFEASIBLE'}"
+        )

@@ -1,0 +1,34 @@
+"""Technology models: the 0.25 um 3.3 V CMOS process the paper targets.
+
+The paper synthesizes MDACs in a 0.25 um 3.3 V CMOS process using foundry
+BSIM models inside a commercial tool.  We substitute a compact square-law
+model with velocity saturation and channel-length modulation
+(:mod:`repro.tech.mosfet`), plus passive-component matching/parasitic models
+(:mod:`repro.tech.passives`).  Synthesis trends — gm/Id, intrinsic gain,
+f_T scaling — drive the paper's result, and those are captured here; BSIM
+minutiae are not needed (see DESIGN.md, substitutions table).
+"""
+
+from repro.tech.process import (
+    MosfetParams,
+    Technology,
+    CMOS025,
+)
+from repro.tech.mosfet import MosfetOperatingPoint, dc_current, operating_point
+from repro.tech.passives import (
+    capacitor_mismatch_sigma,
+    min_capacitor,
+    switch_on_resistance,
+)
+
+__all__ = [
+    "MosfetParams",
+    "Technology",
+    "CMOS025",
+    "MosfetOperatingPoint",
+    "dc_current",
+    "operating_point",
+    "capacitor_mismatch_sigma",
+    "min_capacitor",
+    "switch_on_resistance",
+]

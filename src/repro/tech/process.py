@@ -1,0 +1,139 @@
+"""Process parameters for the target technology.
+
+``CMOS025`` models a generic 0.25 um, 3.3 V analog CMOS process with
+representative textbook constants (Johns & Martin / Razavi era values), which
+is what the paper's flow targets.  All values are SI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constants import EPSILON_0, EPSILON_SIO2
+
+
+@dataclass(frozen=True)
+class MosfetParams:
+    """Compact-model parameters for one device polarity.
+
+    The DC model is a smoothed square law with mobility degradation /
+    velocity saturation and channel-length modulation; see
+    :mod:`repro.tech.mosfet` for the equations.
+    """
+
+    #: Device polarity: +1 for NMOS, -1 for PMOS.
+    polarity: int
+    #: Zero-bias threshold voltage magnitude [V].
+    vth0: float
+    #: Transconductance parameter mu*Cox [A/V^2].
+    kp: float
+    #: Channel-length modulation coefficient per unit length [1/V * m].
+    #: lambda = lambda_l / L so longer devices have higher output resistance.
+    lambda_l: float
+    #: Critical field for velocity saturation [V/m]; Id degrades by
+    #: 1/(1 + Vov/(esat*L)).
+    esat: float
+    #: Body-effect coefficient [sqrt(V)].
+    gamma: float
+    #: Surface potential 2*phi_F [V].
+    phi: float
+    #: Gate-oxide capacitance per area [F/m^2].
+    cox: float
+    #: Gate-drain/source overlap capacitance per width [F/m].
+    cov: float
+    #: Junction capacitance per area [F/m^2].
+    cj: float
+    #: Source/drain diffusion length [m].
+    ldiff: float
+    #: Thermal-noise excess factor (gamma_noise, ~2/3 long channel).
+    noise_gamma: float
+    #: Flicker-noise coefficient [V^2*F].
+    kf: float
+
+    def __post_init__(self) -> None:
+        if self.polarity not in (+1, -1):
+            raise ValueError(f"polarity must be +1 or -1, got {self.polarity}")
+        for name in ("vth0", "kp", "esat", "cox"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A full process description: devices, passives, supply."""
+
+    name: str
+    #: Nominal supply voltage [V].
+    vdd: float
+    #: Minimum drawn channel length [m].
+    lmin: float
+    #: Minimum device width [m].
+    wmin: float
+    nmos: MosfetParams
+    pmos: MosfetParams
+    #: Capacitor density [F/m^2] (MiM / poly-poly).
+    cap_density: float
+    #: Capacitor matching coefficient: sigma(dC/C) = cap_matching / sqrt(area[um^2]).
+    cap_matching: float
+    #: Smallest manufacturable unit capacitor [F].
+    cap_min: float
+    #: Routing/parasitic cap floor at an amplifier output [F].
+    cpar_floor: float
+
+    def device(self, polarity: str) -> MosfetParams:
+        """Return device parameters by polarity name ('nmos' or 'pmos')."""
+        if polarity == "nmos":
+            return self.nmos
+        if polarity == "pmos":
+            return self.pmos
+        raise ValueError(f"unknown device polarity {polarity!r}")
+
+
+def _cox(tox_m: float) -> float:
+    return EPSILON_0 * EPSILON_SIO2 / tox_m
+
+
+_TOX = 5.7e-9
+_COX = _cox(_TOX)  # ~6.06e-3 F/m^2
+
+#: Generic 0.25 um 3.3 V CMOS — the paper's target process.
+CMOS025 = Technology(
+    name="cmos025",
+    vdd=3.3,
+    lmin=0.25e-6,
+    wmin=0.5e-6,
+    nmos=MosfetParams(
+        polarity=+1,
+        vth0=0.50,
+        kp=380e-4 * _COX,  # mu_n = 380 cm^2/Vs
+        lambda_l=0.05e-6,  # lambda = 0.2/V at L = 0.25 um
+        esat=4.0e6,
+        gamma=0.45,
+        phi=0.85,
+        cox=_COX,
+        cov=0.30e-9,  # 0.3 fF/um
+        cj=1.0e-3,  # 1 fF/um^2
+        ldiff=0.6e-6,
+        noise_gamma=0.85,  # short-channel excess above 2/3
+        kf=2.0e-25,
+    ),
+    pmos=MosfetParams(
+        polarity=-1,
+        vth0=0.55,
+        kp=90e-4 * _COX,  # mu_p = 90 cm^2/Vs
+        lambda_l=0.06e-6,
+        esat=1.2e7,  # holes velocity-saturate later
+        gamma=0.40,
+        phi=0.85,
+        cox=_COX,
+        cov=0.30e-9,
+        cj=1.1e-3,
+        ldiff=0.6e-6,
+        noise_gamma=0.85,
+        kf=8.0e-26,
+    ),
+    cap_density=1.0e-3,  # 1 fF/um^2 MiM
+    cap_matching=0.004,  # 0.4 % mismatch for a 1 um^2 unit (MiM)
+    cap_min=5e-15,
+    cpar_floor=50e-15,
+)

@@ -1,0 +1,57 @@
+"""Unit tests for the fluent circuit builder."""
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.errors import NetlistError
+from repro.tech import CMOS025
+
+
+class TestBuilder:
+    def test_auto_naming(self):
+        b = CircuitBuilder("t")
+        r1 = b.r("a", "gnd", 1.0)
+        r2 = b.r("a", "gnd", 2.0)
+        assert (r1.name, r2.name) == ("r1", "r2")
+
+    def test_explicit_name_wins(self):
+        b = CircuitBuilder("t")
+        r = b.r("a", "gnd", 1.0, name="rload")
+        assert r.name == "rload"
+
+    def test_prefixes_by_type(self):
+        b = CircuitBuilder("t", tech=CMOS025)
+        assert b.c("a", "gnd", 1e-12).name == "c1"
+        assert b.v("a", "gnd", 1.0).name == "v1"
+        assert b.i("a", "gnd", 1e-3).name == "i1"
+        assert b.l("a", "gnd", 1e-9).name == "l1"
+        assert b.vcvs("x", "gnd", "a", "gnd", 10.0).name == "e1"
+        assert b.vccs("x", "gnd", "a", "gnd", 1e-3).name == "g1"
+        assert b.nmos("x", "a", "gnd").name == "m1"
+
+    def test_mosfet_requires_tech_or_params(self):
+        b = CircuitBuilder("t")
+        with pytest.raises(ValueError):
+            b.nmos("d", "g", "gnd")
+        m = b.nmos("d", "g", "gnd", params=CMOS025.nmos)
+        assert m.params is CMOS025.nmos
+
+    def test_build_validates(self):
+        b = CircuitBuilder("t")
+        b.r("a", "b", 1.0)
+        with pytest.raises(NetlistError):
+            b.build()
+
+    def test_build_without_validation(self):
+        b = CircuitBuilder("t")
+        b.r("a", "b", 1.0)
+        ckt = b.build(validate=False)
+        assert len(ckt) == 1
+
+    def test_divider_builds_and_validates(self):
+        b = CircuitBuilder("divider")
+        b.v("in", "gnd", dc=3.3)
+        b.r("in", "out", 1e3)
+        b.r("out", "gnd", 1e3)
+        ckt = b.build()
+        assert len(ckt) == 3

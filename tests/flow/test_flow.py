@@ -1,0 +1,118 @@
+"""Flow tests: topology optimization, block cache, designer rules, experiments."""
+
+import pytest
+
+from repro.enumeration.candidates import PipelineCandidate
+from repro.errors import SpecificationError
+from repro.experiments import (
+    fig1_stage_powers,
+    fig2_total_power,
+    fig3_designer_rules,
+    format_fig1,
+    format_fig2,
+    format_fig3,
+)
+from repro.flow import BlockCache, extract_rules, optimize_topology
+from repro.specs import AdcSpec, plan_stages
+from repro.tech import CMOS025
+
+
+class TestTopologyAnalytic:
+    def test_best_matches_paper_at_13_bits(self):
+        result = optimize_topology(AdcSpec(resolution_bits=13))
+        assert result.best.label == "4-3-2"
+
+    def test_evaluations_sorted_ascending(self):
+        result = optimize_topology(AdcSpec(resolution_bits=12))
+        totals = [e.total_power for e in result.evaluations]
+        assert totals == sorted(totals)
+
+    def test_power_table_shape(self):
+        result = optimize_topology(AdcSpec(resolution_bits=11))
+        table = result.power_table()
+        assert len(table) == 4
+        assert all(isinstance(label, str) and mw > 0 for label, mw in table)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SpecificationError):
+            optimize_topology(AdcSpec(resolution_bits=13), mode="magic")
+
+    def test_candidate_subset(self):
+        cands = [PipelineCandidate((4, 3, 2), 13, 7), PipelineCandidate((4, 4), 13, 7)]
+        result = optimize_topology(AdcSpec(resolution_bits=13), candidates=cands)
+        assert len(result.evaluations) == 2
+        assert result.best.label == "4-3-2"
+
+
+class TestBlockCache:
+    def test_cache_hit_on_identical_spec(self):
+        cache = BlockCache(CMOS025, budget=120, retarget_budget=40,
+                           verify_transient=False)
+        spec = AdcSpec(resolution_bits=13)
+        plan = plan_stages(spec, PipelineCandidate((4, 2, 2, 2), 13, 7))
+        first = cache.get(plan.mdacs[3])
+        again = cache.get(plan.mdacs[3])
+        assert first is again
+        assert cache.cache_hits == 1
+        assert cache.cold_runs == 1
+
+    def test_second_spec_is_retargeted(self):
+        cache = BlockCache(CMOS025, budget=120, retarget_budget=40,
+                           verify_transient=False)
+        spec = AdcSpec(resolution_bits=13)
+        plan = plan_stages(spec, PipelineCandidate((4, 2, 2, 2), 13, 7))
+        cache.get(plan.mdacs[3])
+        second = cache.get(plan.mdacs[2])
+        assert second.retargeted
+        assert cache.retargeted_runs == 1
+        assert cache.unique_blocks == 2
+
+
+class TestDesignerRules:
+    def test_rules_cover_sweep(self):
+        rules, winners, last2 = extract_rules([10, 11, 12, 13])
+        covered = set()
+        for rule in rules:
+            covered.update(range(rule.k_min, rule.k_max + 1))
+        assert covered == {10, 11, 12, 13}
+        assert last2
+
+    def test_rule_string(self):
+        rules, _, _ = extract_rules([10, 11])
+        assert all("first stage" in str(r) for r in rules)
+
+
+class TestExperiments:
+    def test_fig1_analytic_series(self):
+        result = fig1_stage_powers()
+        assert set(result.series) == {
+            "4-4", "4-3-2", "4-2-2-2", "3-3-3", "3-3-2-2", "3-2-2-2-2", "2-2-2-2-2-2",
+        }
+        assert len(result.series["2-2-2-2-2-2"]) == 6
+        assert "stage-1 spread" in format_fig1(result)
+
+    def test_fig2_matches_paper(self):
+        result = fig2_total_power()
+        assert result.matches_paper
+        assert "winner 4-3-2" in format_fig2(result)
+
+    def test_fig3_bands(self):
+        result = fig3_designer_rules([10, 11, 12, 13])
+        assert result.winners[13] == "4-3-2"
+        assert result.last_stage_always_2bit
+        assert "designer rules" in format_fig3(result).lower()
+
+
+class TestCli:
+    def test_cli_explore(self, capsys):
+        from repro.cli import main
+
+        assert main(["explore", "--bits", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "3-2" in out and "optimum" in out
+
+    def test_cli_fig2(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig2"]) == 0
+        assert "Fig. 2" in capsys.readouterr().out

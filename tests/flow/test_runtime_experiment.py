@@ -1,0 +1,35 @@
+"""Tests for the retargeting-economy experiment and its formatting."""
+
+from repro.experiments.runtime import RetargetEconomy, format_runtime, retarget_economy
+
+
+class TestFormatting:
+    def test_format_contains_all_fields(self):
+        economy = RetargetEconomy(
+            cold_evals=500,
+            cold_seconds=2.0,
+            cold_power_mw=0.5,
+            retarget_evals=75,
+            retarget_seconds=0.4,
+            retarget_power_mw=0.8,
+            both_feasible=True,
+        )
+        text = format_runtime(economy)
+        assert "500" in text and "75" in text
+        assert "both feasible" in text
+
+    def test_eval_reduction(self):
+        economy = RetargetEconomy(400, 1.0, 0.5, 50, 0.2, 0.6, True)
+        assert economy.eval_reduction == 8.0
+
+
+class TestEndToEnd:
+    def test_small_budget_run(self):
+        # Tiny budgets keep this a unit-scale test; the benchmark runs the
+        # full-size version.
+        economy = retarget_economy(
+            cold_budget=120, retarget_budget=30, seed=3, verify_transient=False
+        )
+        assert economy.cold_evals > economy.retarget_evals
+        assert economy.cold_power_mw > 0
+        assert economy.retarget_power_mw > 0

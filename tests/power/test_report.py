@@ -1,0 +1,25 @@
+"""Report-formatting tests."""
+
+from repro.enumeration import enumerate_candidates
+from repro.power import candidate_power
+from repro.power.report import comparison_table, stage_table
+from repro.specs import AdcSpec
+
+
+def test_stage_table_contains_every_stage():
+    spec = AdcSpec(resolution_bits=13)
+    cand = next(c for c in enumerate_candidates(13) if c.label == "4-3-2")
+    table = stage_table(candidate_power(spec, cand))
+    assert "candidate 4-3-2" in table
+    assert table.count("\n") >= 4
+    assert "total" in table
+
+
+def test_comparison_table_sorted():
+    spec = AdcSpec(resolution_bits=12)
+    evals = [candidate_power(spec, c) for c in enumerate_candidates(12)]
+    table = comparison_table(evals)
+    lines = table.splitlines()[1:]
+    totals = [float(line.split()[1]) for line in lines]
+    assert totals == sorted(totals)
+    assert lines[0].startswith("4-2-2")

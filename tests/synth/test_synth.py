@@ -1,0 +1,149 @@
+"""Synthesis-engine tests: optimizers, space, evaluator, end-to-end sizing."""
+
+import numpy as np
+import pytest
+
+from repro.enumeration.candidates import PipelineCandidate
+from repro.errors import SynthesisError
+from repro.specs import AdcSpec, plan_stages
+from repro.synth import (
+    DesignVariable,
+    HybridEvaluator,
+    anneal,
+    differential_evolution,
+    retarget_mdac,
+    synthesize_mdac,
+    two_stage_space,
+)
+from repro.synth.patternsearch import pattern_search
+from repro.tech import CMOS025
+
+
+def cheap_mdac_spec():
+    """The 2-bit, 8-bit-accuracy stage: fastest block to synthesize."""
+    plan = plan_stages(AdcSpec(resolution_bits=13), PipelineCandidate((4, 3, 2), 13, 7))
+    return plan.mdacs[2]
+
+
+def sphere(x):
+    return float(np.sum((x - 0.3) ** 2))
+
+
+class TestOptimizers:
+    def test_anneal_minimizes_sphere(self):
+        run = anneal(sphere, dimension=4, budget=600, seed=2)
+        assert run.best_cost < 1e-2
+        assert np.allclose(run.best_x, 0.3, atol=0.1)
+
+    def test_anneal_history_monotone(self):
+        run = anneal(sphere, dimension=3, budget=200, seed=2)
+        assert all(a >= b for a, b in zip(run.history, run.history[1:]))
+
+    def test_anneal_warm_start_converges_faster(self):
+        cold = anneal(sphere, dimension=5, budget=300, seed=2)
+        warm = anneal(sphere, dimension=5, budget=300, seed=2, x0=np.full(5, 0.31))
+        assert warm.evals_to_converge <= cold.evals_to_converge
+
+    def test_anneal_budget_validation(self):
+        with pytest.raises(SynthesisError):
+            anneal(sphere, dimension=2, budget=1)
+
+    def test_de_minimizes_sphere(self):
+        run = differential_evolution(sphere, dimension=4, budget=600, seed=2)
+        assert run.best_cost < 1e-2
+
+    def test_de_budget_validation(self):
+        with pytest.raises(SynthesisError):
+            differential_evolution(sphere, dimension=2, budget=10, population=12)
+
+    def test_pattern_search_polishes(self):
+        x, cost, evals = pattern_search(sphere, np.full(4, 0.5), budget=200)
+        assert cost < sphere(np.full(4, 0.5))
+        assert evals <= 200
+
+
+class TestDesignSpace:
+    def test_variable_mapping_roundtrip(self):
+        v = DesignVariable("w", 1e-6, 1e-4)
+        for u in (0.0, 0.3, 1.0):
+            assert v.to_unit(v.from_unit(u)) == pytest.approx(u, abs=1e-12)
+
+    def test_log_scaling(self):
+        v = DesignVariable("w", 1e-6, 1e-4)
+        assert v.from_unit(0.5) == pytest.approx(1e-5)
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(SynthesisError):
+            DesignVariable("w", 1e-4, 1e-6)
+
+    def test_space_decode_produces_sizing(self):
+        space = two_stage_space(cheap_mdac_spec(), CMOS025)
+        sizing = space.decode(np.full(space.dimension, 0.5))
+        assert sizing.i_tail > 0
+        assert sizing.w_input >= CMOS025.wmin
+
+    def test_space_bounds_scale_with_spec(self):
+        plan = plan_stages(
+            AdcSpec(resolution_bits=13), PipelineCandidate((4, 3, 2), 13, 7)
+        )
+        hard = two_stage_space(plan.mdacs[0], CMOS025)  # 4-bit @ 13 bits
+        easy = two_stage_space(plan.mdacs[2], CMOS025)
+        i_hard = next(v for v in hard.variables if v.name == "i_tail")
+        i_easy = next(v for v in easy.variables if v.name == "i_tail")
+        assert i_hard.high > i_easy.high  # harder spec allows more current
+
+
+class TestEvaluator:
+    def test_nominal_point_evaluates(self):
+        mdac = cheap_mdac_spec()
+        space = two_stage_space(mdac, CMOS025)
+        evaluator = HybridEvaluator(mdac, CMOS025)
+        result = evaluator.evaluate(space.decode(np.full(space.dimension, 0.5)))
+        assert result.dc_ok
+        assert result.power > 0
+        assert result.dc_gain > 100
+
+    def test_cost_penalizes_infeasibility(self):
+        mdac = cheap_mdac_spec()
+        space = two_stage_space(mdac, CMOS025)
+        evaluator = HybridEvaluator(mdac, CMOS025)
+        # A starved design (lowest current) must cost more than a mid one
+        # once penalties are applied, despite burning less power.
+        starved = evaluator.evaluate(space.decode(np.zeros(space.dimension)))
+        mid = evaluator.evaluate(space.decode(np.full(space.dimension, 0.5)))
+        assert starved.power < mid.power
+        assert starved.cost() > mid.cost() or starved.feasible
+
+    def test_transient_counter_increments(self):
+        mdac = cheap_mdac_spec()
+        space = two_stage_space(mdac, CMOS025)
+        evaluator = HybridEvaluator(mdac, CMOS025, transient_points=150)
+        evaluator.evaluate(space.decode(np.full(space.dimension, 0.6)), run_transient=True)
+        assert evaluator.transient_evals == 1
+        assert evaluator.equation_evals == 1
+
+
+class TestEndToEnd:
+    def test_synthesize_cheap_block(self):
+        result = synthesize_mdac(
+            cheap_mdac_spec(), CMOS025, budget=200, seed=3, verify_transient=True
+        )
+        assert result.feasible, result.summary()
+        assert result.final.settling_error <= result.spec.settling_error
+        assert 0.05e-3 < result.power < 10e-3
+
+    def test_unknown_optimizer_rejected(self):
+        with pytest.raises(SynthesisError):
+            synthesize_mdac(cheap_mdac_spec(), CMOS025, budget=50, optimizer="gradient")
+
+    def test_retarget_reuses_previous_solution(self):
+        plan = plan_stages(
+            AdcSpec(resolution_bits=13), PipelineCandidate((4, 2, 2, 2), 13, 7)
+        )
+        cold = synthesize_mdac(plan.mdacs[3], CMOS025, budget=200, seed=3,
+                               verify_transient=False)
+        warm = retarget_mdac(cold, plan.mdacs[2], CMOS025, budget=40,
+                             verify_transient=False)
+        assert warm.retargeted
+        assert warm.equation_evals < cold.equation_evals
+        assert warm.final.dc_ok

@@ -1,0 +1,70 @@
+"""Unit tests for passive-component models."""
+
+import math
+
+import pytest
+
+from repro.tech import CMOS025, capacitor_mismatch_sigma, switch_on_resistance
+from repro.tech.passives import capacitor_for_mismatch, switch_width_for_settling
+
+
+class TestCapacitorMatching:
+    def test_sigma_decreases_with_size(self):
+        s_small = capacitor_mismatch_sigma(CMOS025, 50e-15)
+        s_large = capacitor_mismatch_sigma(CMOS025, 200e-15)
+        assert s_large == pytest.approx(s_small / 2.0)
+
+    def test_one_square_micron_reference(self):
+        # 1 um^2 at 1 fF/um^2 is 1 fF; sigma should equal cap_matching.
+        sigma = capacitor_mismatch_sigma(CMOS025, 1e-15)
+        assert sigma == pytest.approx(CMOS025.cap_matching)
+
+    def test_inverse_consistency(self):
+        target = 0.002
+        c = capacitor_for_mismatch(CMOS025, target)
+        assert capacitor_mismatch_sigma(CMOS025, c) <= target * 1.0001
+
+    def test_inverse_respects_min_cap(self):
+        c = capacitor_for_mismatch(CMOS025, 0.5)  # absurdly loose target
+        assert c >= CMOS025.cap_min
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            capacitor_mismatch_sigma(CMOS025, -1e-15)
+        with pytest.raises(ValueError):
+            capacitor_for_mismatch(CMOS025, 0.0)
+
+
+class TestSwitches:
+    def test_on_resistance_scales_inversely_with_width(self):
+        r1 = switch_on_resistance(CMOS025, 1e-6)
+        r2 = switch_on_resistance(CMOS025, 2e-6)
+        assert r1 == pytest.approx(2 * r2)
+
+    def test_on_resistance_magnitude(self):
+        # A 10 um switch in 0.25 um should be tens to hundreds of ohms.
+        r = switch_on_resistance(CMOS025, 10e-6)
+        assert 10.0 < r < 1000.0
+
+    def test_subthreshold_drive_rejected(self):
+        with pytest.raises(ValueError):
+            switch_on_resistance(CMOS025, 1e-6, vgs_drive=0.3)
+
+    def test_width_for_settling_meets_time_constant(self):
+        cap = 1e-12
+        t_settle = 10e-9
+        accuracy = 1e-4
+        w = switch_width_for_settling(CMOS025, cap, t_settle, accuracy)
+        r = switch_on_resistance(CMOS025, w)
+        n_tau = t_settle / (r * cap)
+        assert n_tau >= math.log(1 / accuracy) * 0.999
+
+    def test_width_for_settling_respects_wmin(self):
+        w = switch_width_for_settling(CMOS025, 1e-15, 1e-6, 0.5)
+        assert w >= CMOS025.wmin
+
+    def test_width_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            switch_width_for_settling(CMOS025, 1e-12, -1e-9, 1e-4)
+        with pytest.raises(ValueError):
+            switch_width_for_settling(CMOS025, 1e-12, 1e-9, 1.5)

@@ -1,0 +1,87 @@
+"""Cross-package integration tests: the whole flow hangs together.
+
+These tie the layers to each other: the flow's winning candidate must
+convert at resolution in the behavioral simulator; a synthesized opamp must
+meet its spec under *independent* re-simulation; and the public API surface
+re-exported from ``repro`` must work as documented in the README.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AdcSpec,
+    PipelineCandidate,
+    candidate_power,
+    enumerate_candidates,
+    optimize_topology,
+    plan_stages,
+)
+from repro.behavioral import BehavioralPipeline, enob
+from repro.behavioral.signals import full_scale_sine
+
+
+class TestPublicApi:
+    def test_readme_quickstart(self):
+        result = optimize_topology(AdcSpec(resolution_bits=13, sample_rate_hz=40e6))
+        assert result.best.label == "4-3-2"
+        table = result.power_table()
+        assert table[0][0] == "4-3-2"
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+
+class TestFlowToBehavioral:
+    @pytest.mark.parametrize("k", [10, 11, 12, 13])
+    def test_winner_converts_at_resolution(self, k):
+        best = optimize_topology(AdcSpec(resolution_bits=k)).best
+        pipeline = BehavioralPipeline(best.candidate)
+        signal = full_scale_sine(2048, 479, 2.0)
+        measured = enob(pipeline.convert_array(signal), 479)
+        assert measured > k - 0.5
+
+
+class TestSynthesisToSimulation:
+    def test_synthesized_block_verified_independently(self):
+        """Re-simulate a synthesized opamp outside the synthesis harness."""
+        from repro.analysis import simulate_transient
+        from repro.blocks.mdac import MdacNetwork, build_settling_bench
+        from repro.blocks.opamp_library import build_two_stage_miller
+        from repro.synth import synthesize_mdac
+        from repro.tech import CMOS025
+
+        plan = plan_stages(
+            AdcSpec(resolution_bits=13), PipelineCandidate((4, 3, 2), 13, 7)
+        )
+        mdac = plan.mdacs[2]
+        result = synthesize_mdac(mdac, CMOS025, budget=200, seed=9)
+        assert result.feasible
+
+        network = MdacNetwork.from_spec(mdac)
+        amp = build_two_stage_miller(CMOS025, result.final.sizing)
+        step = -(mdac.output_swing / 4.0) / (network.cs / network.cf)
+        bench, ideal = build_settling_bench(
+            amp, network, CMOS025, step_voltage=step, common_mode=0.45 * CMOS025.vdd
+        )
+        t_settle = mdac.linear_settling_time + mdac.slew_time
+        trace = simulate_transient(
+            bench, t_stop=1e-9 + t_settle, dt=t_settle / 800, record=["out"]
+        )
+        v = trace.voltage("out")
+        start = float(v[np.searchsorted(trace.time, 1e-9) - 1])
+        error = abs((float(v[-1]) - start) - ideal) / abs(ideal)
+        # Independent re-check (finer timestep than the evaluator's).
+        assert error < 2.0 * mdac.settling_error
+
+
+class TestSpecPowerConsistency:
+    def test_analytic_power_uses_the_same_plan(self):
+        spec = AdcSpec(resolution_bits=13)
+        cand = next(c for c in enumerate_candidates(13) if c.label == "4-3-2")
+        plan = plan_stages(spec, cand)
+        via_plan = candidate_power(spec, cand, plan=plan).total_power
+        direct = candidate_power(spec, cand).total_power
+        assert via_plan == pytest.approx(direct)
