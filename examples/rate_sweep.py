@@ -9,23 +9,43 @@ feedback-factor penalty of aggressive front stages.
 Run with::
 
     python examples/rate_sweep.py
+
+Pass ``--parallel`` to fan each rate point's candidate evaluations out
+over the process-pool backend (one pool shared across the whole sweep);
+the knob rides on the same :class:`repro.FlowConfig` every flow entry
+point takes.
 """
 
-from repro import AdcSpec, optimize_topology
+import argparse
+
+from repro import AdcSpec, FlowConfig, optimize_topology
 from repro.power.report import stage_table
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="evaluate candidates through the process-pool backend",
+    )
+    args = parser.parse_args()
+    config = FlowConfig(backend="process" if args.parallel else "serial")
+    backend = config.make_backend()
+
     print("13-bit optimum vs sample rate (analytic flow):\n")
     print("  rate [MSPS]   optimum      total [mW]   runner-up")
-    for rate_msps in (10, 20, 40, 60, 80):
-        spec = AdcSpec(resolution_bits=13, sample_rate_hz=rate_msps * 1e6)
-        result = optimize_topology(spec)
-        best, second = result.evaluations[0], result.evaluations[1]
-        print(
-            f"  {rate_msps:11d}   {best.label:10s} {best.total_power*1e3:9.2f}"
-            f"     {second.label} (+{(second.total_power-best.total_power)*1e3:.2f} mW)"
-        )
+    try:
+        for rate_msps in (10, 20, 40, 60, 80):
+            spec = AdcSpec(resolution_bits=13, sample_rate_hz=rate_msps * 1e6)
+            result = optimize_topology(spec, config=config, backend=backend)
+            best, second = result.evaluations[0], result.evaluations[1]
+            print(
+                f"  {rate_msps:11d}   {best.label:10s} {best.total_power*1e3:9.2f}"
+                f"     {second.label} (+{(second.total_power-best.total_power)*1e3:.2f} mW)"
+            )
+    finally:
+        backend.close()
 
     print("\nDetail at the paper's 40 MSPS point:")
     spec = AdcSpec(resolution_bits=13, sample_rate_hz=40e6)

@@ -22,18 +22,24 @@ Quickstart::
     print(result.best.label)   # '4-3-2'
 """
 
+from repro.engine import FlowConfig, ProcessPoolBackend, SerialBackend
 from repro.enumeration import PipelineCandidate, enumerate_candidates
-from repro.flow import optimize_topology
+from repro.flow import BlockCache, PersistentBlockCache, optimize_topology
 from repro.power import candidate_power
 from repro.specs import AdcSpec, plan_stages
 from repro.tech import CMOS025
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AdcSpec",
+    "BlockCache",
     "CMOS025",
+    "FlowConfig",
+    "PersistentBlockCache",
     "PipelineCandidate",
+    "ProcessPoolBackend",
+    "SerialBackend",
     "enumerate_candidates",
     "plan_stages",
     "candidate_power",

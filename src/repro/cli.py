@@ -5,16 +5,25 @@ Examples::
     repro-adc fig1                # analytic stage powers, 13-bit
     repro-adc fig1 --synthesis    # transistor-level synthesis (slower)
     repro-adc fig2
-    repro-adc fig3
+    repro-adc fig3 --backend process
     repro-adc runtime
     repro-adc explore --bits 12
+
+Every figure command accepts the execution-engine flags ``--backend``,
+``--workers``, ``--cache-dir`` (persistent block cache; defaults to the
+``REPRO_ADC_CACHE`` environment variable), ``--budget`` and
+``--no-verify``; they assemble the :class:`~repro.engine.config.FlowConfig`
+threaded through the flow.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
+from repro.engine.backend import BACKENDS
+from repro.engine.config import FlowConfig
 from repro.experiments import (
     fig1_stage_powers,
     fig2_total_power,
@@ -29,6 +38,50 @@ from repro.flow.topology import optimize_topology
 from repro.specs.adc import AdcSpec
 
 
+def _engine_parent() -> argparse.ArgumentParser:
+    """Shared execution-engine flags, attached to every flow command."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("execution engine")
+    group.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="serial",
+        help="execution backend for candidate/sweep/synthesis fan-out",
+    )
+    group.add_argument(
+        "--workers", type=int, default=None, help="pool worker count (default: CPUs)"
+    )
+    group.add_argument(
+        "--cache-dir",
+        default=os.environ.get("REPRO_ADC_CACHE"),
+        help="persistent block-cache directory (env REPRO_ADC_CACHE)",
+    )
+    group.add_argument(
+        "--budget", type=int, default=400, help="cold-synthesis annealer budget"
+    )
+    group.add_argument(
+        "--retarget-budget", type=int, default=80, help="warm-start budget"
+    )
+    group.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the transient verification of synthesized blocks",
+    )
+    return parent
+
+
+def _flow_config(args: argparse.Namespace) -> FlowConfig:
+    """Assemble the FlowConfig from parsed engine flags."""
+    return FlowConfig(
+        backend=args.backend,
+        max_workers=args.workers,
+        cache_dir=args.cache_dir,
+        budget=args.budget,
+        retarget_budget=args.retarget_budget,
+        verify_transient=not args.no_verify,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``repro-adc`` command."""
     parser = argparse.ArgumentParser(
@@ -36,38 +89,49 @@ def main(argv: list[str] | None = None) -> int:
         description="Designer-driven pipelined-ADC topology optimization (DATE 2005 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    engine = _engine_parent()
 
-    p_fig1 = sub.add_parser("fig1", help="stage power per 13-bit candidate")
+    p_fig1 = sub.add_parser(
+        "fig1", parents=[engine], help="stage power per 13-bit candidate"
+    )
     p_fig1.add_argument("--synthesis", action="store_true", help="use transistor-level synthesis")
 
-    sub.add_parser("fig2", help="total front-end power, K=10..13")
-    sub.add_parser("fig3", help="designer decision rules")
+    sub.add_parser("fig2", parents=[engine], help="total front-end power, K=10..13")
+    sub.add_parser("fig3", parents=[engine], help="designer decision rules")
 
     p_rt = sub.add_parser("runtime", help="cold vs retargeted synthesis effort")
     p_rt.add_argument("--budget", type=int, default=400)
 
-    p_explore = sub.add_parser("explore", help="rank candidates for one resolution")
+    p_explore = sub.add_parser(
+        "explore", parents=[engine], help="rank candidates for one resolution"
+    )
     p_explore.add_argument("--bits", type=int, default=13)
     p_explore.add_argument("--rate", type=float, default=40e6, help="sample rate [Hz]")
+    p_explore.add_argument(
+        "--synthesis", action="store_true", help="use transistor-level synthesis"
+    )
 
     args = parser.parse_args(argv)
 
     if args.command == "fig1":
         mode = "synthesis" if args.synthesis else "analytic"
-        print(format_fig1(fig1_stage_powers(mode=mode)))
+        print(format_fig1(fig1_stage_powers(mode=mode, config=_flow_config(args))))
     elif args.command == "fig2":
-        print(format_fig2(fig2_total_power()))
+        print(format_fig2(fig2_total_power(config=_flow_config(args))))
     elif args.command == "fig3":
-        print(format_fig3(fig3_designer_rules()))
+        print(format_fig3(fig3_designer_rules(config=_flow_config(args))))
     elif args.command == "runtime":
         print(format_runtime(retarget_economy(cold_budget=args.budget)))
     elif args.command == "explore":
         spec = AdcSpec(resolution_bits=args.bits, sample_rate_hz=args.rate)
-        result = optimize_topology(spec)
+        mode = "synthesis" if args.synthesis else "analytic"
+        result = optimize_topology(spec, mode=mode, config=_flow_config(args))
         print(f"{args.bits}-bit, {args.rate/1e6:.0f} MSPS front-end candidates:")
         for label, mw in result.power_table():
             print(f"  {label:14s} {mw:7.2f} mW")
         print(f"optimum: {result.best.label}")
+        if mode == "synthesis":
+            print(f"unique blocks synthesized: {result.unique_blocks}")
     return 0
 
 

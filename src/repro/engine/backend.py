@@ -1,0 +1,128 @@
+"""Pluggable execution backends for the flow's embarrassingly parallel loops.
+
+The flow has three fan-out points — per-candidate analytic evaluation,
+per-wave block synthesis, and the per-resolution designer-rule sweep — and
+all of them funnel through one tiny contract: ``map`` an importable function
+over a list of picklable tasks, preserving order.  ``SerialBackend`` runs
+in-process (the default, and the reference for determinism checks);
+``ProcessPoolBackend`` dispatches to a :class:`concurrent.futures`
+process pool so independent tasks use every core.
+
+Backends are deliberately dumb: all scheduling intelligence (deduplication,
+donor ordering, wave construction) lives in :mod:`repro.engine.scheduler`,
+which guarantees that the *task list* handed to a backend is identical
+whichever backend executes it.  That is what makes parallel runs reproduce
+serial results bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Protocol, Sequence, TypeVar, runtime_checkable
+
+from repro.errors import SpecificationError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Minimal contract the flow needs from an executor."""
+
+    #: Short identifier ('serial', 'process', ...).
+    name: str
+
+    def map(self, fn: Callable[[T], R], tasks: Iterable[T]) -> list[R]:
+        """Apply ``fn`` to every task, returning results in task order."""
+        ...
+
+    def close(self) -> None:
+        """Release any pooled resources; idempotent."""
+        ...
+
+
+class SerialBackend:
+    """In-process execution — the determinism reference."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[[T], R], tasks: Iterable[T]) -> list[R]:
+        return [fn(task) for task in tasks]
+
+    def close(self) -> None:  # nothing pooled
+        return None
+
+    def __enter__(self) -> "SerialBackend":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class ProcessPoolBackend:
+    """``concurrent.futures.ProcessPoolExecutor``-backed execution.
+
+    The pool is created lazily on the first ``map`` and reused across calls
+    (waves of the synthesis scheduler share one pool).  Task functions must
+    be importable module-level callables and tasks must be picklable —
+    every task dataclass in :mod:`repro.engine.scheduler` satisfies this.
+    Single-task maps run inline to skip pickling latency.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: int | None = None, chunksize: int = 1):
+        if max_workers is not None and max_workers < 1:
+            raise SpecificationError("max_workers must be >= 1")
+        if chunksize < 1:
+            raise SpecificationError("chunksize must be >= 1")
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self.chunksize = chunksize
+        self._executor: ProcessPoolExecutor | None = None
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._executor
+
+    def map(self, fn: Callable[[T], R], tasks: Iterable[T]) -> list[R]:
+        task_list: Sequence[T] = list(tasks)
+        if len(task_list) <= 1 or self.max_workers == 1:
+            return [fn(task) for task in task_list]
+        return list(self._pool().map(fn, task_list, chunksize=self.chunksize))
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ProcessPoolBackend":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+#: Registered backend names -> factories.
+BACKENDS: dict[str, Callable[..., ExecutionBackend]] = {
+    "serial": lambda max_workers=None, chunksize=1: SerialBackend(),
+    "process": ProcessPoolBackend,
+}
+
+
+def make_backend(
+    name: str,
+    max_workers: int | None = None,
+    chunksize: int = 1,
+) -> ExecutionBackend:
+    """Instantiate a backend by registered name."""
+    try:
+        factory = BACKENDS[name]
+    except KeyError:
+        known = ", ".join(sorted(BACKENDS))
+        raise SpecificationError(
+            f"unknown execution backend {name!r} (known: {known})"
+        ) from None
+    return factory(max_workers=max_workers, chunksize=chunksize)

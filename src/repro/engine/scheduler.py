@@ -1,0 +1,286 @@
+"""Deduplicated, wave-ordered scheduling of MDAC block synthesis.
+
+The paper's economy argument is that block reuse collapses the synthesis
+workload: the seven 13-bit candidates need 27 stage instances but only ~11
+distinct MDAC specs.  The flow used to realize this with an inline
+``cache.get`` loop — correct, but strictly serial and invisible to any
+executor.  This module lifts that loop into an explicit two-phase form:
+
+1. :func:`plan_synthesis` collects every :class:`~repro.specs.stage.MdacSpec`
+   across all candidates, dedupes them by ``reuse_key`` in first-encounter
+   order, assigns each new block its warm-start donor (the nearest
+   already-planned block by relative gm distance — exactly the nearest-donor
+   rule ``BlockCache`` applies serially), and topologically layers the
+   resulting donor tree into *waves*: wave 0 holds cold syntheses and blocks
+   donated by pre-existing cache entries, wave ``n+1`` holds retargets whose
+   donor resolves in wave ``n``.
+2. :func:`execute_plan` walks the waves in order and dispatches each wave's
+   jobs through an :class:`~repro.engine.backend.ExecutionBackend` — blocks
+   within a wave are independent, so they size in parallel.  Before
+   dispatching, each block is offered to the cache's persistent layer by
+   content fingerprint; hits skip synthesis entirely.
+
+Because the plan (donor assignment, budgets, seeds) is fixed before any
+execution happens, a parallel run synthesizes exactly the blocks a serial
+run would, from exactly the same warm starts — so candidate rankings are
+backend-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+from repro.engine.backend import ExecutionBackend
+from repro.engine.persist import block_fingerprint, sizing_digest
+from repro.specs.stage import MdacSpec
+from repro.synth.result import SynthesisResult
+from repro.synth.retarget import retarget_mdac
+from repro.synth.synthesis import synthesize_mdac
+from repro.tech.process import Technology
+
+if TYPE_CHECKING:  # avoid an engine -> flow import at runtime
+    from repro.flow.cache import BlockCache
+
+#: reuse_key type alias: (stage_bits, input_accuracy_bits).
+ReuseKey = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """One block to synthesize: its spec plus its planned warm start."""
+
+    #: Position in the plan (first-encounter order across candidates).
+    index: int
+    key: ReuseKey
+    spec: MdacSpec
+    #: Index of the donor node within this plan, for in-plan retargets.
+    donor_index: int | None
+    #: Reuse key of a pre-existing cache entry acting as donor, if any.
+    donor_existing: ReuseKey | None
+    #: Topological layer: every donor lives in a strictly earlier wave.
+    wave: int
+
+    @property
+    def is_cold(self) -> bool:
+        """True when the block synthesizes without a warm start."""
+        return self.donor_index is None and self.donor_existing is None
+
+
+@dataclass(frozen=True)
+class SynthesisPlan:
+    """The full deduplicated schedule for one optimization run."""
+
+    nodes: tuple[PlanNode, ...]
+    #: Node indices grouped by wave, wave 0 first.
+    waves: tuple[tuple[int, ...], ...]
+    #: Total stage instances the nodes cover (before deduplication).
+    total_instances: int
+
+    @property
+    def unique_blocks(self) -> int:
+        """Distinct MDAC specs this plan synthesizes."""
+        return len(self.nodes)
+
+    @property
+    def max_wave_width(self) -> int:
+        """Largest number of independent syntheses in any wave."""
+        return max((len(w) for w in self.waves), default=0)
+
+
+@dataclass(frozen=True)
+class SynthesisJob:
+    """A picklable unit of work for one backend dispatch."""
+
+    spec: MdacSpec
+    tech: Technology
+    budget: int
+    seed: int
+    verify_transient: bool
+    #: Resolved donor design for retargets; ``None`` synthesizes cold.
+    donor: SynthesisResult | None = None
+    retarget_budget: int = 80
+    retarget_seed: int = 7
+
+
+def run_synthesis_job(job: SynthesisJob) -> SynthesisResult:
+    """Execute one job — the process-pool entry point.
+
+    Module-level so :class:`~repro.engine.backend.ProcessPoolBackend` can
+    pickle a reference to it.
+    """
+    if job.donor is None:
+        return synthesize_mdac(
+            job.spec,
+            job.tech,
+            budget=job.budget,
+            seed=job.seed,
+            verify_transient=job.verify_transient,
+        )
+    return retarget_mdac(
+        job.donor,
+        job.spec,
+        job.tech,
+        budget=job.retarget_budget,
+        seed=job.retarget_seed,
+        verify_transient=job.verify_transient,
+    )
+
+
+def _relative_gm_distance(donor_spec: MdacSpec, target: MdacSpec) -> float:
+    """The nearest-donor metric ``BlockCache`` uses, spec-to-spec."""
+    return abs(donor_spec.gm_required - target.gm_required) / target.gm_required
+
+
+def plan_synthesis(
+    specs: Sequence[MdacSpec],
+    existing: Mapping[ReuseKey, SynthesisResult] | None = None,
+) -> SynthesisPlan:
+    """Build the deduplicated wave schedule for a batch of stage specs.
+
+    ``specs`` is every MDAC spec of every candidate, in candidate order —
+    the exact sequence the legacy serial loop would feed ``cache.get``.
+    ``existing`` holds results already in the cache; their specs join the
+    donor pool at depth 0 and are never re-synthesized.
+
+    Donor assignment replays the serial semantics: the i-th *new* block's
+    donor is the nearest (by relative gm distance) among all pre-existing
+    results and the new blocks planned before it, in cache insertion order
+    — including tie-breaks, since ``min`` keeps the first minimum in both
+    code paths.
+    """
+    existing = existing or {}
+
+    unique: list[MdacSpec] = []
+    seen: set[ReuseKey] = set(existing)
+    for spec in specs:
+        if spec.reuse_key not in seen:
+            seen.add(spec.reuse_key)
+            unique.append(spec)
+
+    # Donor pool in cache insertion order: existing entries first (their
+    # dict order is insertion order), then planned nodes by index.
+    existing_pool: list[tuple[ReuseKey, MdacSpec]] = [
+        (key, result.spec) for key, result in existing.items()
+    ]
+
+    nodes: list[PlanNode] = []
+    waves: dict[int, list[int]] = {}
+    for i, spec in enumerate(unique):
+        donor_index: int | None = None
+        donor_existing: ReuseKey | None = None
+        best_distance: float | None = None
+        for key, donor_spec in existing_pool:
+            d = _relative_gm_distance(donor_spec, spec)
+            if best_distance is None or d < best_distance:
+                best_distance = d
+                donor_existing, donor_index = key, None
+        for j in range(i):
+            d = _relative_gm_distance(nodes[j].spec, spec)
+            if best_distance is None or d < best_distance:
+                best_distance = d
+                donor_existing, donor_index = None, j
+
+        wave = 0 if donor_index is None else nodes[donor_index].wave + 1
+        node = PlanNode(
+            index=i,
+            key=spec.reuse_key,
+            spec=spec,
+            donor_index=donor_index,
+            donor_existing=donor_existing,
+            wave=wave,
+        )
+        nodes.append(node)
+        waves.setdefault(wave, []).append(i)
+
+    ordered_waves = tuple(
+        tuple(waves[w]) for w in sorted(waves)
+    )
+    return SynthesisPlan(
+        nodes=tuple(nodes),
+        waves=ordered_waves,
+        total_instances=len(specs),
+    )
+
+
+def execute_plan(
+    plan: SynthesisPlan,
+    cache: "BlockCache",
+    backend: ExecutionBackend,
+) -> dict[ReuseKey, SynthesisResult]:
+    """Resolve every planned block, wave by wave, through the backend.
+
+    Each block is first offered to the cache's persistent layer (a no-op
+    for the in-memory :class:`~repro.flow.cache.BlockCache`); remaining
+    blocks of the wave dispatch together.  Results are admitted into the
+    cache with the usual cold/retargeted accounting, and the full
+    ``reuse_key -> result`` map is returned.
+    """
+    resolved: dict[int, SynthesisResult] = {}
+
+    def donor_result(node: PlanNode) -> SynthesisResult | None:
+        if node.donor_index is not None:
+            return resolved[node.donor_index]
+        if node.donor_existing is not None:
+            return cache.results[node.donor_existing]
+        return None
+
+    for wave in plan.waves:
+        pending: list[PlanNode] = []
+        jobs: list[SynthesisJob] = []
+        fingerprints: dict[int, str] = {}
+        for index in wave:
+            node = plan.nodes[index]
+            donor = donor_result(node)
+            fingerprint = block_fingerprint(
+                node.spec,
+                cache.tech,
+                budget=cache.budget,
+                seed=cache.seed,
+                verify_transient=cache.verify_transient,
+                donor=donor,
+                retarget_budget=cache.retarget_budget,
+                retarget_seed=cache.retarget_seed,
+            )
+            fingerprints[index] = fingerprint
+            hit = cache.load_persistent(fingerprint)
+            if hit is not None:
+                resolved[index] = hit
+                cache.admit(node.key, hit, fingerprint, newly_synthesized=False)
+                continue
+            pending.append(node)
+            jobs.append(
+                SynthesisJob(
+                    spec=node.spec,
+                    tech=cache.tech,
+                    budget=cache.budget,
+                    seed=cache.seed,
+                    verify_transient=cache.verify_transient,
+                    donor=donor,
+                    retarget_budget=cache.retarget_budget,
+                    retarget_seed=cache.retarget_seed,
+                )
+            )
+        if jobs:
+            results = backend.map(run_synthesis_job, jobs)
+            for node, result in zip(pending, results):
+                resolved[node.index] = result
+                cache.admit(
+                    node.key,
+                    result,
+                    fingerprints[node.index],
+                    newly_synthesized=True,
+                )
+
+    return {plan.nodes[i].key: result for i, result in resolved.items()}
+
+
+__all__ = [
+    "PlanNode",
+    "SynthesisPlan",
+    "SynthesisJob",
+    "plan_synthesis",
+    "execute_plan",
+    "run_synthesis_job",
+    "sizing_digest",
+]

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine.config import FlowConfig
 from repro.flow.cache import BlockCache
 from repro.flow.topology import TopologyResult, optimize_topology
 from repro.specs.adc import AdcSpec
@@ -43,10 +44,11 @@ def fig1_stage_powers(
     mode: str = "analytic",
     resolution_bits: int = 13,
     cache: BlockCache | None = None,
+    config: FlowConfig | None = None,
 ) -> Fig1Result:
     """Regenerate Fig. 1's series for the given evaluation mode."""
     spec = AdcSpec(resolution_bits=resolution_bits)
-    result = optimize_topology(spec, mode=mode, cache=cache)
+    result = optimize_topology(spec, mode=mode, cache=cache, config=config)
     series = {
         e.label: [p * 1e3 for p in e.stage_powers] for e in result.evaluations
     }

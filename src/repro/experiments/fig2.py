@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine.config import FlowConfig
 from repro.flow.topology import TopologyResult, optimize_topology
 from repro.specs.adc import AdcSpec
 
@@ -41,12 +42,25 @@ class Fig2Result:
 def fig2_total_power(
     resolutions: tuple[int, ...] = (10, 11, 12, 13),
     mode: str = "analytic",
+    config: FlowConfig | None = None,
 ) -> Fig2Result:
-    """Regenerate Fig. 2's bars."""
-    by_resolution = {
-        k: optimize_topology(AdcSpec(resolution_bits=k), mode=mode)
-        for k in resolutions
-    }
+    """Regenerate Fig. 2's bars.
+
+    One execution backend is shared across the per-resolution runs so a
+    process pool spins up once for the whole sweep, not once per K.
+    """
+    if config is None:
+        config = FlowConfig()
+    backend = config.make_backend()
+    try:
+        by_resolution = {
+            k: optimize_topology(
+                AdcSpec(resolution_bits=k), mode=mode, config=config, backend=backend
+            )
+            for k in resolutions
+        }
+    finally:
+        backend.close()
     return Fig2Result(by_resolution=by_resolution)
 
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine.config import FlowConfig
 from repro.flow.designer import DesignerRule, extract_rules
 
 
@@ -16,9 +17,12 @@ class Fig3Result:
     last_stage_always_2bit: bool
 
 
-def fig3_designer_rules(resolutions: list[int] | None = None) -> Fig3Result:
+def fig3_designer_rules(
+    resolutions: list[int] | None = None,
+    config: FlowConfig | None = None,
+) -> Fig3Result:
     """Sweep resolutions and compress the winners into first-stage rules."""
-    rules, winners, last2 = extract_rules(resolutions)
+    rules, winners, last2 = extract_rules(resolutions, config=config)
     return Fig3Result(rules=rules, winners=winners, last_stage_always_2bit=last2)
 
 

@@ -6,12 +6,15 @@ with block reuse), add sub-ADC power, and rank.  ``extract_rules`` distils
 the sweep into the designer decision diagram of Fig. 3.
 """
 
-from repro.flow.cache import BlockCache
+from repro.engine.config import FlowConfig
+from repro.flow.cache import BlockCache, PersistentBlockCache
 from repro.flow.topology import CandidateEvaluation, TopologyResult, optimize_topology
 from repro.flow.designer import DesignerRule, extract_rules
 
 __all__ = [
     "BlockCache",
+    "PersistentBlockCache",
+    "FlowConfig",
     "optimize_topology",
     "TopologyResult",
     "CandidateEvaluation",

@@ -1,9 +1,22 @@
-"""Topology optimization: enumerate -> translate -> evaluate -> rank."""
+"""Topology optimization: enumerate -> translate -> evaluate -> rank.
+
+Every evaluation path now runs through the execution engine
+(:mod:`repro.engine`): analytic screening fans candidates out over the
+configured backend, and synthesis mode hands the deduplicated block
+workload to the wave scheduler, which preserves the serial nearest-donor
+warm-start semantics while letting independent blocks size in parallel.
+The default :class:`~repro.engine.config.FlowConfig` keeps everything
+serial and in-memory, so callers that never touch ``config`` see the same
+behaviour (and bit-identical results) as before.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine.backend import ExecutionBackend
+from repro.engine.config import FlowConfig
+from repro.engine.scheduler import execute_plan, plan_synthesis
 from repro.enumeration.candidates import PipelineCandidate, enumerate_candidates
 from repro.errors import SpecificationError
 from repro.flow.cache import BlockCache
@@ -59,12 +72,64 @@ class TopologyResult:
         return [(e.label, e.total_power * 1e3) for e in self.evaluations]
 
 
+@dataclass(frozen=True)
+class _AnalyticTask:
+    """Picklable per-candidate analytic evaluation unit."""
+
+    spec: AdcSpec
+    candidate: PipelineCandidate
+    model: PowerModel
+
+
+def _evaluate_analytic(task: _AnalyticTask) -> CandidateEvaluation:
+    """Analytic evaluation of one candidate — pool-dispatchable."""
+    plan = plan_stages(task.spec, task.candidate)
+    cp: CandidatePower = candidate_power(task.spec, task.candidate, task.model, plan)
+    return CandidateEvaluation(
+        candidate=task.candidate,
+        plan=plan,
+        stage_powers=tuple(s.total_power for s in cp.stages),
+        mdac_powers=tuple(s.mdac.total_power for s in cp.stages),
+        mode="analytic",
+        all_feasible=True,
+    )
+
+
+def _evaluate_synthesis(
+    plan: StagePlan,
+    cache: BlockCache,
+    model: PowerModel,
+    spec: AdcSpec,
+) -> CandidateEvaluation:
+    """Assemble one candidate's evaluation from fully resolved blocks."""
+    mdac_powers: list[float] = []
+    stage_powers: list[float] = []
+    feasible = True
+    for mdac_spec, sub_spec in zip(plan.mdacs, plan.sub_adcs):
+        block = cache.get(mdac_spec)
+        feasible &= block.feasible
+        mdac_w = block.power + model.fixed_overhead_w
+        sub_w = sub_adc_power(sub_spec, model, vdd=spec.tech.vdd).total_power
+        mdac_powers.append(mdac_w)
+        stage_powers.append(mdac_w + sub_w)
+    return CandidateEvaluation(
+        candidate=plan.candidate,
+        plan=plan,
+        stage_powers=tuple(stage_powers),
+        mdac_powers=tuple(mdac_powers),
+        mode="synthesis",
+        all_feasible=feasible,
+    )
+
+
 def optimize_topology(
     spec: AdcSpec,
     mode: str = "analytic",
     model: PowerModel = DEFAULT_POWER_MODEL,
     cache: BlockCache | None = None,
     candidates: list[PipelineCandidate] | None = None,
+    config: FlowConfig | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> TopologyResult:
     """Run the full designer-driven flow for one ADC spec.
 
@@ -74,48 +139,44 @@ def optimize_topology(
     * ``"synthesis"`` — transistor-level block synthesis with reuse via the
       :class:`BlockCache` (the paper's Fig. 1 flow).
 
+    ``config`` selects the execution backend, synthesis budgets and the
+    optional persistent block cache; an explicitly passed ``cache`` wins
+    over ``config.make_cache`` (its budgets then drive the scheduler), and
+    an explicitly passed ``backend`` is reused without being closed —
+    callers sharing a pool across several runs own its lifecycle.
+
     Sub-ADC power always comes from the comparator model; ranking ascending
-    by total front-end power.
+    by total front-end power.  Rankings are backend-independent: the wave
+    scheduler fixes every warm start before dispatch, so serial and
+    process-pool runs synthesize identical blocks.
     """
     if candidates is None:
         candidates = enumerate_candidates(spec.resolution_bits)
     if mode not in ("analytic", "synthesis"):
         raise SpecificationError(f"unknown mode {mode!r}")
+    if config is None:
+        config = FlowConfig()
 
-    if mode == "synthesis" and cache is None:
-        cache = BlockCache(spec.tech)
-
-    evaluations: list[CandidateEvaluation] = []
-    for candidate in candidates:
-        plan = plan_stages(spec, candidate)
+    owns_backend = backend is None
+    if backend is None:
+        backend = config.make_backend()
+    try:
         if mode == "analytic":
-            cp: CandidatePower = candidate_power(spec, candidate, model, plan)
-            stage_powers = tuple(s.total_power for s in cp.stages)
-            mdac_powers = tuple(s.mdac.total_power for s in cp.stages)
-            feasible = True
+            tasks = [_AnalyticTask(spec, cand, model) for cand in candidates]
+            evaluations = backend.map(_evaluate_analytic, tasks)
         else:
-            mdac_powers_list: list[float] = []
-            stage_powers_list: list[float] = []
-            feasible = True
-            for mdac_spec, sub_spec in zip(plan.mdacs, plan.sub_adcs):
-                block = cache.get(mdac_spec)
-                feasible &= block.feasible
-                mdac_w = block.power + model.fixed_overhead_w
-                sub_w = sub_adc_power(sub_spec, model, vdd=spec.tech.vdd).total_power
-                mdac_powers_list.append(mdac_w)
-                stage_powers_list.append(mdac_w + sub_w)
-            stage_powers = tuple(stage_powers_list)
-            mdac_powers = tuple(mdac_powers_list)
-        evaluations.append(
-            CandidateEvaluation(
-                candidate=candidate,
-                plan=plan,
-                stage_powers=stage_powers,
-                mdac_powers=mdac_powers,
-                mode=mode,
-                all_feasible=feasible,
-            )
-        )
+            if cache is None:
+                cache = config.make_cache(spec.tech)
+            stage_plans = [plan_stages(spec, cand) for cand in candidates]
+            all_specs = [m for p in stage_plans for m in p.mdacs]
+            synth_plan = plan_synthesis(all_specs, cache.results)
+            execute_plan(synth_plan, cache, backend)
+            evaluations = [
+                _evaluate_synthesis(p, cache, model, spec) for p in stage_plans
+            ]
+    finally:
+        if owns_backend:
+            backend.close()
 
     evaluations.sort(key=lambda e: e.total_power)
     return TopologyResult(

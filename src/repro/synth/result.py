@@ -24,6 +24,8 @@ class SynthesisResult:
     transient_evals: int
     #: Whether this synthesis was warm-started from another block.
     retargeted: bool
+    #: Wall-clock time the search + verification took [s].
+    wall_seconds: float = 0.0
 
     @property
     def power(self) -> float:

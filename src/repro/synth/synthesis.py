@@ -9,6 +9,7 @@ the nonlinear transient settling simulation.
 from __future__ import annotations
 
 import dataclasses
+import time
 
 import numpy as np
 
@@ -43,6 +44,7 @@ def synthesize_mdac(
     ``optimizer`` is ``"anneal"`` (default, NeoCircuit-style) or ``"de"``.
     ``x0`` (unit coordinates) warm-starts the search — used by retargeting.
     """
+    start = time.perf_counter()
     space = two_stage_space(mdac, tech)
     evaluator = HybridEvaluator(mdac, tech)
 
@@ -95,4 +97,5 @@ def synthesize_mdac(
         equation_evals=evaluator.equation_evals,
         transient_evals=evaluator.transient_evals,
         retargeted=retargeted,
+        wall_seconds=time.perf_counter() - start,
     )

@@ -1,0 +1,137 @@
+"""Persistent block cache: fingerprints, round-trips, corruption handling."""
+
+import pytest
+
+from repro.engine.config import FlowConfig
+from repro.engine.persist import (
+    block_fingerprint,
+    entry_path,
+    load_result,
+    store_result,
+)
+from repro.enumeration.candidates import PipelineCandidate
+from repro.errors import SpecificationError
+from repro.flow.cache import PersistentBlockCache
+from repro.flow.topology import optimize_topology
+from repro.specs.adc import AdcSpec
+from repro.specs.stage import plan_stages
+from repro.tech import CMOS025
+
+SPEC13 = AdcSpec(resolution_bits=13)
+CANDIDATES = [PipelineCandidate((4, 3, 2), 13, 7)]
+
+
+def _mdac(index: int = 0):
+    return plan_stages(SPEC13, CANDIDATES[0]).mdacs[index]
+
+
+def _cache(tmp_path, **overrides):
+    kwargs = dict(
+        tech=CMOS025,
+        budget=60,
+        retarget_budget=30,
+        verify_transient=False,
+        cache_dir=str(tmp_path),
+    )
+    kwargs.update(overrides)
+    return PersistentBlockCache(**kwargs)
+
+
+class TestFingerprint:
+    def test_stable_for_identical_inputs(self):
+        a = block_fingerprint(_mdac(), CMOS025, budget=60, seed=1, verify_transient=False)
+        b = block_fingerprint(_mdac(), CMOS025, budget=60, seed=1, verify_transient=False)
+        assert a == b
+
+    def test_sensitive_to_every_knob(self):
+        base = dict(budget=60, seed=1, verify_transient=False)
+        reference = block_fingerprint(_mdac(), CMOS025, **base)
+        assert block_fingerprint(_mdac(1), CMOS025, **base) != reference
+        assert (
+            block_fingerprint(_mdac(), CMOS025, budget=61, seed=1, verify_transient=False)
+            != reference
+        )
+        assert (
+            block_fingerprint(_mdac(), CMOS025, budget=60, seed=2, verify_transient=False)
+            != reference
+        )
+        assert (
+            block_fingerprint(_mdac(), CMOS025, budget=60, seed=1, verify_transient=True)
+            != reference
+        )
+
+
+class TestDiskLayer:
+    def test_store_load_roundtrip(self, tmp_path):
+        store_result(tmp_path, "abc123", {"power": 1.5})
+        assert load_result(tmp_path, "abc123") == {"power": 1.5}
+
+    def test_missing_entry_is_none(self, tmp_path):
+        assert load_result(tmp_path, "nope") is None
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        path = entry_path(tmp_path, "bad")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not a pickle")
+        assert load_result(tmp_path, "bad") is None
+
+
+class TestPersistentBlockCache:
+    def test_requires_cache_dir(self):
+        with pytest.raises(SpecificationError):
+            PersistentBlockCache(tech=CMOS025)
+
+    def test_roundtrip_through_fresh_cache(self, tmp_path):
+        first = _cache(tmp_path)
+        result = first.get(_mdac())
+        assert first.cold_runs == 1
+        assert first.persistent_hits == 0
+
+        # A brand-new cache object over the same directory serves the block
+        # from disk: no search, identical design.
+        reloaded = _cache(tmp_path)
+        warm = reloaded.get(_mdac())
+        assert reloaded.persistent_hits == 1
+        assert reloaded.cold_runs == 0 and reloaded.retargeted_runs == 0
+        assert warm.power == result.power
+        assert warm.final.sizing == result.final.sizing
+
+    def test_warm_flow_run_does_no_search(self, tmp_path):
+        cfg = FlowConfig(
+            budget=60,
+            retarget_budget=30,
+            verify_transient=False,
+            cache_dir=str(tmp_path),
+        )
+        cold = optimize_topology(
+            SPEC13, mode="synthesis", candidates=CANDIDATES, config=cfg
+        )
+
+        warm_cache = _cache(tmp_path)
+        warm = optimize_topology(
+            SPEC13,
+            mode="synthesis",
+            candidates=CANDIDATES,
+            cache=warm_cache,
+        )
+        assert warm_cache.synthesis_runs == 0
+        assert warm_cache.persistent_hits == warm.unique_blocks == cold.unique_blocks
+        assert warm.power_table() == cold.power_table()
+
+    def test_corrupt_entry_triggers_resynthesis(self, tmp_path):
+        first = _cache(tmp_path)
+        first.get(_mdac())
+        # Corrupt every entry on disk.
+        for entry in tmp_path.iterdir():
+            entry.write_bytes(b"garbage")
+        again = _cache(tmp_path)
+        again.get(_mdac())
+        assert again.persistent_hits == 0
+        assert again.cold_runs == 1
+
+    def test_budget_change_misses(self, tmp_path):
+        _cache(tmp_path).get(_mdac())
+        other = _cache(tmp_path, budget=61)
+        other.get(_mdac())
+        assert other.persistent_hits == 0
+        assert other.cold_runs == 1

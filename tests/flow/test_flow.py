@@ -81,6 +81,42 @@ class TestDesignerRules:
         rules, _, _ = extract_rules([10, 11])
         assert all("first stage" in str(r) for r in rules)
 
+    def test_non_contiguous_resolutions(self):
+        # Used to raise KeyError: band compression iterated every integer
+        # between k_min and k_max instead of the resolutions actually swept.
+        rules, winners, _ = extract_rules([9, 11, 13])
+        assert set(winners) == {9, 11, 13}
+        labels_in_rules = [w for rule in rules for w in rule.winners]
+        # Winner labels come only from swept resolutions, in sweep order.
+        assert labels_in_rules == [winners[k] for k in (9, 11, 13)]
+        assert len(labels_in_rules) == 3
+        # Band boundaries land on swept resolutions, never interpolated ones.
+        for rule in rules:
+            assert rule.k_min in {9, 11, 13}
+            assert rule.k_max in {9, 11, 13}
+
+    def test_first_stage_bits_from_candidate_not_label(self):
+        rules, winners, _ = extract_rules([13])
+        assert rules[0].first_stage_bits == 4  # 4-3-2 wins at 13 bits
+        assert rules[0].winners == (winners[13],)
+
+    def test_unsorted_input_handled(self):
+        rules_sorted, winners_sorted, _ = extract_rules([10, 11, 12])
+        rules_shuffled, winners_shuffled, _ = extract_rules([12, 10, 11])
+        assert winners_sorted == winners_shuffled
+        assert [str(r) for r in rules_sorted] == [str(r) for r in rules_shuffled]
+
+    def test_parallel_sweep_matches_serial(self):
+        from repro.engine.config import FlowConfig
+
+        serial = extract_rules([10, 11, 12, 13])
+        parallel = extract_rules(
+            [10, 11, 12, 13], config=FlowConfig(backend="process", max_workers=2)
+        )
+        assert serial[1] == parallel[1]
+        assert [str(r) for r in serial[0]] == [str(r) for r in parallel[0]]
+        assert serial[2] == parallel[2]
+
 
 class TestExperiments:
     def test_fig1_analytic_series(self):
