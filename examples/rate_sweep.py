@@ -1,57 +1,66 @@
 """Extension study: how the optimum topology moves with sample rate.
 
 The paper fixes 40 MSPS; its methodology, however, is a reusable flow.
-This example sweeps the conversion rate for a 13-bit target and watches
-the optimum configuration and its power: at low rates settling is easy and
-capacitors dominate; at high rates the settling (gm) burden amplifies the
-feedback-factor penalty of aggressive front stages.
+This example sweeps the conversion rate for a 13-bit target as a *campaign*
+— a one-axis :class:`repro.CampaignGrid` run as a single batch — and
+watches the optimum configuration and its power: at low rates settling is
+easy and capacitors dominate; at high rates the settling (gm) burden
+amplifies the feedback-factor penalty of aggressive front stages.
 
 Run with::
 
     python examples/rate_sweep.py
+    python examples/rate_sweep.py --backend process   # pooled evaluation
+    python examples/rate_sweep.py --backend thread
 
-Pass ``--parallel`` to fan each rate point's candidate evaluations out
-over the process-pool backend (one pool shared across the whole sweep);
-the knob rides on the same :class:`repro.FlowConfig` every flow entry
-point takes.
+The ``--backend`` choice rides on the same :class:`repro.FlowConfig` every
+flow entry point takes; the campaign shares the chosen backend across the
+whole sweep (one pool, not one per rate point) and serial/thread/process
+produce identical tables.
 """
 
 import argparse
 
-from repro import AdcSpec, FlowConfig, optimize_topology
-from repro.power.report import stage_table
+from repro import CampaignGrid, FlowConfig, run_campaign
+from repro.engine.backend import BACKENDS
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--parallel",
-        action="store_true",
-        help="evaluate candidates through the process-pool backend",
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="serial",
+        help="execution backend for the batched sweep (default: serial)",
     )
     args = parser.parse_args()
-    config = FlowConfig(backend="process" if args.parallel else "serial")
-    backend = config.make_backend()
+
+    grid = CampaignGrid(
+        resolutions=(13,),
+        sample_rates_hz=tuple(r * 1e6 for r in (10, 20, 40, 60, 80)),
+    )
+    campaign = run_campaign(grid, config=FlowConfig(backend=args.backend))
 
     print("13-bit optimum vs sample rate (analytic flow):\n")
     print("  rate [MSPS]   optimum      total [mW]   runner-up")
-    try:
-        for rate_msps in (10, 20, 40, 60, 80):
-            spec = AdcSpec(resolution_bits=13, sample_rate_hz=rate_msps * 1e6)
-            result = optimize_topology(spec, config=config, backend=backend)
-            best, second = result.evaluations[0], result.evaluations[1]
-            print(
-                f"  {rate_msps:11d}   {best.label:10s} {best.total_power*1e3:9.2f}"
-                f"     {second.label} (+{(second.total_power-best.total_power)*1e3:.2f} mW)"
-            )
-    finally:
-        backend.close()
+    for scenario in campaign.scenarios:
+        best, second = scenario.topology.evaluations[:2]
+        rate_msps = scenario.scenario.spec.sample_rate_hz / 1e6
+        print(
+            f"  {rate_msps:11.0f}   {best.label:10s} {best.total_power*1e3:9.2f}"
+            f"     {second.label} (+{(second.total_power-best.total_power)*1e3:.2f} mW)"
+        )
+
+    print("\nCampaign comparison across the same sweep:\n")
+    print(campaign.report())
 
     print("\nDetail at the paper's 40 MSPS point:")
-    spec = AdcSpec(resolution_bits=13, sample_rate_hz=40e6)
     from repro.power import candidate_power
+    from repro.power.report import stage_table
+    from repro.specs.adc import AdcSpec
 
-    best = optimize_topology(spec).best
+    spec = AdcSpec(resolution_bits=13, sample_rate_hz=40e6)
+    best = campaign.topology_by_resolution(sample_rate_hz=40e6)[13].best
     print(stage_table(candidate_power(spec, best.candidate)))
 
 

@@ -13,7 +13,10 @@ The package builds the paper's full stack from scratch:
   (:mod:`repro.enumeration`, :mod:`repro.specs`, :mod:`repro.power`);
 * the behavioral pipelined-ADC simulator (:mod:`repro.behavioral`);
 * the topology-optimization flow and the experiments regenerating every
-  figure (:mod:`repro.flow`, :mod:`repro.experiments`).
+  figure (:mod:`repro.flow`, :mod:`repro.experiments`);
+* the execution engine (backends, wave scheduler, persistent block cache —
+  :mod:`repro.engine`) and the campaign layer for batched design-space
+  sweeps with cross-scenario synthesis reuse (:mod:`repro.campaign`).
 
 Quickstart::
 
@@ -22,27 +25,37 @@ Quickstart::
     print(result.best.label)   # '4-3-2'
 """
 
-from repro.engine import FlowConfig, ProcessPoolBackend, SerialBackend
+from repro.campaign import CampaignGrid, CampaignResult, run_campaign
+from repro.engine import (
+    FlowConfig,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+)
 from repro.enumeration import PipelineCandidate, enumerate_candidates
 from repro.flow import BlockCache, PersistentBlockCache, optimize_topology
 from repro.power import candidate_power
 from repro.specs import AdcSpec, plan_stages
 from repro.tech import CMOS025
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AdcSpec",
     "BlockCache",
     "CMOS025",
+    "CampaignGrid",
+    "CampaignResult",
     "FlowConfig",
     "PersistentBlockCache",
     "PipelineCandidate",
     "ProcessPoolBackend",
     "SerialBackend",
+    "ThreadPoolBackend",
     "enumerate_candidates",
     "plan_stages",
     "candidate_power",
     "optimize_topology",
+    "run_campaign",
     "__version__",
 ]

@@ -1,0 +1,61 @@
+"""Batched design-space sweeps on top of the execution engine.
+
+The campaign layer turns the per-spec flow into a product surface: describe
+a grid of converter targets (resolution × sample rate × flow mode ×
+technology corner), run it as *one batch* that shares an execution backend,
+a campaign-wide synthesis ledger and the persistent block cache across all
+scenarios, and get back a structured results store (JSONL records) plus a
+figure-of-merit comparison report.
+
+Layering: ``campaign`` sits above ``flow`` and below ``experiments`` /
+``cli`` — the figure drivers and the ``repro-adc campaign`` command are
+thin clients of :func:`run_campaign`.  See ``docs/architecture.md``.
+
+Quickstart::
+
+    from repro.campaign import CampaignGrid, run_campaign
+
+    grid = CampaignGrid(resolutions=(10, 11, 12, 13),
+                        sample_rates_hz=(20e6, 40e6, 60e6))
+    campaign = run_campaign(grid)
+    print(campaign.report())
+    campaign.save("campaign-out")     # results.jsonl + report.txt + meta.json
+"""
+
+from repro.campaign.grid import (
+    CampaignGrid,
+    Scenario,
+    parse_int_axis,
+    parse_rate_axis,
+)
+from repro.campaign.report import comparison_report
+from repro.campaign.runner import (
+    CampaignResult,
+    LedgerBackedCache,
+    ScenarioResult,
+    SynthesisLedger,
+    run_campaign,
+)
+from repro.campaign.store import (
+    CampaignRecord,
+    read_records,
+    walden_fom,
+    write_records,
+)
+
+__all__ = [
+    "CampaignGrid",
+    "CampaignRecord",
+    "CampaignResult",
+    "LedgerBackedCache",
+    "Scenario",
+    "ScenarioResult",
+    "SynthesisLedger",
+    "comparison_report",
+    "parse_int_axis",
+    "parse_rate_axis",
+    "read_records",
+    "run_campaign",
+    "walden_fom",
+    "write_records",
+]

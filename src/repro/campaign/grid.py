@@ -1,0 +1,188 @@
+"""Campaign grids: batched design-space sweeps expressed as axis products.
+
+A :class:`CampaignGrid` describes a whole family of converter designs —
+resolution × sample rate × flow mode × technology corner — and expands it
+into an ordered tuple of :class:`Scenario` jobs, one per grid point.  The
+expansion order is fixed — corner-major, then mode, then rate, with
+resolution varying fastest — so a campaign is a deterministic program:
+every backend sees the same scenario sequence, which is what lets the
+runner guarantee backend-independent reports.
+
+The grid shape follows Barrandon et al.'s figure-of-merit methodology
+("Systematic Figure of Merit Computation for the Design of Pipeline ADC"):
+sweep the (resolution, rate) plane, optimize each point, and compare the
+winners on an energy-per-conversion-step axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SpecificationError
+from repro.specs.adc import AdcSpec
+from repro.tech.process import CMOS025, Technology
+
+#: Flow modes a scenario may request (see ``optimize_topology``).
+VALID_MODES = ("analytic", "synthesis")
+
+
+def _rate_token(rate_hz: float) -> str:
+    """Compact rate tag for scenario labels, e.g. ``40M`` or ``2.5M``."""
+    msps = rate_hz / 1e6
+    if msps == int(msps):
+        return f"{int(msps)}M"
+    return f"{msps:g}M"
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One grid point: a fully specified topology-optimization job."""
+
+    #: Position in the campaign's expansion order (0-based).
+    index: int
+    #: The system spec the flow optimizes.
+    spec: AdcSpec
+    #: Evaluation path: 'analytic' or 'synthesis'.
+    mode: str
+    #: Technology-corner tag ('nom' unless the grid sweeps corners).
+    corner: str
+
+    @property
+    def label(self) -> str:
+        """Stable human-readable id, e.g. ``k13_40M_analytic``."""
+        parts = [
+            f"k{self.spec.resolution_bits}",
+            _rate_token(self.spec.sample_rate_hz),
+            self.mode,
+        ]
+        if self.corner != "nom":
+            parts.append(self.corner)
+        return "_".join(parts)
+
+
+@dataclass(frozen=True)
+class CampaignGrid:
+    """Axis product defining a batched sweep.
+
+    Axes keep their given order but must be duplicate-free — a duplicated
+    value would silently run the same scenario twice and skew the
+    comparison report.  ``corners`` maps corner tags to technologies,
+    defaulting to the nominal process; slow/fast corners slot in as extra
+    ``(tag, Technology)`` pairs without touching any other layer.
+    """
+
+    #: Target resolutions K [bits].
+    resolutions: tuple[int, ...]
+    #: Conversion rates [samples/s].
+    sample_rates_hz: tuple[float, ...] = (40e6,)
+    #: Flow modes to run each (K, rate) point under.
+    modes: tuple[str, ...] = ("analytic",)
+    #: Technology corners: (tag, Technology) pairs.
+    corners: tuple[tuple[str, Technology], ...] = (("nom", CMOS025),)
+    #: Differential full-scale range [V] shared by every scenario.
+    full_scale: float = 2.0
+
+    def __post_init__(self) -> None:
+        for name in ("resolutions", "sample_rates_hz", "modes", "corners"):
+            values = getattr(self, name)
+            if not values:
+                raise SpecificationError(f"campaign grid axis {name!r} is empty")
+            keys = [v[0] if name == "corners" else v for v in values]
+            if len(set(keys)) != len(keys):
+                raise SpecificationError(
+                    f"campaign grid axis {name!r} has duplicate values: {keys}"
+                )
+        for mode in self.modes:
+            if mode not in VALID_MODES:
+                raise SpecificationError(
+                    f"unknown flow mode {mode!r} (valid: {', '.join(VALID_MODES)})"
+                )
+
+    @property
+    def size(self) -> int:
+        """Number of scenarios the grid expands to."""
+        return (
+            len(self.resolutions)
+            * len(self.sample_rates_hz)
+            * len(self.modes)
+            * len(self.corners)
+        )
+
+    def expand(self) -> tuple[Scenario, ...]:
+        """Expand the grid into its ordered scenario sequence.
+
+        Resolutions vary fastest within a (corner, mode, rate) group so
+        that consecutive synthesis scenarios are electrically adjacent —
+        exactly the ordering that makes the campaign's cross-scenario
+        warm-start pool effective (a K-bit block is the best donor for a
+        (K±1)-bit block at the same rate).
+        """
+        scenarios: list[Scenario] = []
+        for corner, tech in self.corners:
+            for mode in self.modes:
+                for rate in self.sample_rates_hz:
+                    for k in self.resolutions:
+                        scenarios.append(
+                            Scenario(
+                                index=len(scenarios),
+                                spec=AdcSpec(
+                                    resolution_bits=k,
+                                    sample_rate_hz=rate,
+                                    full_scale=self.full_scale,
+                                    tech=tech,
+                                ),
+                                mode=mode,
+                                corner=corner,
+                            )
+                        )
+        return tuple(scenarios)
+
+
+def parse_int_axis(text: str) -> tuple[int, ...]:
+    """Parse a CLI integer axis: ``"10-13"`` (inclusive) or ``"10,12,13"``.
+
+    Mixed forms compose: ``"8,10-12"`` -> ``(8, 10, 11, 12)``.
+    """
+    values: list[int] = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        lo, sep, hi = token.partition("-")
+        try:
+            if sep:
+                start, stop = int(lo), int(hi)
+                if stop < start:
+                    raise ValueError
+                values.extend(range(start, stop + 1))
+            else:
+                values.append(int(token))
+        except ValueError:
+            raise SpecificationError(
+                f"cannot parse integer axis token {token!r} "
+                "(expected N, N-M or a comma list)"
+            ) from None
+    if not values:
+        raise SpecificationError(f"empty integer axis {text!r}")
+    return tuple(values)
+
+
+def parse_rate_axis(text: str) -> tuple[float, ...]:
+    """Parse a CLI rate axis given in MSPS: ``"20,40,60"`` -> Hz values."""
+    rates: list[float] = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            msps = float(token)
+        except ValueError:
+            raise SpecificationError(
+                f"cannot parse rate token {token!r} (expected MSPS numbers)"
+            ) from None
+        if msps <= 0:
+            raise SpecificationError(f"sample rate must be positive, got {token!r}")
+        rates.append(msps * 1e6)
+    if not rates:
+        raise SpecificationError(f"empty rate axis {text!r}")
+    return tuple(rates)

@@ -1,0 +1,88 @@
+"""Campaign comparison report: rank design points by figure of merit.
+
+The report is the campaign's human-facing deliverable — one table row per
+scenario, ordered by the Walden FoM (energy per conversion step, lower is
+better), followed by the synthesis-economy summary that shows what the
+batch actually shared.  Everything printed here is a deterministic function
+of the campaign definition; wall-clock numbers deliberately live elsewhere
+(``meta.json``) so reports compare byte-for-byte across execution backends.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.campaign.store import CampaignRecord
+
+if TYPE_CHECKING:
+    from repro.campaign.runner import CampaignResult
+
+#: Joules/step -> femtojoules/step, the customary FoM display unit.
+_FJ = 1e15
+
+
+def format_records(records: Iterable[CampaignRecord]) -> str:
+    """The comparison table for a set of records, best FoM first."""
+    ranked = sorted(records, key=lambda r: (r.fom_j_per_step, r.index))
+    lines = [
+        "Campaign comparison — ranked by Walden FoM (lower is better)",
+        f"  {'scenario':<24} {'K':>3} {'rate':>9} {'mode':>9} "
+        f"{'winner':>12} {'P [mW]':>8} {'FoM [fJ/step]':>14}",
+    ]
+    for record in ranked:
+        flag = "" if record.all_feasible else "  [INFEASIBLE]"
+        lines.append(
+            f"  {record.label:<24} {record.resolution_bits:>3} "
+            f"{record.sample_rate_hz / 1e6:>7.1f}M {record.mode:>9} "
+            f"{record.winner:>12} {record.winner_power_w * 1e3:>8.2f} "
+            f"{record.fom_j_per_step * _FJ:>14.1f}{flag}"
+        )
+    return "\n".join(lines)
+
+
+def synthesis_summary(records: Iterable[CampaignRecord]) -> str:
+    """Campaign-wide synthesis accounting: what the batch shared."""
+    records = list(records)
+    cold = sum(r.cold_runs for r in records)
+    warm = sum(r.retargeted_runs for r in records)
+    pool = sum(r.pool_warm_starts for r in records)
+    escalated = sum(r.pool_escalations for r in records)
+    shared = sum(r.shared_hits for r in records)
+    disk = sum(r.persistent_hits for r in records)
+    blocks = sum(r.unique_blocks for r in records)
+    # Each escalation ran (and discarded) one retarget search on top of the
+    # cold/warm runs that produced the kept blocks; blocks not produced by
+    # a fresh search came out of a cache tier (an escalated cache-served
+    # block can take more than one lookup, so hits are reported per block,
+    # lookup counts as detail).
+    searches = cold + warm + escalated
+    served = blocks - cold - warm
+    lines = ["Synthesis economy"]
+    if blocks == 0:
+        lines.append("  analytic-only campaign: no blocks synthesized")
+        return "\n".join(lines)
+    lines += [
+        f"  unique blocks across scenarios: {blocks}",
+        f"  searches: {searches} ({cold} cold, {warm} retargeted; "
+        f"{pool} warm-started from earlier scenarios, "
+        f"{escalated} escalated back to cold)",
+        f"  served without search: {served} blocks "
+        f"({shared} ledger lookups, {disk} persistent-cache lookups)",
+        f"  cache hit rate: {served / blocks:.0%} of blocks",
+    ]
+    return "\n".join(lines)
+
+
+def comparison_report(campaign: "CampaignResult") -> str:
+    """The full report for one campaign run."""
+    records = campaign.records
+    header = (
+        f"Campaign: {len(records)} scenarios "
+        f"(K in {{{', '.join(str(k) for k in campaign.grid.resolutions)}}}, "
+        f"rates {{{', '.join(f'{r / 1e6:g}M' for r in campaign.grid.sample_rates_hz)}}}, "
+        f"modes {{{', '.join(campaign.grid.modes)}}}, "
+        f"corners {{{', '.join(tag for tag, _ in campaign.grid.corners)}}})"
+    )
+    return "\n".join(
+        [header, "", format_records(records), "", synthesis_summary(records)]
+    )

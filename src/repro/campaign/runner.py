@@ -1,0 +1,350 @@
+"""The campaign runner: one batch, many scenarios, shared synthesis state.
+
+``run_campaign`` executes every scenario of a :class:`~repro.campaign.grid.CampaignGrid`
+through :func:`~repro.flow.topology.optimize_topology` while sharing three
+things across the whole batch that a naive per-spec loop would rebuild per
+scenario:
+
+* **one execution backend** — a process/thread pool spins up once for the
+  campaign, not once per grid point;
+* **one synthesis ledger** (:class:`SynthesisLedger`) — an in-memory,
+  fingerprint-keyed store of every block any scenario has synthesized, plus
+  the campaign-wide warm-start donor pool.  A later scenario whose spec
+  fingerprints identically to an earlier one loads the block instead of
+  searching; a later scenario with a merely *similar* spec retargets from
+  the nearest earlier design instead of synthesizing cold — the paper's
+  retarget economy applied across system specs, not just within one;
+* **one persistent block cache directory** (``FlowConfig.cache_dir``) — the
+  on-disk layer behind the ledger, so reuse also spans campaign invocations.
+
+Scenarios execute strictly in expansion order (only the work *inside* a
+scenario fans out over the backend), and every scenario's synthesis plan is
+fixed before dispatch, so campaign records and reports are byte-identical
+across backends — the PR 1 determinism guarantee lifted to batches.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.campaign.grid import CampaignGrid, Scenario
+from repro.campaign.store import (
+    META_FILENAME,
+    REPORT_FILENAME,
+    RESULTS_FILENAME,
+    CampaignRecord,
+    walden_fom,
+    write_records,
+)
+from repro.engine.config import FlowConfig
+from repro.engine.persist import digest as persist_digest, sizing_digest
+from repro.flow.cache import PersistentBlockCache
+from repro.flow.topology import TopologyResult, optimize_topology
+from repro.synth.result import SynthesisResult
+
+
+@dataclass
+class SynthesisLedger:
+    """Campaign-wide synthesis state shared by every scenario.
+
+    Three layers, consulted most-exact-first:
+
+    * ``memory`` maps content fingerprints (see
+      :func:`repro.engine.persist.block_fingerprint`) to results — a hit
+      means this *search* (spec, budgets, seeds, donor chain) already ran;
+    * ``by_spec`` maps spec digests (spec + technology + verification flag)
+      to results — a hit means a block *satisfying* the identical
+      specification was already sized somewhere in the campaign, even if
+      under different search hyper-parameters.  Only feasible designs
+      enter this layer: an infeasible result never satisfied its spec, so
+      serving it spec-level would block legitimate re-searches (and defeat
+      the scheduler's cold escalation).  This is the paper's block reuse
+      applied campaign-wide;
+    * ``donors`` is the warm-start pool in admission order, deduplicated by
+      sizing digest, seeding retargets for *similar* (not identical) specs.
+
+    A ledger outlives a single ``run_campaign`` call: pass the same
+    instance to a follow-up campaign and it starts from everything the
+    first one learned.
+    """
+
+    memory: dict[str, SynthesisResult] = field(default_factory=dict)
+    by_spec: dict[str, SynthesisResult] = field(default_factory=dict)
+    donors: list[SynthesisResult] = field(default_factory=list)
+    _donor_digests: set[str] = field(default_factory=set)
+    #: Blocks any scenario loaded from the ledger instead of searching.
+    shared_hits: int = 0
+
+    def record(
+        self, fingerprint: str, result: SynthesisResult, spec_key: str
+    ) -> None:
+        """Admit a resolved block into the ledger (idempotent per design)."""
+        self.memory.setdefault(fingerprint, result)
+        if result.feasible:
+            self.by_spec.setdefault(spec_key, result)
+        digest = sizing_digest(result)
+        if digest not in self._donor_digests:
+            self._donor_digests.add(digest)
+            self.donors.append(result)
+
+
+@dataclass
+class LedgerBackedCache(PersistentBlockCache):
+    """Per-scenario block cache wired into the campaign ledger.
+
+    The in-memory reuse-key map stays scenario-local — reuse keys are only
+    valid within one system spec — while the fingerprint layers are shared:
+    lookups consult the ledger first, then the inherited persistent
+    directory, and every admitted block (fresh or loaded) is recorded back
+    into the ledger so later scenarios see it as an exact hit or a
+    warm-start donor.  Unlike :class:`~repro.flow.cache.PersistentBlockCache`
+    the disk tier is optional here: the ledger may be the only shared tier.
+    """
+
+    ledger: SynthesisLedger | None = None
+    #: Blocks served from the campaign ledger (either layer).
+    shared_hits: int = 0
+
+    def __post_init__(self) -> None:
+        # Relax the parent's cache_dir requirement (see class docstring).
+        pass
+
+    def _spec_key(self, spec: Any) -> str:
+        """Digest identifying the block *specification* (not the search)."""
+        return persist_digest(
+            {
+                "spec": spec,
+                "tech": self.tech,
+                "verify_transient": bool(self.verify_transient),
+            }
+        )
+
+    def load_persistent(
+        self, fingerprint: str, spec: Any = None
+    ) -> SynthesisResult | None:
+        if self.ledger is not None:
+            hit = self.ledger.memory.get(fingerprint)
+            if hit is None and spec is not None:
+                hit = self.ledger.by_spec.get(self._spec_key(spec))
+            if hit is not None:
+                self.shared_hits += 1
+                self.ledger.shared_hits += 1
+                return hit
+        if self.cache_dir is not None:
+            return super().load_persistent(fingerprint, spec)
+        return None
+
+    def admit(
+        self,
+        key: tuple[int, int],
+        result: SynthesisResult,
+        fingerprint: str | None = None,
+        newly_synthesized: bool = True,
+    ) -> None:
+        super().admit(key, result, fingerprint, newly_synthesized)
+        if self.ledger is not None and fingerprint is not None:
+            self.ledger.record(fingerprint, result, self._spec_key(result.spec))
+
+    def _persist(self, fingerprint: str, result: SynthesisResult) -> None:
+        if self.cache_dir is not None:
+            super()._persist(fingerprint, result)
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One scenario's full outcome: optimization result plus its record."""
+
+    scenario: Scenario
+    #: The ranked optimization outcome (in memory; not serialized).
+    topology: TopologyResult
+    #: The deterministic JSONL record.
+    record: CampaignRecord
+    #: Wall time of this scenario [s] — nondeterministic, kept out of the record.
+    wall_seconds: float
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Outcome of one ``run_campaign`` call."""
+
+    grid: CampaignGrid
+    scenarios: tuple[ScenarioResult, ...]
+    #: Backend name the campaign executed on.
+    backend_name: str
+    #: Total campaign wall time [s].
+    wall_seconds: float
+
+    @property
+    def records(self) -> tuple[CampaignRecord, ...]:
+        """Per-scenario records in expansion order."""
+        return tuple(s.record for s in self.scenarios)
+
+    @property
+    def winners(self) -> dict[str, str]:
+        """scenario label -> winning candidate label."""
+        return {s.record.label: s.record.winner for s in self.scenarios}
+
+    def topology_by_resolution(
+        self,
+        mode: str = "analytic",
+        sample_rate_hz: float | None = None,
+        corner: str | None = None,
+    ) -> dict[int, TopologyResult]:
+        """resolution -> TopologyResult for one (mode, rate, corner) slice.
+
+        ``sample_rate_hz=None`` selects the grid's first rate axis value
+        and ``corner=None`` its first corner — the common single-rate,
+        nominal-corner case for figure regeneration.
+        """
+        if sample_rate_hz is None:
+            sample_rate_hz = self.grid.sample_rates_hz[0]
+        if corner is None:
+            corner = self.grid.corners[0][0]
+        return {
+            s.scenario.spec.resolution_bits: s.topology
+            for s in self.scenarios
+            if s.scenario.mode == mode
+            and s.scenario.spec.sample_rate_hz == sample_rate_hz
+            and s.scenario.corner == corner
+        }
+
+    def report(self) -> str:
+        """The campaign comparison report (see :mod:`repro.campaign.report`)."""
+        from repro.campaign.report import comparison_report
+
+        return comparison_report(self)
+
+    def save(self, store_dir: str | Path) -> dict[str, Path]:
+        """Write the results store into ``store_dir``.
+
+        Produces ``results.jsonl`` (deterministic records), ``report.txt``
+        (deterministic comparison report) and ``meta.json`` (wall times and
+        backend — the one nondeterministic artifact).  Returns the paths.
+        """
+        directory = Path(store_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        results_path = write_records(self.records, directory / RESULTS_FILENAME)
+        report_path = directory / REPORT_FILENAME
+        report_path.write_text(self.report() + "\n", encoding="utf-8")
+        meta = {
+            "backend": self.backend_name,
+            "wall_seconds": self.wall_seconds,
+            "scenario_wall_seconds": {
+                s.record.label: s.wall_seconds for s in self.scenarios
+            },
+        }
+        meta_path = directory / META_FILENAME
+        meta_path.write_text(json.dumps(meta, indent=2) + "\n", encoding="utf-8")
+        return {"results": results_path, "report": report_path, "meta": meta_path}
+
+
+def _make_record(
+    scenario: Scenario, topology: TopologyResult, cache: LedgerBackedCache | None
+) -> CampaignRecord:
+    """Build the deterministic record for one completed scenario."""
+    best = topology.best
+    return CampaignRecord(
+        label=scenario.label,
+        index=scenario.index,
+        resolution_bits=scenario.spec.resolution_bits,
+        sample_rate_hz=scenario.spec.sample_rate_hz,
+        full_scale=scenario.spec.full_scale,
+        tech=scenario.spec.tech.name,
+        corner=scenario.corner,
+        mode=scenario.mode,
+        winner=best.label,
+        rankings=tuple((e.label, e.total_power) for e in topology.evaluations),
+        fom_j_per_step=walden_fom(
+            best.total_power,
+            scenario.spec.resolution_bits,
+            scenario.spec.sample_rate_hz,
+        ),
+        all_feasible=all(e.all_feasible for e in topology.evaluations),
+        unique_blocks=topology.unique_blocks,
+        cold_runs=cache.cold_runs if cache else 0,
+        retargeted_runs=cache.retargeted_runs if cache else 0,
+        shared_hits=cache.shared_hits if cache else 0,
+        persistent_hits=cache.persistent_hits if cache else 0,
+        pool_warm_starts=cache.pool_warm_starts if cache else 0,
+        pool_escalations=cache.pool_escalations if cache else 0,
+    )
+
+
+def run_campaign(
+    grid: CampaignGrid,
+    config: FlowConfig | None = None,
+    ledger: SynthesisLedger | None = None,
+    progress: Callable[[ScenarioResult], None] | None = None,
+) -> CampaignResult:
+    """Run every scenario of the grid as one batch.
+
+    ``config`` supplies the execution backend, synthesis budgets and the
+    persistent cache directory shared by all scenarios.  ``ledger`` defaults
+    to a fresh :class:`SynthesisLedger`; pass an existing one to chain
+    campaigns.  ``progress`` (if given) is called with each
+    :class:`ScenarioResult` as it completes — the CLI uses it for live
+    status lines.
+    """
+    if config is None:
+        config = FlowConfig()
+    if ledger is None:
+        ledger = SynthesisLedger()
+
+    backend = config.make_backend()
+    results: list[ScenarioResult] = []
+    campaign_start = time.perf_counter()
+    try:
+        for scenario in grid.expand():
+            cache: LedgerBackedCache | None = None
+            if scenario.mode == "synthesis":
+                cache = LedgerBackedCache(
+                    tech=scenario.spec.tech,
+                    budget=config.budget,
+                    retarget_budget=config.retarget_budget,
+                    seed=config.seed,
+                    retarget_seed=config.retarget_seed,
+                    verify_transient=config.verify_transient,
+                    donor_pool=tuple(ledger.donors),
+                    ledger=ledger,
+                    cache_dir=config.cache_dir,
+                )
+            start = time.perf_counter()
+            topology = optimize_topology(
+                scenario.spec,
+                mode=scenario.mode,
+                cache=cache,
+                config=config,
+                backend=backend,
+            )
+            wall = time.perf_counter() - start
+            scenario_result = ScenarioResult(
+                scenario=scenario,
+                topology=topology,
+                record=_make_record(scenario, topology, cache),
+                wall_seconds=wall,
+            )
+            results.append(scenario_result)
+            if progress is not None:
+                progress(scenario_result)
+    finally:
+        backend.close()
+
+    return CampaignResult(
+        grid=grid,
+        scenarios=tuple(results),
+        backend_name=backend.name,
+        wall_seconds=time.perf_counter() - campaign_start,
+    )
+
+
+__all__ = [
+    "CampaignResult",
+    "LedgerBackedCache",
+    "ScenarioResult",
+    "SynthesisLedger",
+    "run_campaign",
+]

@@ -1,4 +1,5 @@
-"""Command-line interface: regenerate any of the paper's figures.
+"""Command-line interface: regenerate the paper's figures, explore single
+specs, or sweep whole design-space grids as campaigns.
 
 Examples::
 
@@ -8,12 +9,12 @@ Examples::
     repro-adc fig3 --backend process
     repro-adc runtime
     repro-adc explore --bits 12
+    repro-adc campaign --bits 10-13 --rates 20,40,60 --out campaign-out
 
-Every figure command accepts the execution-engine flags ``--backend``,
-``--workers``, ``--cache-dir`` (persistent block cache; defaults to the
-``REPRO_ADC_CACHE`` environment variable), ``--budget`` and
-``--no-verify``; they assemble the :class:`~repro.engine.config.FlowConfig`
-threaded through the flow.
+Every flow command accepts the execution-engine flags (``--backend``,
+``--workers``, ``--cache-dir``, ``--budget``, ``--retarget-budget``,
+``--no-verify``); they assemble the :class:`~repro.engine.config.FlowConfig`
+threaded through every entry point.
 """
 
 from __future__ import annotations
@@ -22,6 +23,12 @@ import argparse
 import os
 import sys
 
+from repro.campaign import (
+    CampaignGrid,
+    parse_int_axis,
+    parse_rate_axis,
+    run_campaign,
+)
 from repro.engine.backend import BACKENDS
 from repro.engine.config import FlowConfig
 from repro.experiments import (
@@ -36,6 +43,29 @@ from repro.experiments import (
 )
 from repro.flow.topology import optimize_topology
 from repro.specs.adc import AdcSpec
+
+#: --help epilog: the engine knobs in FlowConfig terms, kept in sync with
+#: :class:`repro.engine.config.FlowConfig` (see tests/campaign/test_cli.py).
+EPILOG = """\
+execution engine (every flow command):
+  --backend {serial,thread,process} maps the flow's fan-out points
+  (candidate evaluation, synthesis waves, resolution sweeps) over the
+  chosen executor; --workers bounds the pool.  --cache-dir enables the
+  content-fingerprinted persistent block cache (default: the
+  REPRO_ADC_CACHE environment variable), so warm reruns skip synthesis.
+  --budget / --retarget-budget set the cold and warm-start annealer
+  evaluation budgets; --no-verify skips the transient verifier.  The same
+  knobs form FlowConfig in the Python API.
+
+campaigns:
+  repro-adc campaign expands --bits x --rates x --modes into a scenario
+  grid and runs it as one batch: one backend, one persistent cache and one
+  warm-start donor pool shared across all scenarios.  Results land in
+  --out as results.jsonl, report.txt and meta.json.
+
+docs: docs/architecture.md (layer map), docs/engine.md (backends, waves,
+fingerprints).
+"""
 
 
 def _engine_parent() -> argparse.ArgumentParser:
@@ -87,6 +117,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-adc",
         description="Designer-driven pipelined-ADC topology optimization (DATE 2005 reproduction)",
+        epilog=EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
     engine = _engine_parent()
@@ -111,6 +143,44 @@ def main(argv: list[str] | None = None) -> int:
         "--synthesis", action="store_true", help="use transistor-level synthesis"
     )
 
+    p_camp = sub.add_parser(
+        "campaign",
+        parents=[engine],
+        help="run a resolution x rate x mode grid as one batch",
+        description=(
+            "Expand a design-space grid into scenarios and run them as one "
+            "batch sharing a backend, a persistent block cache and a "
+            "cross-scenario warm-start donor pool; writes results.jsonl and "
+            "a figure-of-merit comparison report."
+        ),
+    )
+    p_camp.add_argument(
+        "--bits",
+        default="10-13",
+        help="resolution axis: N, N-M or comma list (default 10-13)",
+    )
+    p_camp.add_argument(
+        "--rates",
+        default="40",
+        help="sample-rate axis in MSPS, comma list (default 40)",
+    )
+    p_camp.add_argument(
+        "--modes",
+        default="analytic",
+        help="flow-mode axis: comma list of analytic/synthesis (default analytic)",
+    )
+    p_camp.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="results-store directory (default: report to stdout only)",
+    )
+    p_camp.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-scenario progress lines",
+    )
+
     args = parser.parse_args(argv)
 
     if args.command == "fig1":
@@ -132,6 +202,32 @@ def main(argv: list[str] | None = None) -> int:
         print(f"optimum: {result.best.label}")
         if mode == "synthesis":
             print(f"unique blocks synthesized: {result.unique_blocks}")
+    elif args.command == "campaign":
+        grid = CampaignGrid(
+            resolutions=parse_int_axis(args.bits),
+            sample_rates_hz=parse_rate_axis(args.rates),
+            modes=tuple(m.strip() for m in args.modes.split(",") if m.strip()),
+        )
+
+        def _progress(scenario_result) -> None:
+            record = scenario_result.record
+            print(
+                f"[{record.index + 1}/{grid.size}] {record.label}: "
+                f"winner {record.winner}, "
+                f"{record.winner_power_w * 1e3:.2f} mW "
+                f"({scenario_result.wall_seconds:.2f} s)",
+                file=sys.stderr,
+            )
+
+        campaign = run_campaign(
+            grid,
+            config=_flow_config(args),
+            progress=None if args.quiet else _progress,
+        )
+        print(campaign.report())
+        if args.out is not None:
+            paths = campaign.save(args.out)
+            print(f"\nresults store: {paths['results']}", file=sys.stderr)
     return 0
 
 

@@ -21,6 +21,7 @@ from repro.engine.backend import (
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
+    ThreadPoolBackend,
     make_backend,
 )
 from repro.engine.config import DEFAULT_FLOW_CONFIG, FlowConfig
@@ -44,6 +45,7 @@ __all__ = [
     "SerialBackend",
     "SynthesisJob",
     "SynthesisPlan",
+    "ThreadPoolBackend",
     "block_fingerprint",
     "execute_plan",
     "load_result",

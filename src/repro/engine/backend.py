@@ -18,7 +18,7 @@ serial results bit-for-bit.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Protocol, Sequence, TypeVar, runtime_checkable
 
 from repro.errors import SpecificationError
@@ -49,9 +49,11 @@ class SerialBackend:
     name = "serial"
 
     def map(self, fn: Callable[[T], R], tasks: Iterable[T]) -> list[R]:
+        """Apply ``fn`` to every task in this process, in order."""
         return [fn(task) for task in tasks]
 
-    def close(self) -> None:  # nothing pooled
+    def close(self) -> None:
+        """No-op: nothing is pooled."""
         return None
 
     def __enter__(self) -> "SerialBackend":
@@ -61,53 +63,90 @@ class SerialBackend:
         self.close()
 
 
-class ProcessPoolBackend:
-    """``concurrent.futures.ProcessPoolExecutor``-backed execution.
+class _PooledBackend:
+    """Shared machinery for ``concurrent.futures``-backed backends.
 
     The pool is created lazily on the first ``map`` and reused across calls
-    (waves of the synthesis scheduler share one pool).  Task functions must
-    be importable module-level callables and tasks must be picklable —
-    every task dataclass in :mod:`repro.engine.scheduler` satisfies this.
-    Single-task maps run inline to skip pickling latency.
+    (waves of the synthesis scheduler share one pool); single-task maps run
+    inline to skip dispatch latency.  Subclasses set ``name`` and
+    ``executor_cls``.
     """
 
-    name = "process"
+    name: str
+    executor_cls: type
 
     def __init__(self, max_workers: int | None = None, chunksize: int = 1):
+        """``max_workers=None`` means one worker per CPU."""
         if max_workers is not None and max_workers < 1:
             raise SpecificationError("max_workers must be >= 1")
         if chunksize < 1:
             raise SpecificationError("chunksize must be >= 1")
         self.max_workers = max_workers or os.cpu_count() or 1
         self.chunksize = chunksize
-        self._executor: ProcessPoolExecutor | None = None
+        self._executor = None
 
-    def _pool(self) -> ProcessPoolExecutor:
+    def _pool(self):
         if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+            self._executor = self.executor_cls(max_workers=self.max_workers)
         return self._executor
 
     def map(self, fn: Callable[[T], R], tasks: Iterable[T]) -> list[R]:
+        """Apply ``fn`` to every task through the pool, in task order."""
         task_list: Sequence[T] = list(tasks)
         if len(task_list) <= 1 or self.max_workers == 1:
             return [fn(task) for task in task_list]
         return list(self._pool().map(fn, task_list, chunksize=self.chunksize))
 
     def close(self) -> None:
+        """Shut the pool down; idempotent."""
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
 
-    def __enter__(self) -> "ProcessPoolBackend":
+    def __enter__(self):
         return self
 
     def __exit__(self, *exc: object) -> None:
         self.close()
 
 
-#: Registered backend names -> factories.
+class ProcessPoolBackend(_PooledBackend):
+    """``concurrent.futures.ProcessPoolExecutor``-backed execution.
+
+    Task functions must be importable module-level callables and tasks must
+    be picklable — every task dataclass in :mod:`repro.engine.scheduler`
+    satisfies this.  ``chunksize`` batches tasks per worker dispatch to
+    amortize pickling.
+    """
+
+    name = "process"
+    executor_cls = ProcessPoolExecutor
+
+
+class ThreadPoolBackend(_PooledBackend):
+    """``concurrent.futures.ThreadPoolExecutor``-backed execution.
+
+    Threads share the interpreter, so tasks need not be picklable and
+    dispatch latency is tiny — the right trade for short analytic
+    evaluations and for I/O-heavy work (persistent-cache reads), where the
+    process pool's serialization cost dominates.  CPU-bound synthesis under
+    the GIL still serializes; use ``ProcessPoolBackend`` for that.  Every
+    task function used by the engine is reentrant (per-call
+    ``numpy.random.default_rng`` state, no shared mutables), so threaded
+    maps return the same values as serial ones.  ``chunksize`` is accepted
+    for interface parity but has no effect on a thread pool.
+    """
+
+    name = "thread"
+    executor_cls = ThreadPoolExecutor
+
+
+#: Registered backend names -> factories.  Extension point: register a new
+#: name here (or assign ``BACKENDS['myname'] = factory`` at import time) and
+#: every FlowConfig / CLI ``--backend`` choice picks it up.
 BACKENDS: dict[str, Callable[..., ExecutionBackend]] = {
     "serial": lambda max_workers=None, chunksize=1: SerialBackend(),
+    "thread": ThreadPoolBackend,
     "process": ProcessPoolBackend,
 }
 

@@ -24,7 +24,8 @@ if TYPE_CHECKING:
 class FlowConfig:
     """Execution and synthesis configuration for one flow invocation."""
 
-    #: Execution backend name: 'serial' or 'process'.
+    #: Execution backend name: 'serial', 'thread' or 'process' (any key of
+    #: :data:`repro.engine.backend.BACKENDS`).
     backend: str = "serial"
     #: Worker count for pooled backends (``None`` = one per CPU).
     max_workers: int | None = None

@@ -24,6 +24,14 @@ Because the plan (donor assignment, budgets, seeds) is fixed before any
 execution happens, a parallel run synthesizes exactly the blocks a serial
 run would, from exactly the same warm starts — so candidate rankings are
 backend-independent.
+
+Plans can additionally carry an *external donor pool* — already-sized
+blocks from other system specs (a campaign's earlier scenarios).  Pool
+donors seed wave-0 retargets but never satisfy a reuse key, and a
+pool-donated block whose warm-started search misses feasibility is
+re-synthesized cold in the same wave (deterministic escalation), so batch
+reuse can only add feasibility, never remove it.  See
+:mod:`repro.campaign.runner` and ``docs/engine.md``.
 """
 
 from __future__ import annotations
@@ -60,11 +68,19 @@ class PlanNode:
     donor_existing: ReuseKey | None
     #: Topological layer: every donor lives in a strictly earlier wave.
     wave: int
+    #: Index into :attr:`SynthesisPlan.donors` when the warm start comes
+    #: from an external donor pool (e.g. blocks synthesized by earlier
+    #: scenarios of a campaign), ``None`` otherwise.
+    donor_pool_index: int | None = None
 
     @property
     def is_cold(self) -> bool:
         """True when the block synthesizes without a warm start."""
-        return self.donor_index is None and self.donor_existing is None
+        return (
+            self.donor_index is None
+            and self.donor_existing is None
+            and self.donor_pool_index is None
+        )
 
 
 @dataclass(frozen=True)
@@ -76,6 +92,10 @@ class SynthesisPlan:
     waves: tuple[tuple[int, ...], ...]
     #: Total stage instances the nodes cover (before deduplication).
     total_instances: int
+    #: External warm-start donors referenced by ``donor_pool_index``.  These
+    #: never satisfy a reuse key — they only seed retargets — so a plan with
+    #: donors still synthesizes every unique spec it was handed.
+    donors: tuple[SynthesisResult, ...] = ()
 
     @property
     def unique_blocks(self) -> int:
@@ -86,6 +106,11 @@ class SynthesisPlan:
     def max_wave_width(self) -> int:
         """Largest number of independent syntheses in any wave."""
         return max((len(w) for w in self.waves), default=0)
+
+    @property
+    def pool_donated(self) -> int:
+        """Blocks warm-started from the external donor pool."""
+        return sum(1 for n in self.nodes if n.donor_pool_index is not None)
 
 
 @dataclass(frozen=True)
@@ -135,21 +160,28 @@ def _relative_gm_distance(donor_spec: MdacSpec, target: MdacSpec) -> float:
 def plan_synthesis(
     specs: Sequence[MdacSpec],
     existing: Mapping[ReuseKey, SynthesisResult] | None = None,
+    donors: Sequence[SynthesisResult] = (),
 ) -> SynthesisPlan:
     """Build the deduplicated wave schedule for a batch of stage specs.
 
     ``specs`` is every MDAC spec of every candidate, in candidate order —
     the exact sequence the legacy serial loop would feed ``cache.get``.
     ``existing`` holds results already in the cache; their specs join the
-    donor pool at depth 0 and are never re-synthesized.
+    donor pool at depth 0 and are never re-synthesized.  ``donors`` is an
+    *external* donor pool — already-sized blocks from outside this run
+    (typically earlier scenarios of a campaign) that may warm-start new
+    blocks but never satisfy a reuse key: unlike ``existing`` entries they
+    are not valid results for this run's specs, only good starting points.
 
     Donor assignment replays the serial semantics: the i-th *new* block's
-    donor is the nearest (by relative gm distance) among all pre-existing
-    results and the new blocks planned before it, in cache insertion order
-    — including tie-breaks, since ``min`` keeps the first minimum in both
-    code paths.
+    donor is the nearest (by relative gm distance) among the external pool,
+    all pre-existing results, and the new blocks planned before it, in that
+    order — including tie-breaks, since ``min`` keeps the first minimum in
+    both code paths.  With an empty ``donors`` sequence the plan is
+    identical to the pre-campaign scheduler's.
     """
     existing = existing or {}
+    donor_pool = tuple(donors)
 
     unique: list[MdacSpec] = []
     seen: set[ReuseKey] = set(existing)
@@ -158,8 +190,9 @@ def plan_synthesis(
             seen.add(spec.reuse_key)
             unique.append(spec)
 
-    # Donor pool in cache insertion order: existing entries first (their
-    # dict order is insertion order), then planned nodes by index.
+    # Donor candidates in fixed scan order: the external pool first (oldest
+    # blocks first), then existing cache entries (dict order is insertion
+    # order), then planned nodes by index.
     existing_pool: list[tuple[ReuseKey, MdacSpec]] = [
         (key, result.spec) for key, result in existing.items()
     ]
@@ -169,17 +202,23 @@ def plan_synthesis(
     for i, spec in enumerate(unique):
         donor_index: int | None = None
         donor_existing: ReuseKey | None = None
+        donor_pool_index: int | None = None
         best_distance: float | None = None
+        for p, donor_result in enumerate(donor_pool):
+            d = _relative_gm_distance(donor_result.spec, spec)
+            if best_distance is None or d < best_distance:
+                best_distance = d
+                donor_pool_index, donor_existing, donor_index = p, None, None
         for key, donor_spec in existing_pool:
             d = _relative_gm_distance(donor_spec, spec)
             if best_distance is None or d < best_distance:
                 best_distance = d
-                donor_existing, donor_index = key, None
+                donor_pool_index, donor_existing, donor_index = None, key, None
         for j in range(i):
             d = _relative_gm_distance(nodes[j].spec, spec)
             if best_distance is None or d < best_distance:
                 best_distance = d
-                donor_existing, donor_index = None, j
+                donor_pool_index, donor_existing, donor_index = None, None, j
 
         wave = 0 if donor_index is None else nodes[donor_index].wave + 1
         node = PlanNode(
@@ -189,6 +228,7 @@ def plan_synthesis(
             donor_index=donor_index,
             donor_existing=donor_existing,
             wave=wave,
+            donor_pool_index=donor_pool_index,
         )
         nodes.append(node)
         waves.setdefault(wave, []).append(i)
@@ -200,6 +240,7 @@ def plan_synthesis(
         nodes=tuple(nodes),
         waves=ordered_waves,
         total_instances=len(specs),
+        donors=donor_pool,
     )
 
 
@@ -223,12 +264,38 @@ def execute_plan(
             return resolved[node.donor_index]
         if node.donor_existing is not None:
             return cache.results[node.donor_existing]
+        if node.donor_pool_index is not None:
+            return plan.donors[node.donor_pool_index]
         return None
+
+    def cold_fingerprint(node: PlanNode) -> str:
+        return block_fingerprint(
+            node.spec,
+            cache.tech,
+            budget=cache.budget,
+            seed=cache.seed,
+            verify_transient=cache.verify_transient,
+        )
+
+    def cold_job(node: PlanNode) -> SynthesisJob:
+        return SynthesisJob(
+            spec=node.spec,
+            tech=cache.tech,
+            budget=cache.budget,
+            seed=cache.seed,
+            verify_transient=cache.verify_transient,
+        )
 
     for wave in plan.waves:
         pending: list[PlanNode] = []
         jobs: list[SynthesisJob] = []
         fingerprints: dict[int, str] = {}
+        #: Node indices already forced onto the cold path by a cached
+        #: failed warm attempt (no fresh escalation check needed).
+        pre_escalated: set[int] = set()
+        #: Positions in ``pending`` whose final result came from the cache
+        #: rather than a fresh search (admitted without effort counting).
+        loaded: set[int] = set()
         for index in wave:
             node = plan.nodes[index]
             donor = donor_result(node)
@@ -243,12 +310,34 @@ def execute_plan(
                 retarget_seed=cache.retarget_seed,
             )
             fingerprints[index] = fingerprint
-            hit = cache.load_persistent(fingerprint)
+            hit = cache.load_persistent(fingerprint, spec=node.spec)
+            if (
+                hit is not None
+                and node.donor_pool_index is not None
+                and not hit.feasible
+            ):
+                # A previous run already proved this pool warm start misses
+                # feasibility (the failed attempt is persisted below), so
+                # escalate straight to the cold path without re-running the
+                # retarget search.  No search is discarded here, so
+                # ``pool_escalations`` (a count of discarded retargets) is
+                # not incremented.
+                fingerprints[index] = cold_fingerprint(node)
+                hit = cache.load_persistent(fingerprints[index], spec=node.spec)
+                if hit is None:
+                    pending.append(node)
+                    jobs.append(cold_job(node))
+                    pre_escalated.add(index)
+                    continue
             if hit is not None:
                 resolved[index] = hit
-                cache.admit(node.key, hit, fingerprint, newly_synthesized=False)
+                cache.admit(
+                    node.key, hit, fingerprints[index], newly_synthesized=False
+                )
                 continue
             pending.append(node)
+            if node.donor_pool_index is not None and index not in pre_escalated:
+                cache.pool_warm_starts += 1
             jobs.append(
                 SynthesisJob(
                     spec=node.spec,
@@ -263,13 +352,53 @@ def execute_plan(
             )
         if jobs:
             results = backend.map(run_synthesis_job, jobs)
-            for node, result in zip(pending, results):
+            # Feasibility escalation, pool-donated nodes only: a warm start
+            # from another system spec's design is a heuristic — when the
+            # lean retarget budget fails to reach feasibility, fall back to
+            # the cold synthesis a standalone run would have done.  The
+            # check depends only on the (deterministic) result, so every
+            # backend escalates the same nodes.  In-plan and existing-entry
+            # donors keep the legacy no-escalation semantics.
+            escalate = [
+                i
+                for i, (node, result) in enumerate(zip(pending, results))
+                if node.donor_pool_index is not None
+                and node.index not in pre_escalated
+                and not result.feasible
+            ]
+            if escalate:
+                # Persist the failed warm attempts under their planned
+                # fingerprints so reruns skip the doomed retarget search
+                # (the scan above recognizes them and goes straight cold).
+                for i in escalate:
+                    cache._persist(fingerprints[pending[i].index], results[i])
+                cold_dispatch: list[int] = []
+                for i in escalate:
+                    node = pending[i]
+                    fingerprints[node.index] = cold_fingerprint(node)
+                    cache.pool_escalations += 1
+                    cold_hit = cache.load_persistent(
+                        fingerprints[node.index], spec=node.spec
+                    )
+                    if cold_hit is not None:
+                        results[i] = cold_hit
+                        loaded.add(i)
+                    else:
+                        cold_dispatch.append(i)
+                if cold_dispatch:
+                    cold_results = backend.map(
+                        run_synthesis_job,
+                        [cold_job(pending[i]) for i in cold_dispatch],
+                    )
+                    for i, cold in zip(cold_dispatch, cold_results):
+                        results[i] = cold
+            for i, (node, result) in enumerate(zip(pending, results)):
                 resolved[node.index] = result
                 cache.admit(
                     node.key,
                     result,
                     fingerprints[node.index],
-                    newly_synthesized=True,
+                    newly_synthesized=i not in loaded,
                 )
 
     return {plan.nodes[i].key: result for i, result in resolved.items()}

@@ -3,15 +3,22 @@
 Reproduces the paper's headline rankings: 3-2... optimal at 10 bits,
 4-2... at 11, 4-2-2... at 12, 4-3-2... at 13, with a 2-bit final
 front-end stage optimal everywhere.
+
+The driver is a thin campaign client: the resolution sweep is exactly a
+one-axis :class:`~repro.campaign.grid.CampaignGrid`, so the campaign runner
+supplies the shared backend, the cross-scenario block reuse (in synthesis
+mode) and the per-scenario records, and this module just reshapes the
+result into the figure's form.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.campaign.grid import CampaignGrid
+from repro.campaign.runner import run_campaign
 from repro.engine.config import FlowConfig
-from repro.flow.topology import TopologyResult, optimize_topology
-from repro.specs.adc import AdcSpec
+from repro.flow.topology import TopologyResult
 
 #: The paper's reported optima.
 PAPER_OPTIMA = {10: "3-2", 11: "4-2", 12: "4-2-2", 13: "4-3-2"}
@@ -44,24 +51,14 @@ def fig2_total_power(
     mode: str = "analytic",
     config: FlowConfig | None = None,
 ) -> Fig2Result:
-    """Regenerate Fig. 2's bars.
-
-    One execution backend is shared across the per-resolution runs so a
-    process pool spins up once for the whole sweep, not once per K.
-    """
-    if config is None:
-        config = FlowConfig()
-    backend = config.make_backend()
-    try:
-        by_resolution = {
-            k: optimize_topology(
-                AdcSpec(resolution_bits=k), mode=mode, config=config, backend=backend
-            )
-            for k in resolutions
-        }
-    finally:
-        backend.close()
-    return Fig2Result(by_resolution=by_resolution)
+    """Regenerate Fig. 2's bars by running the sweep as a campaign."""
+    grid = CampaignGrid(
+        resolutions=tuple(resolutions),
+        sample_rates_hz=(40e6,),
+        modes=(mode,),
+    )
+    campaign = run_campaign(grid, config=config)
+    return Fig2Result(by_resolution=campaign.topology_by_resolution(mode=mode))
 
 
 def format_fig2(result: Fig2Result) -> str:

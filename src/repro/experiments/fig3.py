@@ -1,11 +1,20 @@
-"""Fig. 3 — the designer decision diagram (optimum-candidate rules)."""
+"""Fig. 3 — the designer decision diagram (optimum-candidate rules).
+
+A thin campaign client: the resolution sweep runs as a one-axis campaign
+(shared backend, per-scenario records), and the winners are compressed into
+first-stage-choice bands by :func:`repro.flow.designer.compress_rules` —
+the same pure function the flow-level :func:`~repro.flow.designer.extract_rules`
+uses, so both paths produce identical diagrams.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.campaign.grid import CampaignGrid
+from repro.campaign.runner import run_campaign
 from repro.engine.config import FlowConfig
-from repro.flow.designer import DesignerRule, extract_rules
+from repro.flow.designer import DesignerRule, SweepPoint, compress_rules
 
 
 @dataclass(frozen=True)
@@ -21,8 +30,25 @@ def fig3_designer_rules(
     resolutions: list[int] | None = None,
     config: FlowConfig | None = None,
 ) -> Fig3Result:
-    """Sweep resolutions and compress the winners into first-stage rules."""
-    rules, winners, last2 = extract_rules(resolutions, config=config)
+    """Sweep resolutions as a campaign and compress the winners into rules."""
+    if resolutions is None:
+        resolutions = list(range(9, 15))
+    grid = CampaignGrid(
+        resolutions=tuple(sorted(set(resolutions))),
+        sample_rates_hz=(40e6,),
+        modes=("analytic",),
+    )
+    campaign = run_campaign(grid, config=config)
+    points = [
+        SweepPoint(
+            resolution_bits=s.scenario.spec.resolution_bits,
+            winner_label=s.topology.best.label,
+            first_stage_bits=s.topology.best.candidate.resolutions[0],
+            last_stage_bits=s.topology.best.candidate.resolutions[-1],
+        )
+        for s in campaign.scenarios
+    ]
+    rules, winners, last2 = compress_rules(points)
     return Fig3Result(rules=rules, winners=winners, last_stage_always_2bit=last2)
 
 

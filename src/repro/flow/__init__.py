@@ -9,7 +9,12 @@ the sweep into the designer decision diagram of Fig. 3.
 from repro.engine.config import FlowConfig
 from repro.flow.cache import BlockCache, PersistentBlockCache
 from repro.flow.topology import CandidateEvaluation, TopologyResult, optimize_topology
-from repro.flow.designer import DesignerRule, extract_rules
+from repro.flow.designer import (
+    DesignerRule,
+    SweepPoint,
+    compress_rules,
+    extract_rules,
+)
 
 __all__ = [
     "BlockCache",
@@ -19,5 +24,7 @@ __all__ = [
     "TopologyResult",
     "CandidateEvaluation",
     "DesignerRule",
+    "SweepPoint",
+    "compress_rules",
     "extract_rules",
 ]

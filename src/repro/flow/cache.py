@@ -44,6 +44,21 @@ class BlockCache:
     retargeted_runs: int = 0
     #: Lookups served from the in-memory result map.
     cache_hits: int = 0
+    #: External warm-start donors (blocks sized for *other* system specs,
+    #: e.g. by earlier scenarios of a campaign).  They join the scheduler's
+    #: donor scan ahead of this cache's own results but never satisfy a
+    #: reuse key — see :func:`repro.engine.scheduler.plan_synthesis`.
+    donor_pool: tuple[SynthesisResult, ...] = ()
+    #: Warm-start *attempts* seeded from the external donor pool.  A
+    #: successful attempt lands in ``retargeted_runs``; a failed one
+    #: escalates (below) and its block is counted in ``cold_runs`` instead.
+    pool_warm_starts: int = 0
+    #: Retarget searches that ran, missed feasibility and were discarded in
+    #: favor of a cold resolution (see the escalation step in
+    #: :func:`repro.engine.scheduler.execute_plan`).  Exactly the extra
+    #: search work beyond ``cold_runs + retargeted_runs``; cache-served
+    #: escalations (a previously persisted failed attempt) do not count.
+    pool_escalations: int = 0
 
     def get(self, mdac: MdacSpec) -> SynthesisResult:
         """Return the synthesized block for this spec, reusing or retargeting.
@@ -65,7 +80,9 @@ class BlockCache:
         from repro.engine.scheduler import execute_plan, plan_synthesis
 
         resolved = execute_plan(
-            plan_synthesis([mdac], self.results), self, SerialBackend()
+            plan_synthesis([mdac], self.results, donors=self.donor_pool),
+            self,
+            SerialBackend(),
         )
         return resolved[key]
 
@@ -95,8 +112,16 @@ class BlockCache:
         if fingerprint is not None and newly_synthesized:
             self._persist(fingerprint, result)
 
-    def load_persistent(self, fingerprint: str) -> SynthesisResult | None:
-        """Persistent-layer lookup; the in-memory cache has none."""
+    def load_persistent(
+        self, fingerprint: str, spec: MdacSpec | None = None
+    ) -> SynthesisResult | None:
+        """Persistent-layer lookup; the in-memory cache has none.
+
+        ``spec`` is the block being resolved — fingerprint-only caches
+        ignore it, but spec-aware layers (the campaign ledger) use it to
+        serve an already-sized block for the identical spec even when the
+        search hyper-parameters (donor, budget) differ.
+        """
         return None
 
     def _persist(self, fingerprint: str, result: SynthesisResult) -> None:
@@ -131,7 +156,9 @@ class PersistentBlockCache(BlockCache):
         if self.cache_dir is None:
             raise SpecificationError("PersistentBlockCache requires cache_dir")
 
-    def load_persistent(self, fingerprint: str) -> SynthesisResult | None:
+    def load_persistent(
+        self, fingerprint: str, spec: MdacSpec | None = None
+    ) -> SynthesisResult | None:
         result = load_result(self.cache_dir, fingerprint)
         if result is not None:
             self.persistent_hits += 1

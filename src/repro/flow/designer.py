@@ -48,8 +48,13 @@ class _SweepTask:
 
 
 @dataclass(frozen=True)
-class _SweepPoint:
-    """Slim per-resolution outcome shipped back from workers."""
+class SweepPoint:
+    """Slim per-resolution sweep outcome.
+
+    The minimal facts rule compression needs — produced by this module's
+    own backend sweep or assembled from campaign scenario results (see
+    :func:`repro.experiments.fig3.fig3_designer_rules`).
+    """
 
     resolution_bits: int
     winner_label: str
@@ -57,7 +62,7 @@ class _SweepPoint:
     last_stage_bits: int
 
 
-def _sweep_one(task: _SweepTask) -> _SweepPoint:
+def _sweep_one(task: _SweepTask) -> SweepPoint:
     """Optimize one resolution — pool-dispatchable."""
     from repro.flow.topology import optimize_topology
 
@@ -67,7 +72,7 @@ def _sweep_one(task: _SweepTask) -> _SweepPoint:
     best = optimize_topology(
         spec, mode="analytic", model=task.model, config=task.config
     ).best
-    return _SweepPoint(
+    return SweepPoint(
         resolution_bits=task.resolution_bits,
         winner_label=best.label,
         first_stage_bits=best.candidate.resolutions[0],
@@ -103,7 +108,19 @@ def extract_rules(
         points = backend.map(_sweep_one, tasks)
     finally:
         backend.close()
+    return compress_rules(points, two_bit_rule_range)
 
+
+def compress_rules(
+    points: list[SweepPoint],
+    two_bit_rule_range: tuple[int, int] = (10, 13),
+) -> tuple[list[DesignerRule], dict[int, str], bool]:
+    """Compress swept winners into first-stage-choice bands.
+
+    Pure function over :class:`SweepPoint` data, shared by
+    :func:`extract_rules` and the campaign-backed Fig. 3 driver.  Returns
+    ``(rules, winners_by_k, last_stage_always_2bit)``.
+    """
     by_k = {p.resolution_bits: p for p in points}
     winners = {k: by_k[k].winner_label for k in sorted(by_k)}
     last_stage_2bit = all(

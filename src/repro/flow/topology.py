@@ -169,7 +169,9 @@ def optimize_topology(
                 cache = config.make_cache(spec.tech)
             stage_plans = [plan_stages(spec, cand) for cand in candidates]
             all_specs = [m for p in stage_plans for m in p.mdacs]
-            synth_plan = plan_synthesis(all_specs, cache.results)
+            synth_plan = plan_synthesis(
+                all_specs, cache.results, donors=cache.donor_pool
+            )
             execute_plan(synth_plan, cache, backend)
             evaluations = [
                 _evaluate_synthesis(p, cache, model, spec) for p in stage_plans

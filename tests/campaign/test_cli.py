@@ -1,0 +1,96 @@
+"""The ``repro-adc campaign`` command and the engine-era help text."""
+
+import json
+
+import pytest
+
+from repro.cli import EPILOG, main
+
+
+class TestCampaignCommand:
+    def test_campaign_writes_store(self, tmp_path, capsys):
+        out = tmp_path / "store"
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--bits",
+                    "10-12",
+                    "--rates",
+                    "20,40,60",
+                    "--quiet",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        stdout = capsys.readouterr().out
+        assert "Campaign comparison" in stdout
+        assert "FoM" in stdout
+
+        lines = (out / "results.jsonl").read_text().splitlines()
+        assert len(lines) == 9  # 3 resolutions x 3 rates
+        record = json.loads(lines[0])
+        assert record["mode"] == "analytic"
+        assert record["winner"]
+        assert (out / "report.txt").exists()
+        assert (out / "meta.json").exists()
+
+    def test_campaign_report_only_without_out(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # any accidental writes land here
+        assert main(["campaign", "--bits", "12", "--quiet"]) == 0
+        assert "Campaign comparison" in capsys.readouterr().out
+        assert list(tmp_path.iterdir()) == []
+
+    def test_campaign_bad_axis_errors(self):
+        from repro.errors import SpecificationError
+
+        with pytest.raises(SpecificationError):
+            main(["campaign", "--bits", "banana", "--quiet"])
+
+
+class TestHelpEpilog:
+    def test_epilog_describes_flowconfig_era_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        help_text = capsys.readouterr().out
+        # The epilog must describe the engine flags of FlowConfig, not the
+        # pre-engine flow, and advertise every registered backend.
+        for fragment in (
+            "--backend",
+            "serial",
+            "thread",
+            "process",
+            "--cache-dir",
+            "REPRO_ADC_CACHE",
+            "--retarget-budget",
+            "campaign",
+            "results.jsonl",
+        ):
+            assert fragment in help_text, f"--help is missing {fragment!r}"
+
+    def test_epilog_flags_exist_on_parser(self):
+        # Every --flag the epilog mentions must actually be accepted by the
+        # flow commands, so the help text cannot rot.
+        import re
+
+        flags = set(re.findall(r"--[a-z-]+", EPILOG))
+        with pytest.raises(SystemExit):
+            main(["explore", "--help"])
+        # argparse exits before parsing; inspect the parser by running
+        # each flag through a real invocation instead.
+        assert flags  # sanity
+        argv = ["campaign", "--bits", "12", "--quiet"]
+        for flag in sorted(flags - {"--backend", "--modes", "--bits", "--rates"}):
+            if flag in ("--no-verify",):
+                argv += [flag]
+            elif flag in ("--workers",):
+                argv += [flag, "1"]
+            elif flag in ("--budget", "--retarget-budget"):
+                argv += [flag, "50"]
+            elif flag == "--cache-dir":
+                continue  # exercised in runner tests; avoid disk writes here
+            elif flag == "--out":
+                continue
+        assert main(argv) == 0

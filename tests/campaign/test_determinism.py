@@ -1,0 +1,95 @@
+"""Campaign determinism: byte-identical reports on every backend.
+
+The PR 1 guarantee — parallel runs rank candidates identically to serial —
+lifted to whole campaigns: the JSONL results store and the comparison
+report must compare byte-for-byte across the serial, thread and process
+backends, for both analytic and synthesis scenarios.
+"""
+
+import pytest
+
+from repro.campaign import CampaignGrid, run_campaign
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def _store_bytes(tmp_path, grid, config):
+    campaign = run_campaign(grid, config=config)
+    paths = campaign.save(tmp_path / config.backend)
+    return (
+        paths["results"].read_bytes(),
+        paths["report"].read_bytes(),
+        campaign,
+    )
+
+
+class TestAnalyticDeterminism:
+    @pytest.fixture(scope="class")
+    def stores(self, tmp_path_factory):
+        from repro.engine.config import FlowConfig
+
+        tmp_path = tmp_path_factory.mktemp("analytic")
+        grid = CampaignGrid(
+            resolutions=(10, 11, 12, 13), sample_rates_hz=(20e6, 40e6, 60e6)
+        )
+        return {
+            name: _store_bytes(
+                tmp_path, grid, FlowConfig(backend=name, max_workers=2)
+            )
+            for name in BACKENDS
+        }
+
+    def test_results_jsonl_byte_identical(self, stores):
+        serial_results = stores["serial"][0]
+        assert stores["thread"][0] == serial_results
+        assert stores["process"][0] == serial_results
+
+    def test_report_byte_identical(self, stores):
+        serial_report = stores["serial"][1]
+        assert stores["thread"][1] == serial_report
+        assert stores["process"][1] == serial_report
+
+    def test_nine_plus_point_grid_covered(self, stores):
+        # The acceptance grid: >= 9 scenarios with identical rankings.
+        campaign = stores["serial"][2]
+        assert len(campaign.records) >= 9
+
+
+class TestSynthesisDeterminism:
+    @pytest.fixture(scope="class")
+    def stores(self, tmp_path_factory):
+        from repro.engine.config import FlowConfig
+
+        tmp_path = tmp_path_factory.mktemp("synthesis")
+        grid = CampaignGrid(resolutions=(10,), modes=("synthesis",))
+        return {
+            name: _store_bytes(
+                tmp_path,
+                grid,
+                FlowConfig(
+                    backend=name,
+                    max_workers=2,
+                    budget=60,
+                    retarget_budget=30,
+                    verify_transient=False,
+                ),
+            )
+            for name in BACKENDS
+        }
+
+    def test_results_jsonl_byte_identical(self, stores):
+        serial_results = stores["serial"][0]
+        assert stores["thread"][0] == serial_results
+        assert stores["process"][0] == serial_results
+
+    def test_report_byte_identical(self, stores):
+        serial_report = stores["serial"][1]
+        assert stores["thread"][1] == serial_report
+        assert stores["process"][1] == serial_report
+
+    def test_synthesis_accounting_identical(self, stores):
+        # Not just the rankings: the cold/retarget/pool split is part of
+        # the record, so the *plan* must match across backends too.
+        records = {name: stores[name][2].records for name in BACKENDS}
+        assert records["thread"] == records["serial"]
+        assert records["process"] == records["serial"]

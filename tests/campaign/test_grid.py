@@ -1,0 +1,84 @@
+"""Campaign grid expansion and CLI axis parsing."""
+
+import pytest
+
+from repro.campaign.grid import (
+    CampaignGrid,
+    parse_int_axis,
+    parse_rate_axis,
+)
+from repro.errors import SpecificationError
+
+
+class TestGrid:
+    def test_expansion_order_and_size(self):
+        grid = CampaignGrid(
+            resolutions=(10, 11),
+            sample_rates_hz=(20e6, 40e6),
+            modes=("analytic", "synthesis"),
+        )
+        scenarios = grid.expand()
+        assert len(scenarios) == grid.size == 8
+        assert [s.index for s in scenarios] == list(range(8))
+        # Resolutions vary fastest, then rates, then modes.
+        assert [
+            (s.mode, s.spec.sample_rate_hz, s.spec.resolution_bits)
+            for s in scenarios[:4]
+        ] == [
+            ("analytic", 20e6, 10),
+            ("analytic", 20e6, 11),
+            ("analytic", 40e6, 10),
+            ("analytic", 40e6, 11),
+        ]
+        assert scenarios[4].mode == "synthesis"
+
+    def test_expansion_is_deterministic(self):
+        grid = CampaignGrid(resolutions=(10, 12), sample_rates_hz=(40e6,))
+        assert grid.expand() == grid.expand()
+
+    def test_labels_are_unique_and_stable(self):
+        grid = CampaignGrid(
+            resolutions=(10, 11, 12), sample_rates_hz=(20e6, 40e6)
+        )
+        labels = [s.label for s in grid.expand()]
+        assert len(set(labels)) == len(labels)
+        assert "k10_20M_analytic" in labels
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(SpecificationError):
+            CampaignGrid(resolutions=())
+        with pytest.raises(SpecificationError):
+            CampaignGrid(resolutions=(12,), modes=())
+
+    def test_duplicate_axis_values_rejected(self):
+        with pytest.raises(SpecificationError):
+            CampaignGrid(resolutions=(12, 12))
+        with pytest.raises(SpecificationError):
+            CampaignGrid(resolutions=(12,), sample_rates_hz=(40e6, 40e6))
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SpecificationError):
+            CampaignGrid(resolutions=(12,), modes=("spice",))
+
+
+class TestAxisParsing:
+    def test_int_range(self):
+        assert parse_int_axis("10-13") == (10, 11, 12, 13)
+
+    def test_int_list_and_mixed(self):
+        assert parse_int_axis("10,12,13") == (10, 12, 13)
+        assert parse_int_axis("8,10-12") == (8, 10, 11, 12)
+
+    def test_int_garbage_rejected(self):
+        for bad in ("", "abc", "13-10", "10-"):
+            with pytest.raises(SpecificationError):
+                parse_int_axis(bad)
+
+    def test_rates_in_msps(self):
+        assert parse_rate_axis("20,40") == (20e6, 40e6)
+        assert parse_rate_axis("2.5") == (2.5e6,)
+
+    def test_rate_garbage_rejected(self):
+        for bad in ("", "fast", "-40", "0"):
+            with pytest.raises(SpecificationError):
+                parse_rate_axis(bad)

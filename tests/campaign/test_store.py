@@ -1,0 +1,78 @@
+"""Results store: record round-trips, FoM, and file layout."""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignGrid, run_campaign
+from repro.campaign.store import (
+    CampaignRecord,
+    read_records,
+    walden_fom,
+    write_records,
+)
+from repro.errors import SpecificationError
+
+
+def _campaign(tmp_path=None, **grid_kwargs):
+    grid_kwargs.setdefault("resolutions", (10, 11))
+    grid_kwargs.setdefault("sample_rates_hz", (40e6,))
+    return run_campaign(CampaignGrid(**grid_kwargs))
+
+
+class TestFom:
+    def test_walden_definition(self):
+        # 10 mW, 10 bits, 40 MSPS -> 10e-3 / (1024 * 40e6) J/step.
+        assert walden_fom(10e-3, 10, 40e6) == pytest.approx(
+            10e-3 / (1024 * 40e6)
+        )
+
+    def test_records_carry_winner_fom(self):
+        record = _campaign().records[0]
+        assert record.fom_j_per_step == pytest.approx(
+            walden_fom(
+                record.winner_power_w,
+                record.resolution_bits,
+                record.sample_rate_hz,
+            )
+        )
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self):
+        for record in _campaign().records:
+            assert CampaignRecord.from_json(record.to_json()) == record
+
+    def test_jsonl_file_round_trip(self, tmp_path):
+        records = _campaign().records
+        path = write_records(records, tmp_path / "results.jsonl")
+        assert read_records(path) == records
+
+    def test_corrupt_line_raises(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        path.write_text('{"not": "a record"}\n')
+        with pytest.raises(SpecificationError):
+            read_records(path)
+
+    def test_rankings_are_sorted_best_first(self):
+        for record in _campaign().records:
+            powers = [p for _, p in record.rankings]
+            assert powers == sorted(powers)
+            assert record.winner == record.rankings[0][0]
+
+
+class TestSave:
+    def test_save_writes_store_layout(self, tmp_path):
+        campaign = _campaign()
+        paths = campaign.save(tmp_path / "store")
+        assert paths["results"].exists()
+        assert paths["report"].exists()
+        assert paths["meta"].exists()
+        # results.jsonl has one line per scenario and parses back.
+        assert read_records(paths["results"]) == campaign.records
+        # report.txt matches the in-memory report.
+        assert paths["report"].read_text().rstrip("\n") == campaign.report()
+        # meta carries timing/backend, separated from the records.
+        meta = json.loads(paths["meta"].read_text())
+        assert meta["backend"] == "serial"
+        assert set(meta["scenario_wall_seconds"]) == set(campaign.winners)

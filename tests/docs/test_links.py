@@ -1,0 +1,81 @@
+"""Markdown link-check: README, docs/ and ROADMAP must not rot.
+
+Every relative link/image target in the checked documents must exist in
+the repository, every referenced source path must exist, and the
+architecture doc's paper-to-module map must cover every experiment driver.
+External (http/https/mailto) targets are skipped — CI has no network.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: The documents the CI docs job guards.
+DOCUMENTS = sorted(
+    [
+        REPO_ROOT / "README.md",
+        REPO_ROOT / "ROADMAP.md",
+        *(REPO_ROOT / "docs").glob("*.md"),
+    ]
+)
+
+#: Markdown inline links/images: [text](target) / ![alt](target).
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Backticked repo paths like ``src/repro/engine/backend.py`` or
+#: ``docs/engine.md`` (optionally with ::symbol or trailing slash).
+_PATH_RE = re.compile(
+    r"`((?:src|docs|tests|benchmarks|examples)/[A-Za-z0-9_./-]+?)(?:::[A-Za-z_]+)?/?`"
+)
+
+
+def _targets(document: Path):
+    text = document.read_text(encoding="utf-8")
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target.split("#", 1)[0]
+
+
+@pytest.mark.parametrize("document", DOCUMENTS, ids=lambda p: p.name)
+def test_relative_links_resolve(document):
+    assert document.exists(), f"missing checked document {document}"
+    for target in _targets(document):
+        resolved = (document.parent / target).resolve()
+        assert resolved.exists(), f"{document.name}: broken link -> {target}"
+
+
+@pytest.mark.parametrize("document", DOCUMENTS, ids=lambda p: p.name)
+def test_backticked_repo_paths_exist(document):
+    text = document.read_text(encoding="utf-8")
+    for match in _PATH_RE.finditer(text):
+        path = REPO_ROOT / match.group(1)
+        assert path.exists(), f"{document.name}: dangling path `{match.group(1)}`"
+
+
+def test_architecture_map_covers_every_experiment_driver():
+    """docs/architecture.md must map each experiment driver module."""
+    architecture = REPO_ROOT / "docs" / "architecture.md"
+    assert architecture.exists(), "docs/architecture.md is missing"
+    text = architecture.read_text(encoding="utf-8")
+    drivers = sorted(
+        p.stem
+        for p in (REPO_ROOT / "src" / "repro" / "experiments").glob("*.py")
+        if p.stem != "__init__"
+    )
+    assert drivers, "no experiment drivers found"
+    for driver in drivers:
+        assert f"experiments/{driver}.py" in text, (
+            f"paper-to-module map misses src/repro/experiments/{driver}.py"
+        )
+
+
+def test_docs_pages_exist_and_are_linked_from_readme():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for page in ("docs/architecture.md", "docs/engine.md"):
+        assert (REPO_ROOT / page).exists(), f"{page} is missing"
+        assert page in readme, f"README does not link {page}"

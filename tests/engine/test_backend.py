@@ -7,6 +7,7 @@ from repro.engine.backend import (
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
+    ThreadPoolBackend,
     make_backend,
 )
 from repro.engine.config import FlowConfig
@@ -61,9 +62,36 @@ class TestProcessPoolBackend:
         assert isinstance(ProcessPoolBackend(), ExecutionBackend)
 
 
+class TestThreadPoolBackend:
+    def test_map_preserves_order(self):
+        with ThreadPoolBackend(max_workers=2) as backend:
+            assert backend.map(_square, list(range(8))) == [x * x for x in range(8)]
+
+    def test_single_task_runs_inline(self):
+        backend = ThreadPoolBackend(max_workers=2)
+        assert backend.map(_square, [5]) == [25]
+        assert backend._executor is None
+        backend.close()
+
+    def test_unpicklable_tasks_allowed(self):
+        # Unlike the process pool, closures and lambdas are fine.
+        with ThreadPoolBackend(max_workers=2) as backend:
+            offset = 10
+            assert backend.map(lambda x: x + offset, [1, 2, 3]) == [11, 12, 13]
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(SpecificationError):
+            ThreadPoolBackend(max_workers=0)
+        with pytest.raises(SpecificationError):
+            ThreadPoolBackend(chunksize=0)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(ThreadPoolBackend(), ExecutionBackend)
+
+
 class TestFactory:
     def test_registry_names(self):
-        assert {"serial", "process"} <= set(BACKENDS)
+        assert {"serial", "thread", "process"} <= set(BACKENDS)
 
     def test_make_backend(self):
         assert isinstance(make_backend("serial"), SerialBackend)

@@ -83,6 +83,61 @@ class TestPlan:
         assert replans.unique_blocks == 0
 
 
+class TestDonorPool:
+    def test_pool_donors_warm_start_without_satisfying_keys(self):
+        # Synthesize one candidate's blocks, then plan a *different system
+        # spec* with those results as the external donor pool.
+        cache = _small_cache()
+        specs13 = _all_specs([PipelineCandidate((4, 3, 2), 13, 7)])
+        execute_plan(plan_synthesis(specs13), cache, SerialBackend())
+        donors = tuple(cache.results.values())
+
+        spec12 = AdcSpec(resolution_bits=12)
+        specs12 = [
+            m
+            for m in plan_stages(spec12, PipelineCandidate((4, 2, 2), 12, 7)).mdacs
+        ]
+        plan = plan_synthesis(specs12, donors=donors)
+        # Every block still gets planned (donors never satisfy reuse keys)…
+        assert plan.unique_blocks == len({s.reuse_key for s in specs12})
+        # …but nothing synthesizes cold: the pool donates at wave 0.
+        assert all(not node.is_cold for node in plan.nodes)
+        assert plan.pool_donated > 0
+        assert all(
+            node.wave == 0
+            for node in plan.nodes
+            if node.donor_pool_index is not None
+        )
+        assert plan.donors == donors
+
+    def test_pool_donated_blocks_execute_as_retargets(self):
+        cache = _small_cache()
+        specs13 = _all_specs([PipelineCandidate((4, 3, 2), 13, 7)])
+        execute_plan(plan_synthesis(specs13), cache, SerialBackend())
+
+        spec12 = AdcSpec(resolution_bits=12)
+        fresh = BlockCache(
+            CMOS025,
+            budget=60,
+            retarget_budget=30,
+            verify_transient=False,
+            donor_pool=tuple(cache.results.values()),
+        )
+        result = optimize_topology(
+            spec12,
+            mode="synthesis",
+            candidates=[PipelineCandidate((4, 2, 2), 12, 7)],
+            cache=fresh,
+        )
+        assert fresh.cold_runs == 0
+        assert fresh.pool_warm_starts > 0
+        assert fresh.retargeted_runs == result.unique_blocks
+
+    def test_empty_pool_reproduces_legacy_plan(self):
+        specs = _all_specs(enumerate_candidates(13))
+        assert plan_synthesis(specs, donors=()) == plan_synthesis(specs)
+
+
 class TestExecutionEquivalence:
     #: Two candidates sharing one reuse key keep the runtime unit-scale.
     CANDIDATES = [
