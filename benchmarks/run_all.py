@@ -1,0 +1,223 @@
+"""Run the PR 3 kernel benchmark suite and emit ``BENCH_PR3.json``.
+
+Standalone (no pytest): fixed seeds, deterministic workloads, wall-clock
+measurements of the compiled evaluation kernels against the legacy path.
+
+    PYTHONPATH=src python benchmarks/run_all.py                # full
+    PYTHONPATH=src python benchmarks/run_all.py --smoke        # CI smoke
+    PYTHONPATH=src python benchmarks/run_all.py --check ...    # exit 1 on
+                                                               # regression
+
+``--check`` is the CI regression guard: it fails the run when the compiled
+kernel is slower than the legacy path on the same workload, or when any
+variant's synthesis result diverges (the bit-identity contract).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.ac import ac_system_stack, ac_transfer, solve_ac_stack
+from repro.analysis.mna import layout_cache_disabled
+from repro.engine.persist import sizing_digest
+from repro.enumeration.candidates import PipelineCandidate
+from repro.specs import AdcSpec, plan_stages
+from repro.synth import HybridEvaluator, synthesize_mdac, two_stage_space
+from repro.synth.evaluator import _AC_FREQS
+from repro.tech import CMOS025
+
+
+def _block_spec():
+    spec = AdcSpec(resolution_bits=13)
+    plan = plan_stages(spec, PipelineCandidate((4, 3, 2), 13, 7))
+    return plan.mdacs[2]
+
+
+def _time_synthesize(kernel: str, budget: int, speculation: int = 0,
+                     seed_baseline: bool = False):
+    mdac = _block_spec()
+
+    def run():
+        start = time.perf_counter()
+        result = synthesize_mdac(
+            mdac,
+            CMOS025,
+            budget=budget,
+            seed=1,
+            verify_transient=False,
+            kernel=kernel,
+            speculation=speculation,
+        )
+        return result, time.perf_counter() - start
+
+    if seed_baseline:
+        with layout_cache_disabled():
+            run()  # warm module/caches
+            result, wall = run()
+    else:
+        run()
+        result, wall = run()
+    return result, wall
+
+
+def stage_synthesize(budget: int) -> dict:
+    """Full-candidate equation-evaluation throughput per kernel."""
+    legacy, legacy_wall = _time_synthesize("legacy", budget, seed_baseline=True)
+    compiled_, compiled_wall = _time_synthesize("compiled", budget)
+    speculative, spec_wall = _time_synthesize("compiled", budget, speculation=8)
+    identical = (
+        sizing_digest(legacy) == sizing_digest(compiled_) == sizing_digest(speculative)
+        and legacy.history == compiled_.history == speculative.history
+        and legacy.equation_evals == compiled_.equation_evals
+    )
+    evals = compiled_.equation_evals
+    return {
+        "workload": f"synthesize_mdac(2b@8b, budget={budget}, seed=1, anneal+polish)",
+        "equation_evals": evals,
+        "legacy_cands_per_s": round(evals / legacy_wall, 1),
+        "compiled_cands_per_s": round(evals / compiled_wall, 1),
+        "speculative_cands_per_s": round(evals / spec_wall, 1),
+        "wall_legacy_s": round(legacy_wall, 3),
+        "wall_compiled_s": round(compiled_wall, 3),
+        "wall_speculative_s": round(spec_wall, 3),
+        "speedup_full_candidate": round(legacy_wall / compiled_wall, 2),
+        "identical_results": identical,
+    }
+
+
+def stage_equation_metrics(repeats: int) -> dict:
+    """The AC/transfer-function stage: per-frequency loop vs batched stack."""
+    mdac = _block_spec()
+    space = two_stage_space(mdac, CMOS025)
+    evaluator = HybridEvaluator(mdac, CMOS025, kernel="compiled")
+    rng = np.random.default_rng(1)
+    staged = evaluator._stage_equation(space.decode(rng.random(space.dimension)))
+    lin = staged.lin
+
+    def legacy_stage():
+        return ac_transfer(lin, "out", _AC_FREQS, batched=False)
+
+    def batched_stage():
+        stack = ac_system_stack(lin, _AC_FREQS)
+        return solve_ac_stack(stack, lin.b_ac, _AC_FREQS)[:, lin.index("out")]
+
+    identical = bool(np.array_equal(legacy_stage(), batched_stage()))
+
+    def rate(fn):
+        fn()
+        start = time.perf_counter()
+        for _ in range(repeats):
+            fn()
+        return repeats / (time.perf_counter() - start)
+
+    legacy_rate, batched_rate = rate(legacy_stage), rate(batched_stage)
+    return {
+        "workload": f"{len(_AC_FREQS)}-point AC sweep of the opamp testbench",
+        "legacy_sweeps_per_s": round(legacy_rate, 1),
+        "batched_sweeps_per_s": round(batched_rate, 1),
+        "speedup": round(batched_rate / legacy_rate, 2),
+        "identical_results": identical,
+    }
+
+
+def stage_batch_api(population: int) -> dict:
+    """evaluate_batch population scoring vs sequential evaluate."""
+    mdac = _block_spec()
+    space = two_stage_space(mdac, CMOS025)
+    rng = np.random.default_rng(7)
+    sizings = [space.decode(rng.random(space.dimension)) for _ in range(population)]
+
+    def run(kernel, batch):
+        evaluator = HybridEvaluator(mdac, CMOS025, kernel=kernel)
+        evaluator.evaluate(sizings[0])  # warm caches
+        evaluator2 = HybridEvaluator(mdac, CMOS025, kernel=kernel)
+        start = time.perf_counter()
+        if batch:
+            results = evaluator2.evaluate_batch(sizings)
+        else:
+            results = [evaluator2.evaluate(s) for s in sizings]
+        return results, time.perf_counter() - start
+
+    sequential, seq_wall = run("legacy", batch=False)
+    batched, batch_wall = run("compiled", batch=True)
+    identical = all(
+        a.cost() == b.cost() and a.violations == b.violations
+        for a, b in zip(sequential, batched)
+    )
+    return {
+        "workload": f"population of {population} random candidates",
+        "legacy_sequential_cands_per_s": round(population / seq_wall, 1),
+        "compiled_batch_cands_per_s": round(population / batch_wall, 1),
+        "speedup": round(seq_wall / batch_wall, 2),
+        "identical_results": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny budgets for CI (seconds, not minutes)")
+    parser.add_argument("--out", default="BENCH_PR3.json",
+                        help="output JSON path (default: BENCH_PR3.json)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit nonzero if compiled is slower than legacy "
+                             "or any result diverges")
+    args = parser.parse_args(argv)
+
+    budget = 120 if args.smoke else 400
+    repeats = 10 if args.smoke else 30
+    population = 16 if args.smoke else 48
+
+    report = {
+        "bench": "PR3 compiled evaluation kernels",
+        "config": {
+            "smoke": args.smoke,
+            "budget": budget,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "stages": {
+            "synthesize_mdac": stage_synthesize(budget),
+            "equation_metric_stage": stage_equation_metrics(repeats),
+            "evaluate_batch": stage_batch_api(population),
+        },
+    }
+
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    synth = report["stages"]["synthesize_mdac"]
+    eqn = report["stages"]["equation_metric_stage"]
+    print(json.dumps(report, indent=2))
+    print(
+        f"\nfull-candidate speedup: {synth['speedup_full_candidate']}x, "
+        f"equation-metric stage: {eqn['speedup']}x -> {out_path}"
+    )
+
+    if args.check:
+        failures = []
+        if not synth["identical_results"]:
+            failures.append("synthesize_mdac results diverged across kernels")
+        if not eqn["identical_results"]:
+            failures.append("batched AC sweep diverged from the legacy loop")
+        if synth["speedup_full_candidate"] < 1.0:
+            failures.append(
+                "regression: compiled kernel slower than legacy on the "
+                f"smoke workload ({synth['speedup_full_candidate']}x)"
+            )
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

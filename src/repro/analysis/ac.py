@@ -11,15 +11,82 @@ from repro.analysis.smallsignal import LinearizedCircuit
 from repro.errors import AnalysisError
 
 
+def ac_system_stack(
+    linear: LinearizedCircuit,
+    frequencies_hz: np.ndarray,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """The stacked complex MNA matrices ``G + s_k C``, shape (F, n, n).
+
+    Each slice is elementwise identical to ``linear.system_at(s_k)`` — the
+    broadcastable form batched solvers consume.  ``out`` (same shape,
+    complex) is filled in place when given, letting tight evaluation loops
+    reuse one scratch buffer.
+    """
+    frequencies_hz = np.asarray(frequencies_hz, dtype=float)
+    s = 2j * math.pi * frequencies_hz
+    if out is None:
+        out = np.empty(
+            (len(frequencies_hz), linear.size, linear.size), dtype=complex
+        )
+    # Fill with G, then add s*C only where C is nonzero.  Bit-identical to
+    # the dense ``G + s*C``: zero-C entries are exactly ``g + 0j`` either
+    # way, and nonzero entries see the same two-operand complex add — but
+    # the sparse update touches ~20% of the entries the dense product
+    # would, and C is sparse for every MNA system.
+    out[:] = linear.g_matrix
+    rows, cols = np.nonzero(linear.c_matrix)
+    if len(rows):
+        out[:, rows, cols] += s[:, None] * linear.c_matrix[rows, cols][None, :]
+    return out
+
+
+def solve_ac_stack(
+    systems: np.ndarray, b_ac: np.ndarray, frequencies_hz: np.ndarray
+) -> np.ndarray:
+    """Solve a (F, n, n) stack against one excitation vector, batched.
+
+    One LAPACK call covers the whole sweep; each slice's solution is
+    bit-identical to an individual ``np.linalg.solve``.  On failure the
+    sweep is replayed slice-by-slice so the raised :class:`AnalysisError`
+    names the first singular frequency, exactly like the legacy loop.
+    """
+    rhs = np.broadcast_to(b_ac, (systems.shape[0], len(b_ac)))[..., None]
+    try:
+        return np.linalg.solve(systems, rhs)[..., 0]
+    except np.linalg.LinAlgError:
+        # Replay to attribute the failure to a frequency.
+        for row, frequency in enumerate(np.asarray(frequencies_hz, dtype=float)):
+            try:
+                np.linalg.solve(systems[row], b_ac)
+            except np.linalg.LinAlgError as exc:
+                raise AnalysisError(
+                    f"AC solve failed at {frequency:.3e} Hz"
+                ) from exc
+        raise AnalysisError("AC solve failed")  # pragma: no cover
+
+
 def ac_response(
-    linear: LinearizedCircuit, frequencies_hz: np.ndarray
+    linear: LinearizedCircuit,
+    frequencies_hz: np.ndarray,
+    batched: bool = True,
 ) -> np.ndarray:
     """Complex solution vectors over a frequency sweep.
 
     Returns an array of shape ``(len(frequencies), size)`` whose rows are the
     MNA unknowns at each frequency, driven by the circuit's ``ac`` sources.
+
+    ``batched=True`` (default) stacks the sweep into one
+    ``np.linalg.solve`` over ``(F, n, n)`` systems — bit-identical to, and
+    far faster than, the per-frequency loop, which ``batched=False`` keeps
+    for reference/benchmark use.
     """
     frequencies_hz = np.asarray(frequencies_hz, dtype=float)
+    if batched:
+        if len(frequencies_hz) == 0:
+            return np.empty((0, linear.size), dtype=complex)
+        systems = ac_system_stack(linear, frequencies_hz)
+        return solve_ac_stack(systems, linear.b_ac, frequencies_hz)
     out = np.empty((len(frequencies_hz), linear.size), dtype=complex)
     for row, frequency in enumerate(frequencies_hz):
         s = 2j * math.pi * frequency
@@ -35,13 +102,14 @@ def ac_transfer(
     output_net: str,
     frequencies_hz: np.ndarray,
     negative_net: str | None = None,
+    batched: bool = True,
 ) -> np.ndarray:
     """Complex transfer to ``output_net`` (optionally differential) per Hz.
 
     The excitation is whatever ``ac`` magnitudes the circuit's sources carry;
     with a single unit-magnitude source this is the transfer function.
     """
-    response = ac_response(linear, frequencies_hz)
+    response = ac_response(linear, frequencies_hz, batched=batched)
     i = linear.index(output_net)
     if i == GROUND:
         raise AnalysisError("output_net must not be ground")

@@ -16,6 +16,7 @@ import numpy as np
 from repro.analysis.mna import (
     GROUND,
     MnaLayout,
+    layout_for,
     stamp_conductance,
     stamp_current,
     stamp_transconductance,
@@ -206,22 +207,35 @@ def _newton(
     gmin: float,
     source_scale: float,
     max_iter: int = _MAX_ITER,
+    assembly=None,
 ) -> tuple[np.ndarray, int, float]:
-    """Run damped Newton; returns (x, iterations, residual_norm)."""
+    """Run damped Newton; returns (x, iterations, residual_norm).
+
+    ``assembly`` (a bound :class:`repro.analysis.template.MnaTemplate`)
+    overrides the per-element stamp walk with the compiled assembler and
+    its fast linear solve; both produce bit-identical results.
+    """
     x = x0.copy()
     n_nodes = len(layout.nets)
     residual_norm = np.inf
+    if assembly is None:
+        solve = np.linalg.solve
+    else:
+        solve = assembly.newton_solve
     for iteration in range(1, max_iter + 1):
-        jac, resid = _assemble(layout, x, gmin, source_scale)
+        if assembly is None:
+            jac, resid = _assemble(layout, x, gmin, source_scale)
+        else:
+            jac, resid = assembly.assemble(x, gmin, source_scale)
         residual_norm = float(np.max(np.abs(resid))) if len(resid) else 0.0
         if residual_norm < _ABS_TOL:
             return x, iteration, residual_norm
         try:
-            dx = np.linalg.solve(jac, -resid)
+            dx = solve(jac, -resid)
         except np.linalg.LinAlgError:
             jac = jac + np.eye(layout.size) * 1e-12
             try:
-                dx = np.linalg.solve(jac, -resid)
+                dx = solve(jac, -resid)
             except np.linalg.LinAlgError as exc:
                 raise SingularCircuitError(
                     f"singular MNA matrix in circuit {layout.circuit.name!r} "
@@ -241,14 +255,21 @@ def solve_dc(
     circuit: Circuit,
     initial_guess: dict[str, float] | None = None,
     x0: np.ndarray | None = None,
+    assembly=None,
 ) -> DcSolution:
     """Solve the DC operating point of ``circuit``.
 
     ``initial_guess`` optionally seeds node voltages by net name;
     ``x0`` (from a previous :class:`DcSolution`) wins over both and enables
-    warm starts during optimization loops.
+    warm starts during optimization loops.  ``assembly`` (a bound
+    :class:`repro.analysis.template.MnaTemplate`) swaps the per-element
+    Python stamp walk for the compiled assembler — results are
+    bit-identical either way.
     """
-    layout = MnaLayout(circuit)
+    if assembly is not None:
+        layout = assembly.layout
+    else:
+        layout = layout_for(circuit)
     start = np.zeros(layout.size)
     if x0 is not None:
         if len(x0) != layout.size:
@@ -263,7 +284,9 @@ def solve_dc(
     iterations_total = 0
     # Strategy 1: plain Newton.
     try:
-        x, iters, residual = _newton(layout, start, gmin=0.0, source_scale=1.0)
+        x, iters, residual = _newton(
+            layout, start, gmin=0.0, source_scale=1.0, assembly=assembly
+        )
         return _package(layout, x, iterations_total + iters, "newton", residual)
     except (ConvergenceError, SingularCircuitError):
         pass
@@ -272,9 +295,13 @@ def solve_dc(
     x = start.copy()
     try:
         for gmin in (1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10, 1e-12):
-            x, iters, residual = _newton(layout, x, gmin=gmin, source_scale=1.0)
+            x, iters, residual = _newton(
+                layout, x, gmin=gmin, source_scale=1.0, assembly=assembly
+            )
             iterations_total += iters
-        x, iters, residual = _newton(layout, x, gmin=0.0, source_scale=1.0)
+        x, iters, residual = _newton(
+            layout, x, gmin=0.0, source_scale=1.0, assembly=assembly
+        )
         iterations_total += iters
         return _package(layout, x, iterations_total, "gmin", residual)
     except (ConvergenceError, SingularCircuitError):
@@ -285,9 +312,13 @@ def solve_dc(
     iterations_total = 0
     try:
         for alpha in (0.05, 0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 1.0):
-            x, iters, residual = _newton(layout, x, gmin=1e-9, source_scale=alpha)
+            x, iters, residual = _newton(
+                layout, x, gmin=1e-9, source_scale=alpha, assembly=assembly
+            )
             iterations_total += iters
-        x, iters, residual = _newton(layout, x, gmin=0.0, source_scale=1.0)
+        x, iters, residual = _newton(
+            layout, x, gmin=0.0, source_scale=1.0, assembly=assembly
+        )
         iterations_total += iters
         return _package(layout, x, iterations_total, "source", residual)
     except (ConvergenceError, SingularCircuitError) as exc:

@@ -12,6 +12,8 @@ Sign conventions (used consistently across DC/AC/transient):
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 import numpy as np
 
 from repro.circuit.elements import Inductor, Vcvs, VoltageSource
@@ -43,6 +45,22 @@ class MnaLayout:
         self.branch_elements = branch_elements
         self.size = len(nets) + len(branch_elements)
 
+    def with_circuit(self, circuit: Circuit) -> "MnaLayout":
+        """A shallow rebind of this layout onto a same-topology circuit.
+
+        Index maps are shared (they depend only on the topology); the
+        circuit reference — which analyses walk for element *values* — is
+        swapped, so a cached layout never leaks stale values.
+        """
+        clone = object.__new__(MnaLayout)
+        clone.circuit = circuit
+        clone.node_of = self.node_of
+        clone.nets = self.nets
+        clone.branch_of = self.branch_of
+        clone.branch_elements = [circuit[e.name] for e in self.branch_elements]
+        clone.size = self.size
+        return clone
+
     def index(self, net: str) -> int:
         """Unknown index of a net; :data:`GROUND` for the reference node."""
         if net in GROUND_NAMES:
@@ -66,6 +84,55 @@ class MnaLayout:
         out = {net: float(x[i]) for net, i in self.node_of.items()}
         out["gnd"] = 0.0
         return out
+
+
+# ---------------------------------------------------------------------------
+# Layout cache.
+# ---------------------------------------------------------------------------
+
+#: topology_key -> MnaLayout.  Bounded: cleared wholesale when it outgrows
+#: _LAYOUT_CACHE_MAX (a sizing loop touches a handful of topologies; the
+#: bound only guards pathological enumeration workloads).
+_LAYOUT_CACHE: dict[tuple, MnaLayout] = {}
+_LAYOUT_CACHE_MAX = 256
+
+#: Kill switch for the layout cache.  Only the kernel benchmarks flip it
+#: (via :func:`layout_cache_disabled`), to time the pre-kernel baseline
+#: that re-derived the layout on every analysis call.
+_LAYOUT_CACHE_ENABLED = True
+
+
+@contextmanager
+def layout_cache_disabled():
+    """Temporarily re-derive layouts per call (benchmark baseline mode)."""
+    global _LAYOUT_CACHE_ENABLED
+    previous = _LAYOUT_CACHE_ENABLED
+    _LAYOUT_CACHE_ENABLED = False
+    try:
+        yield
+    finally:
+        _LAYOUT_CACHE_ENABLED = previous
+
+
+def layout_for(circuit: Circuit) -> MnaLayout:
+    """The MNA layout of ``circuit``, cached by circuit topology.
+
+    Repeated analyses of the same testbench *topology* (every Newton
+    iteration, every candidate of a sizing loop) share one index-map
+    construction; the returned layout is rebound to the live circuit so
+    element values are always read from the caller's instance.
+    """
+    if not _LAYOUT_CACHE_ENABLED:
+        return MnaLayout(circuit)
+    key = circuit.topology_key()
+    cached = _LAYOUT_CACHE.get(key)
+    if cached is None:
+        if len(_LAYOUT_CACHE) >= _LAYOUT_CACHE_MAX:
+            _LAYOUT_CACHE.clear()
+        cached = MnaLayout(circuit)
+        _LAYOUT_CACHE[key] = cached
+        return cached
+    return cached.with_circuit(circuit)
 
 
 # ---------------------------------------------------------------------------

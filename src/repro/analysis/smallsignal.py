@@ -16,6 +16,7 @@ from repro.analysis.dc import DcSolution, solve_dc
 from repro.analysis.mna import (
     GROUND,
     MnaLayout,
+    layout_for,
     stamp_conductance,
     stamp_inductor_branch,
     stamp_transconductance,
@@ -80,7 +81,7 @@ def linearize(
     """
     if op is None:
         op = solve_dc(circuit)
-    layout = MnaLayout(circuit)
+    layout = layout_for(circuit)
     n = layout.size
     g_matrix = np.zeros((n, n))
     c_matrix = np.zeros((n, n))

@@ -22,6 +22,7 @@ from repro.analysis.dc import DcSolution, solve_dc
 from repro.analysis.mna import (
     GROUND,
     MnaLayout,
+    layout_for,
     stamp_conductance,
     stamp_transconductance,
     stamp_vcvs,
@@ -119,7 +120,7 @@ def simulate_transient(
     if method not in ("trap", "be"):
         raise AnalysisError(f"unknown method {method!r}")
 
-    layout = MnaLayout(circuit)
+    layout = layout_for(circuit)
     if initial is None:
         _, initial = _initial_dc(circuit)
     x = initial.x.copy()

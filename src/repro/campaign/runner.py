@@ -308,6 +308,8 @@ def run_campaign(
                     seed=config.seed,
                     retarget_seed=config.retarget_seed,
                     verify_transient=config.verify_transient,
+                    eval_kernel=config.eval_kernel,
+                    eval_speculation=config.eval_speculation,
                     donor_pool=tuple(ledger.donors),
                     ledger=ledger,
                     cache_dir=config.cache_dir,

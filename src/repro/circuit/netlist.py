@@ -25,6 +25,7 @@ class Circuit:
             raise NetlistError("circuit name must be non-empty")
         self.name = name
         self._elements: dict[str, Element] = {}
+        self._topology_key: tuple | None = None
 
     # -- construction -----------------------------------------------------------
 
@@ -35,6 +36,7 @@ class Circuit:
                 f"duplicate element name {element.name!r} in circuit {self.name!r}"
             )
         self._elements[element.name] = element
+        self._topology_key = None
         return element
 
     def extend(self, elements: Iterator[Element] | list[Element]) -> None:
@@ -45,16 +47,37 @@ class Circuit:
     def remove(self, name: str) -> Element:
         """Remove and return the element called ``name``."""
         try:
-            return self._elements.pop(name)
+            element = self._elements.pop(name)
         except KeyError:
             raise NetlistError(f"no element named {name!r}") from None
+        self._topology_key = None
+        return element
 
     def replace(self, element: Element) -> Element:
         """Replace the element with the same name (must exist)."""
         if element.name not in self._elements:
             raise NetlistError(f"no element named {element.name!r} to replace")
         self._elements[element.name] = element
+        self._topology_key = None
         return element
+
+    def topology_key(self) -> tuple:
+        """Hashable structural identity: element classes, names and nets.
+
+        Two circuits with equal keys have identical MNA layouts and stamp
+        *structure* — they may differ only in element values (resistances,
+        device geometry, source levels).  This is what the layout cache in
+        :mod:`repro.analysis.mna` and the compiled stamp templates in
+        :mod:`repro.analysis.template` key on: a sizing loop rebuilds the
+        same testbench topology hundreds of times with new values, and the
+        key lets every rebuild reuse the structural work.
+        """
+        if self._topology_key is None:
+            self._topology_key = tuple(
+                (type(e).__name__, e.name, e.nodes)
+                for e in self._elements.values()
+            )
+        return self._topology_key
 
     # -- inspection ----------------------------------------------------------------
 

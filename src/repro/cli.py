@@ -54,7 +54,11 @@ execution engine (every flow command):
   content-fingerprinted persistent block cache (default: the
   REPRO_ADC_CACHE environment variable), so warm reruns skip synthesis.
   --budget / --retarget-budget set the cold and warm-start annealer
-  evaluation budgets; --no-verify skips the transient verifier.  The same
+  evaluation budgets; --no-verify skips the transient verifier.
+  --eval-kernel picks the equation-evaluation kernel (compiled MNA
+  templates + batched AC solves by default; 'legacy' is the reference
+  walk — results are bit-identical, see docs/performance.md) and
+  --speculation batches optimizer proposals speculatively.  The same
   knobs form FlowConfig in the Python API.
 
 campaigns:
@@ -97,6 +101,19 @@ def _engine_parent() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the transient verification of synthesized blocks",
     )
+    group.add_argument(
+        "--eval-kernel",
+        choices=("compiled", "legacy"),
+        default="compiled",
+        help="equation-evaluation kernel (bit-identical results; "
+        "'legacy' keeps the reference per-element walk for A/B timing)",
+    )
+    group.add_argument(
+        "--speculation",
+        type=int,
+        default=0,
+        help="speculative proposal-batch depth for the optimizers (0 = off)",
+    )
     return parent
 
 
@@ -109,6 +126,8 @@ def _flow_config(args: argparse.Namespace) -> FlowConfig:
         budget=args.budget,
         retarget_budget=args.retarget_budget,
         verify_transient=not args.no_verify,
+        eval_kernel=args.eval_kernel,
+        eval_speculation=args.speculation,
     )
 
 

@@ -44,6 +44,14 @@ class FlowConfig:
     retarget_seed: int = 7
     #: Run the nonlinear transient verifier on every synthesized block.
     verify_transient: bool = True
+    #: Equation-evaluation kernel: 'compiled' (parametric MNA templates +
+    #: batched AC solves, the default) or 'legacy' (the reference
+    #: per-element walk).  Bit-identical results either way — this is a
+    #: pure speed knob (see docs/performance.md).
+    eval_kernel: str = "compiled"
+    #: Speculative proposal-batch depth for the optimizers (0 = off).
+    #: Bit-identical results at any depth.
+    eval_speculation: int = 0
 
     def make_backend(self) -> ExecutionBackend:
         """Instantiate this configuration's execution backend."""
@@ -63,6 +71,8 @@ class FlowConfig:
             seed=self.seed,
             retarget_seed=self.retarget_seed,
             verify_transient=self.verify_transient,
+            eval_kernel=self.eval_kernel,
+            eval_speculation=self.eval_speculation,
         )
         if self.cache_dir is not None:
             return PersistentBlockCache(cache_dir=self.cache_dir, **kwargs)

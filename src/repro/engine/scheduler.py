@@ -126,6 +126,11 @@ class SynthesisJob:
     donor: SynthesisResult | None = None
     retarget_budget: int = 80
     retarget_seed: int = 7
+    #: Equation-evaluation kernel ('compiled'/'legacy') and speculative
+    #: batch depth.  Pure performance knobs: results (and therefore block
+    #: fingerprints) are identical across them.
+    eval_kernel: str = "compiled"
+    eval_speculation: int = 0
 
 
 def run_synthesis_job(job: SynthesisJob) -> SynthesisResult:
@@ -141,6 +146,8 @@ def run_synthesis_job(job: SynthesisJob) -> SynthesisResult:
             budget=job.budget,
             seed=job.seed,
             verify_transient=job.verify_transient,
+            kernel=job.eval_kernel,
+            speculation=job.eval_speculation,
         )
     return retarget_mdac(
         job.donor,
@@ -149,6 +156,8 @@ def run_synthesis_job(job: SynthesisJob) -> SynthesisResult:
         budget=job.retarget_budget,
         seed=job.retarget_seed,
         verify_transient=job.verify_transient,
+        kernel=job.eval_kernel,
+        speculation=job.eval_speculation,
     )
 
 
@@ -284,6 +293,8 @@ def execute_plan(
             budget=cache.budget,
             seed=cache.seed,
             verify_transient=cache.verify_transient,
+            eval_kernel=cache.eval_kernel,
+            eval_speculation=cache.eval_speculation,
         )
 
     for wave in plan.waves:
@@ -348,6 +359,8 @@ def execute_plan(
                     donor=donor,
                     retarget_budget=cache.retarget_budget,
                     retarget_seed=cache.retarget_seed,
+                    eval_kernel=cache.eval_kernel,
+                    eval_speculation=cache.eval_speculation,
                 )
             )
         if jobs:

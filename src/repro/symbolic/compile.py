@@ -1,0 +1,212 @@
+"""Codegen: compile symbolic expressions into vectorized numpy callables.
+
+The :class:`~repro.symbolic.expr.Expr` tree walk is perfectly fine for a
+handful of evaluations, but the DPI/SFG path produces transfer functions
+whose coefficients are deep product-sum trees, and sweeping them (frequency
+grids, population scoring, Monte-Carlo bindings) re-walks the tree per
+point.  This module compiles an expression once into a plain Python
+function of its symbols — flat three-address code with common-subexpression
+elimination, built from numpy-compatible operators — so evaluation is a
+single call that also *broadcasts*: pass scalars for one binding, or equal
+length arrays to score a whole population per coefficient in one shot.
+
+Numerical note: compiled evaluation uses left-to-right summation (the only
+form that vectorizes), while :meth:`Expr.evaluate` uses ``math.fsum``; the
+two agree to float round-off, not bit-for-bit.  Code that needs the exact
+legacy bits (none of the hot paths do — see
+:func:`repro.symbolic.ratfunc.RationalFunction.unity_gain_frequency`,
+which instead hoists the *exact* coefficient evaluation out of its scan
+loop) should keep calling ``evaluate``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import SymbolicError
+from repro.symbolic.expr import Add, Const, Expr, Mul, Pow, Sym
+from repro.symbolic.poly import Poly
+
+
+class _Codegen:
+    """Emit three-address statements for expression DAGs with CSE."""
+
+    def __init__(self, arg_names: dict[str, str]):
+        self.arg_names = arg_names
+        self.lines: list[str] = []
+        self._cache: dict[object, str] = {}
+        self._count = 0
+
+    def _temp(self, rhs: str) -> str:
+        name = f"t{self._count}"
+        self._count += 1
+        self.lines.append(f"    {name} = {rhs}")
+        return name
+
+    def emit(self, expr: Expr) -> str:
+        """Return a source fragment (argument, constant or temp name)."""
+        key = expr._key
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        if isinstance(expr, Const):
+            out = repr(expr.value)
+        elif isinstance(expr, Sym):
+            try:
+                out = self.arg_names[expr.name]
+            except KeyError:
+                raise SymbolicError(
+                    f"expression uses symbol {expr.name!r} missing from the "
+                    "compilation symbol list"
+                ) from None
+        elif isinstance(expr, Add):
+            out = self._temp(" + ".join(self.emit(t) for t in expr.terms))
+        elif isinstance(expr, Mul):
+            out = self._temp(" * ".join(self.emit(f) for f in expr.factors))
+        elif isinstance(expr, Pow):
+            out = self._temp(f"{self.emit(expr.base)} ** {expr.exponent}")
+        else:  # pragma: no cover - the Expr hierarchy is closed
+            raise SymbolicError(f"cannot compile {type(expr).__name__}")
+        self._cache[key] = out
+        return out
+
+
+def _build_function(
+    name: str, symbols_order: Sequence[str], bodies: Sequence[Expr]
+) -> object:
+    """Compile ``bodies`` into one function of the ordered symbols."""
+    args = {s: f"a{i}" for i, s in enumerate(symbols_order)}
+    gen = _Codegen(args)
+    results = [gen.emit(b) for b in bodies]
+    source = (
+        f"def {name}({', '.join(args.values())}):\n"
+        + "\n".join(gen.lines)
+        + ("\n" if gen.lines else "")
+        + f"    return ({', '.join(results)}{',' if len(results) == 1 else ''})\n"
+    )
+    namespace: dict[str, object] = {}
+    exec(compile(source, f"<compiled {name}>", "exec"), namespace)
+    fn = namespace[name]
+    fn.__source__ = source  # introspection / tests
+    return fn
+
+
+class CompiledExpr:
+    """One expression compiled over an ordered symbol tuple."""
+
+    def __init__(self, expr: Expr, symbols_order: Sequence[str] | None = None):
+        self.expr = expr
+        if symbols_order is None:
+            symbols_order = sorted(expr.free_symbols())
+        self.symbols = tuple(symbols_order)
+        self._fn = _build_function("expr_fn", self.symbols, [expr])
+
+    def __call__(self, bindings: Mapping[str, float | np.ndarray]):
+        """Evaluate with scalar or broadcastable array bindings."""
+        try:
+            args = [bindings[s] for s in self.symbols]
+        except KeyError as exc:
+            raise SymbolicError(f"no binding provided for symbol {exc.args[0]!r}") from None
+        return self._fn(*args)[0]
+
+
+class CompiledPoly:
+    """A polynomial's coefficients compiled into one callable."""
+
+    def __init__(self, poly: Poly, symbols_order: Sequence[str] | None = None):
+        self.poly = poly
+        if symbols_order is None:
+            symbols_order = sorted(poly.free_symbols())
+        self.symbols = tuple(symbols_order)
+        self._fn = _build_function("poly_fn", self.symbols, list(poly.coeffs))
+
+    def coeffs(self, bindings: Mapping[str, float | np.ndarray]) -> np.ndarray:
+        """Numeric coefficients, ascending powers; shape ``(..., n_coeff)``.
+
+        Scalar bindings give a 1-D array; array bindings of shape ``(B,)``
+        give ``(B, n_coeff)`` — one polynomial per population member.
+        """
+        try:
+            args = [bindings[s] for s in self.symbols]
+        except KeyError as exc:
+            raise SymbolicError(f"no binding provided for symbol {exc.args[0]!r}") from None
+        raw = self._fn(*args)
+        broadcast = np.broadcast(*(np.asarray(c) for c in raw)) if raw else None
+        shape = broadcast.shape if broadcast is not None else ()
+        out = np.empty(shape + (len(raw),), dtype=float)
+        for k, c in enumerate(raw):
+            out[..., k] = c
+        return out
+
+
+class CompiledRationalFunction:
+    """A transfer function compiled for population-vectorized evaluation."""
+
+    def __init__(self, ratfunc, symbols_order: Sequence[str] | None = None):
+        self.ratfunc = ratfunc
+        if symbols_order is None:
+            symbols_order = sorted(ratfunc.free_symbols())
+        self.symbols = tuple(symbols_order)
+        self.num = CompiledPoly(ratfunc.num, self.symbols)
+        self.den = CompiledPoly(ratfunc.den, self.symbols)
+
+    def numeric_coeffs(
+        self, bindings: Mapping[str, float | np.ndarray]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Unnormalized (num, den) coefficient arrays, shape ``(..., n)``."""
+        return self.num.coeffs(bindings), self.den.coeffs(bindings)
+
+    def frequency_response(
+        self,
+        frequencies_hz: np.ndarray,
+        bindings: Mapping[str, float | np.ndarray],
+    ) -> np.ndarray:
+        """Complex response over frequencies; shape ``(..., F)``.
+
+        With scalar bindings this matches
+        :meth:`~repro.symbolic.ratfunc.RationalFunction.frequency_response`
+        to float round-off; with ``(B,)``-array bindings it evaluates all
+        ``B`` parameter sets against the grid in one vectorized pass.
+        """
+        num, den = self.numeric_coeffs(bindings)
+        s = 2j * np.pi * np.asarray(frequencies_hz, dtype=float)
+        return _polyval_ascending(num, s) / _polyval_ascending(den, s)
+
+
+def _polyval_ascending(coeffs: np.ndarray, s: np.ndarray) -> np.ndarray:
+    """Horner evaluation of ascending-power ``(..., n)`` coefficients."""
+    acc = np.zeros(coeffs.shape[:-1] + s.shape, dtype=complex)
+    for k in range(coeffs.shape[-1] - 1, -1, -1):
+        acc = acc * s + coeffs[..., k, None]
+    return acc
+
+
+def compile_expr(
+    expr: Expr, symbols_order: Sequence[str] | None = None
+) -> CompiledExpr:
+    """Compile an expression into a numpy-vectorized callable."""
+    return CompiledExpr(expr, symbols_order)
+
+
+def compile_poly(
+    poly: Poly, symbols_order: Sequence[str] | None = None
+) -> CompiledPoly:
+    """Compile a polynomial's coefficient vector into one callable."""
+    return CompiledPoly(poly, symbols_order)
+
+
+def compile_ratfunc(ratfunc, symbols_order=None) -> CompiledRationalFunction:
+    """Compile a rational function for population-vectorized sweeps."""
+    return CompiledRationalFunction(ratfunc, symbols_order)
+
+
+__all__ = [
+    "CompiledExpr",
+    "CompiledPoly",
+    "CompiledRationalFunction",
+    "compile_expr",
+    "compile_poly",
+    "compile_ratfunc",
+]

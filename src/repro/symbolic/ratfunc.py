@@ -21,7 +21,7 @@ from repro.symbolic.poly import Poly, _as_poly
 class RationalFunction:
     """An immutable ratio of two polynomials in ``s``."""
 
-    __slots__ = ("num", "den")
+    __slots__ = ("num", "den", "_compiled")
 
     def __init__(self, num: Poly | Expr | Number, den: Poly | Expr | Number = 1.0):
         num = _as_poly(num)
@@ -30,9 +30,25 @@ class RationalFunction:
             raise SymbolicError("rational function with zero denominator")
         object.__setattr__(self, "num", num)
         object.__setattr__(self, "den", den)
+        object.__setattr__(self, "_compiled", None)
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("RationalFunction objects are immutable")
+
+    def compiled(self):
+        """The codegen'd form of this transfer function (cached).
+
+        Returns a
+        :class:`repro.symbolic.compile.CompiledRationalFunction` whose
+        coefficient evaluation is a single flat function call instead of a
+        recursive tree walk, and whose bindings may be arrays — one sweep
+        for a whole population of small-signal parameter sets.
+        """
+        if self._compiled is None:
+            from repro.symbolic.compile import CompiledRationalFunction
+
+            object.__setattr__(self, "_compiled", CompiledRationalFunction(self))
+        return self._compiled
 
     # -- constructors ---------------------------------------------------------
 
@@ -154,7 +170,17 @@ class RationalFunction:
         frequencies_hz: np.ndarray,
         bindings: Mapping[str, float] | None = None,
     ) -> np.ndarray:
-        """Complex response over an array of frequencies in Hz."""
+        """Complex response over an array of frequencies in Hz.
+
+        Scalar bindings return shape ``(F,)``.  Array bindings of shape
+        ``(B,)`` dispatch to the codegen'd form (:meth:`compiled`) and
+        return ``(B, F)`` — one response per population member, without
+        re-walking the coefficient trees per member.
+        """
+        if bindings and any(
+            isinstance(v, np.ndarray) and v.ndim > 0 for v in bindings.values()
+        ):
+            return self.compiled().frequency_response(frequencies_hz, bindings)
         num, den = self.numeric_coeffs(bindings)
         s = 2j * math.pi * np.asarray(frequencies_hz, dtype=float)
         return np.polyval(num[::-1], s) / np.polyval(den[::-1], s)
@@ -169,9 +195,20 @@ class RationalFunction:
 
         Uses a log-spaced scan followed by bisection; adequate for the
         monotone-magnitude region around an opamp's unity crossing.
+
+        The symbolic coefficients are bound *once* and reused across the
+        scan and every bisection step (they are deterministic in the
+        bindings, so this is exactly the value the per-step re-binding used
+        to produce — just without ~60 redundant coefficient tree walks).
         """
+        num, den = self.numeric_coeffs(bindings)
+
+        def response_at(freqs: np.ndarray) -> np.ndarray:
+            s = 2j * math.pi * np.asarray(freqs, dtype=float)
+            return np.polyval(num[::-1], s) / np.polyval(den[::-1], s)
+
         freqs = np.logspace(math.log10(f_min), math.log10(f_max), 481)
-        mags = np.abs(self.frequency_response(freqs, bindings))
+        mags = np.abs(response_at(freqs))
         above = mags >= 1.0
         if not above.any() or above.all():
             return None
@@ -185,11 +222,7 @@ class RationalFunction:
         lo, hi = freqs[crossing_index], freqs[crossing_index + 1]
         for _ in range(60):
             mid = math.sqrt(lo * hi)
-            mag = abs(
-                complex(
-                    self.frequency_response(np.array([mid]), bindings)[0]
-                )
-            )
+            mag = abs(complex(response_at(np.array([mid]))[0]))
             if mag >= 1.0:
                 lo = mid
             else:

@@ -1,0 +1,163 @@
+"""Speculative batch evaluation: population-vectorized cost calls that stay
+bit-identical to the serial optimizer loops.
+
+The optimizers (:func:`~repro.synth.anneal.anneal`,
+:func:`~repro.synth.de.differential_evolution`,
+:func:`~repro.synth.patternsearch.pattern_search`) are sequential by
+construction — each proposal may depend on the previous outcome, and the
+evaluator's DC warm-start chain makes even the *cost* of a candidate depend
+on evaluation order.  A naive "evaluate the next N proposals as a batch"
+would therefore change results.
+
+:class:`BatchCostFunction` keeps batching honest with *speculation*:
+
+1. The optimizer predicts its next few proposals (assuming the common
+   outcome — rejection — for each step) and hands them to
+   :meth:`BatchCostFunction.speculate`, which scores them in order through
+   :meth:`~repro.synth.evaluator.HybridEvaluator.evaluate_batch` (one
+   stacked AC solve for the whole batch) while snapshotting the evaluator's
+   warm state after every candidate.
+2. The optimizer then replays its canonical serial loop.  Each cost call
+   is matched against the speculation queue: an exact-vector match pops the
+   cached cost — which is bit-identical to what a fresh serial evaluation
+   would have produced, because the batch ran in the same order from the
+   same warm state.
+3. The first mismatch (the prediction failed: a proposal was accepted, so
+   later proposals changed) flushes the queue, rewinds the evaluator's warm
+   state and evaluation counters to the consumed prefix, and evaluation
+   continues serially.
+
+Costs, optimizer trajectories and the evaluator's reported
+``equation_evals`` are exactly those of the unbatched run; the only trace
+of speculation is wall time and the :attr:`BatchCostFunction.discarded`
+counter.  ``tests/synth/test_kernel_equivalence.py`` locks this down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.synth.evaluator import HybridEvaluator
+from repro.synth.space import DesignSpace
+
+
+@dataclass
+class _Speculated:
+    """One pre-evaluated proposal: the exact vector, its cost, the state."""
+
+    x: np.ndarray
+    cost: float
+    #: Evaluator warm state after this candidate (serial-order snapshot).
+    warm_after: np.ndarray | None
+    #: Cumulative equation evaluations after this candidate.
+    evals_after: int
+
+
+class BatchCostFunction:
+    """A cost function over unit vectors with a speculation queue.
+
+    Callable like the plain ``lambda u: evaluator.evaluate(decode(u)).cost()``
+    the optimizers use; additionally exposes :meth:`speculate` /
+    :attr:`pending` for optimizers that can predict their next proposals.
+    """
+
+    def __init__(
+        self,
+        evaluator: HybridEvaluator,
+        space: DesignSpace,
+        power_scale: float = 1e-3,
+    ):
+        self.evaluator = evaluator
+        self.space = space
+        self.power_scale = power_scale
+        self._queue: list[_Speculated] = []
+        self._queue_head = 0
+        #: Warm state / counter to rewind to on a flush (consumed prefix).
+        self._rewind_warm: np.ndarray | None = None
+        self._rewind_evals = 0
+        #: Total proposals pre-evaluated by :meth:`speculate`.
+        self.speculated = 0
+        #: Speculated proposals consumed by exact match.
+        self.hits = 0
+        #: Speculated proposals thrown away after a misprediction.
+        self.discarded = 0
+
+    @property
+    def pending(self) -> int:
+        """Speculated proposals not yet consumed."""
+        return len(self._queue) - self._queue_head
+
+    def speculate(self, proposals: list[np.ndarray]) -> None:
+        """Pre-evaluate ``proposals`` in order as one batch.
+
+        Any stale queue is flushed first (rewinding the evaluator), so the
+        batch scores from exactly the state a serial run would see.
+        """
+        self.flush()
+        if not proposals:
+            return
+        evaluator = self.evaluator
+        self._rewind_warm = (
+            None if evaluator._warm_x is None else evaluator._warm_x.copy()
+        )
+        self._rewind_evals = evaluator.equation_evals
+        sizings = [self.space.decode(u) for u in proposals]
+        results = evaluator.evaluate_batch(sizings)
+        evals_base = self._rewind_evals
+        self._queue = [
+            _Speculated(
+                x=np.array(u, dtype=float, copy=True),
+                cost=result.cost(self.power_scale),
+                warm_after=trace,
+                evals_after=evals_base + i + 1,
+            )
+            for i, (u, result, trace) in enumerate(
+                zip(proposals, results, evaluator._batch_warm_trace)
+            )
+        ]
+        self._queue_head = 0
+        self.speculated += len(self._queue)
+
+    def flush(self) -> None:
+        """Discard unconsumed speculation and rewind the evaluator.
+
+        After a flush the evaluator's warm chain and ``equation_evals``
+        are exactly what a serial run consuming the matched prefix would
+        have left behind.
+        """
+        stale = self.pending
+        if stale == 0 and not self._queue:
+            return
+        self.discarded += stale
+        evaluator = self.evaluator
+        if self._queue_head > 0:
+            consumed = self._queue[self._queue_head - 1]
+            warm = consumed.warm_after
+            evaluator._warm_x = None if warm is None else warm.copy()
+            evaluator.equation_evals = consumed.evals_after
+        else:
+            warm = self._rewind_warm
+            evaluator._warm_x = None if warm is None else warm.copy()
+            evaluator.equation_evals = self._rewind_evals
+        self._queue = []
+        self._queue_head = 0
+
+    def __call__(self, u: np.ndarray) -> float:
+        if self._queue_head < len(self._queue):
+            head = self._queue[self._queue_head]
+            if np.array_equal(u, head.x):
+                self._queue_head += 1
+                self.hits += 1
+                if self._queue_head == len(self._queue):
+                    # Fully consumed: the evaluator state already matches
+                    # the serial run, nothing to rewind.
+                    self._queue = []
+                    self._queue_head = 0
+                return head.cost
+            self.flush()
+        return self.evaluator.evaluate(self.space.decode(u)).cost(self.power_scale)
+
+
+__all__ = ["BatchCostFunction"]

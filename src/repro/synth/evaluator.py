@@ -15,6 +15,23 @@ Mirrors the paper's Section 3 evaluation procedure exactly:
 Step 3 costs ~100x step 2, so the optimizer runs on the equation metrics
 and reserves the transient for verification — the hybrid the paper argues
 for.  Benchmarks quantify the trade (bench_ablation_evaluator).
+
+The equation half runs on one of two *kernels*:
+
+* ``"compiled"`` (default) — the testbench topology is compiled once into
+  a parametric MNA stamp template (:mod:`repro.analysis.template`), the DC
+  Newton iterations assemble through vectorized scatters, and the whole AC
+  sweep (DC-gain point + loop grid) solves as a single batched
+  ``np.linalg.solve`` stack.  Results are bit-identical to the legacy
+  path — the template replays the exact legacy stamp order — just ~4-6x
+  faster (``benchmarks/bench_evaluator_kernel.py``).
+* ``"legacy"`` — the seed's per-element stamp walk and per-frequency AC
+  loop, kept as the reference for equivalence tests and benchmarks.
+
+:meth:`HybridEvaluator.evaluate_batch` scores a whole population: DC
+solves run candidate-by-candidate (preserving the warm-start chain, hence
+bit-identical costs), then every candidate's AC sweep joins one stacked
+linear solve.
 """
 
 from __future__ import annotations
@@ -24,16 +41,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.analysis.ac import ac_transfer
+from repro.analysis.ac import ac_system_stack, ac_transfer, solve_ac_stack
 from repro.analysis.dc import DcSolution, solve_dc
-from repro.analysis.smallsignal import linearize
+from repro.analysis.smallsignal import LinearizedCircuit, linearize
+from repro.analysis.template import bind_template
 from repro.analysis.transient import simulate_transient
 from repro.blocks.mdac import MdacNetwork, build_settling_bench
 from repro.blocks.opamp import TwoStageSizing
 from repro.blocks.opamp_library import build_two_stage_miller
 from repro.circuit.builder import CircuitBuilder
 from repro.circuit.netlist import Circuit
-from repro.errors import AnalysisError, ConvergenceError, ReproError
+from repro.errors import AnalysisError, ConvergenceError, ReproError, SynthesisError
 from repro.specs.stage import MdacSpec
 from repro.tech.process import Technology
 
@@ -51,6 +69,18 @@ SATURATION_MARGIN = 0.05
 
 #: Devices that must stay saturated in the two-stage opamp.
 _SIGNAL_DEVICES = ("m1", "m2", "m3", "m4", "m6", "m7", "mtail")
+
+#: Supported equation-evaluation kernels.
+EVAL_KERNELS = ("compiled", "legacy")
+
+#: Frequency used for the DC-gain read-out [Hz].
+_DC_GAIN_FREQ = 1e3
+
+#: Loop-gain sweep grid [Hz] (the legacy ``_loop_margin`` grid).
+_LOOP_FREQS = np.logspace(3, 11, 241)
+
+#: Merged per-candidate AC grid: DC-gain point followed by the loop grid.
+_AC_FREQS = np.concatenate(([_DC_GAIN_FREQ], _LOOP_FREQS))
 
 
 @dataclass
@@ -94,6 +124,19 @@ class EvalResult:
         return self.power / power_scale + 50.0 * linear + 500.0 * quadratic
 
 
+@dataclass
+class _StagedEvaluation:
+    """Per-candidate state between the DC stage and the AC read-out."""
+
+    sizing: object
+    failed: bool = False
+    power: float = float("inf")
+    saturation: float = -1.0
+    lin: LinearizedCircuit | None = None
+    #: Amplifier transfer over :data:`_AC_FREQS` (gain point + loop grid).
+    a_all: np.ndarray | None = None
+
+
 class HybridEvaluator:
     """Evaluates two-stage-Miller sizings against an MDAC specification."""
 
@@ -103,16 +146,53 @@ class HybridEvaluator:
         tech: Technology,
         common_mode: float | None = None,
         transient_points: int = 500,
+        kernel: str = "compiled",
     ):
+        if kernel not in EVAL_KERNELS:
+            raise SynthesisError(
+                f"unknown evaluation kernel {kernel!r} (known: {EVAL_KERNELS})"
+            )
         self.mdac = mdac
         self.tech = tech
         self.network = MdacNetwork.from_spec(mdac)
         self.common_mode = common_mode if common_mode is not None else 0.45 * tech.vdd
         self.transient_points = transient_points
+        self.kernel = kernel
         self._warm_x: np.ndarray | None = None
         #: Counters for the ablation benchmarks.
         self.equation_evals = 0
         self.transient_evals = 0
+        #: Warm-state trace of the last :meth:`evaluate_batch` call — the
+        #: ``_warm_x`` snapshot after each candidate, consumed by the
+        #: speculative batcher (:mod:`repro.synth.batcheval`) to rewind the
+        #: evaluator to any consumed prefix.
+        self._batch_warm_trace: list[np.ndarray | None] = []
+        #: Scratch buffer for the per-candidate AC system stack.
+        self._ac_stack_buf: np.ndarray | None = None
+        #: Bound stamp template, reused (rebound) across candidates.
+        self._bound = None
+
+    def _bind(self, bench: Circuit):
+        """Bind (or rebind) the compiled stamp template onto ``bench``.
+
+        The sizing loop produces the same topology every candidate, so one
+        :class:`~repro.analysis.template.BoundMna` is reused and only its
+        value slots refresh.
+        """
+        bound = self._bound
+        if bound is not None and bound.template.key == bench.topology_key():
+            return bound.rebind(bench)
+        bound = bind_template(bench)
+        self._bound = bound
+        return bound
+
+    def _ac_scratch(self, size: int) -> np.ndarray:
+        """Reusable (n_freq, size, size) complex buffer for the AC stack."""
+        if self._ac_stack_buf is None or self._ac_stack_buf.shape[1] != size:
+            self._ac_stack_buf = np.empty(
+                (len(_AC_FREQS), size, size), dtype=complex
+            )
+        return self._ac_stack_buf
 
     # -- testbench -----------------------------------------------------------
 
@@ -139,39 +219,142 @@ class HybridEvaluator:
         self, sizing: TwoStageSizing, run_transient: bool = False
     ) -> EvalResult:
         """Hybrid evaluation; set ``run_transient`` for the simulation half."""
-        self.equation_evals += 1
-        bench = self._ac_bench(sizing)
-        try:
-            op = self._solve_dc(bench)
-        except (ConvergenceError, ReproError):
+        staged = self._stage_equation(sizing)
+        if staged.failed:
             return self._infeasible(sizing)
+        try:
+            if self.kernel == "compiled":
+                # One stacked solve covers the DC-gain point and loop grid;
+                # the system stack reuses a per-evaluator scratch buffer.
+                lin = staged.lin
+                stack = ac_system_stack(
+                    lin, _AC_FREQS, out=self._ac_scratch(lin.size)
+                )
+                solution = solve_ac_stack(stack, lin.b_ac, _AC_FREQS)
+                staged.a_all = solution[:, lin.index("out")]
+            else:
+                # The seed's two separate per-frequency sweeps.
+                gain_point = ac_transfer(
+                    staged.lin, "out", np.array([_DC_GAIN_FREQ]), batched=False
+                )
+                loop = ac_transfer(staged.lin, "out", _LOOP_FREQS, batched=False)
+                staged.a_all = np.concatenate((gain_point, loop))
+        except (AnalysisError, ReproError):
+            return self._infeasible(sizing)
+        return self._finish(staged, run_transient)
 
-        power = (
+    def evaluate_batch(
+        self, sizings: list[TwoStageSizing], run_transient: bool = False
+    ) -> list[EvalResult]:
+        """Score a population; bit-identical to sequential :meth:`evaluate`.
+
+        DC solves run candidate-by-candidate in list order (the warm-start
+        chain is order-dependent, and keeping the serial order is what makes
+        the costs bit-identical), then the compiled kernel fuses every
+        surviving candidate's AC sweep into one stacked linear solve.  On
+        the legacy kernel this falls back to a plain sequential loop.
+        """
+        if self.kernel != "compiled":
+            results = []
+            self._batch_warm_trace = []
+            for sizing in sizings:
+                results.append(self.evaluate(sizing, run_transient))
+                self._batch_warm_trace.append(
+                    None if self._warm_x is None else self._warm_x.copy()
+                )
+            return results
+
+        staged: list[_StagedEvaluation] = []
+        self._batch_warm_trace = []
+        for sizing in sizings:
+            staged.append(self._stage_equation(sizing))
+            self._batch_warm_trace.append(
+                None if self._warm_x is None else self._warm_x.copy()
+            )
+
+        pending = [s for s in staged if s.lin is not None]
+        if pending:
+            n_freq = len(_AC_FREQS)
+            size = pending[0].lin.size
+            stack = np.empty((len(pending) * n_freq, size, size), dtype=complex)
+            rhs = np.empty((len(pending) * n_freq, size, 1), dtype=complex)
+            for i, s in enumerate(pending):
+                block = slice(i * n_freq, (i + 1) * n_freq)
+                ac_system_stack(s.lin, _AC_FREQS, out=stack[block])
+                rhs[block, :, 0] = s.lin.b_ac
+            try:
+                solutions = np.linalg.solve(stack, rhs)[..., 0]
+                split = np.split(solutions, len(pending))
+            except np.linalg.LinAlgError:
+                # Some candidate's sweep is singular: resolve per candidate
+                # so only that candidate goes infeasible (matching what a
+                # sequential evaluate() would do).
+                split = []
+                for i, s in enumerate(pending):
+                    block = slice(i * n_freq, (i + 1) * n_freq)
+                    try:
+                        split.append(
+                            solve_ac_stack(stack[block], s.lin.b_ac, _AC_FREQS)
+                        )
+                    except AnalysisError:
+                        split.append(None)
+            for s, solution in zip(pending, split):
+                if solution is None:
+                    s.failed = True
+                    continue
+                s.a_all = solution[:, s.lin.index("out")]
+
+        return [
+            self._infeasible(s.sizing) if s.failed else self._finish(s, run_transient)
+            for s in staged
+        ]
+
+    def _stage_equation(self, sizing: TwoStageSizing) -> "_StagedEvaluation":
+        """DC solve + linearization — the sequential half of an evaluation."""
+        self.equation_evals += 1
+        staged = _StagedEvaluation(sizing=sizing)
+        bench = self._ac_bench(sizing)
+        bound = self._bind(bench) if self.kernel == "compiled" else None
+        try:
+            op = self._solve_dc(bench, assembly=bound)
+        except (ConvergenceError, ReproError):
+            staged.failed = True
+            return staged
+        staged.power = (
             self.tech.vdd
             * abs(op.supply_current("vdd_src"))
             * DIFFERENTIAL_FACTOR
         )
-        saturation = self._saturation_margin(op)
-
+        staged.saturation = self._saturation_margin(op)
         try:
-            lin = linearize(bench, op, include_noise=False)
-            dc_gain = abs(float(np.real(ac_transfer(lin, "out", np.array([1e3]))[0])))
-            loop_unity, pm = self._loop_margin(lin)
+            if bound is not None:
+                staged.lin = bound.linearize(op)
+            else:
+                staged.lin = linearize(bench, op, include_noise=False)
         except (AnalysisError, ReproError):
-            return self._infeasible(sizing)
+            staged.failed = True
+        return staged
 
+    def _finish(
+        self, staged: "_StagedEvaluation", run_transient: bool
+    ) -> EvalResult:
+        """Metrics + violations from a staged evaluation's AC sweep."""
+        a_all = staged.a_all
+        dc_gain = abs(float(np.real(a_all[0])))
+        loop_unity, pm = self._loop_margin_values(a_all[1:])
         settling = None
         if run_transient:
-            settling = self._transient_settling(sizing)
-
-        violations = self._violations(dc_gain, loop_unity, pm, saturation, settling)
+            settling = self._transient_settling(staged.sizing)
+        violations = self._violations(
+            dc_gain, loop_unity, pm, staged.saturation, settling
+        )
         return EvalResult(
-            sizing=sizing,
-            power=power,
+            sizing=staged.sizing,
+            power=staged.power,
             dc_gain=dc_gain,
             loop_unity_hz=loop_unity,
             phase_margin=pm,
-            saturation_margin=saturation,
+            saturation_margin=staged.saturation,
             settling_error=settling,
             dc_ok=True,
             violations=violations,
@@ -199,16 +382,16 @@ class HybridEvaluator:
         m2 = op.device_ops.get("m2")
         return m2 is not None and m2.region == "cutoff"
 
-    def _solve_dc(self, bench: Circuit) -> DcSolution:
+    def _solve_dc(self, bench: Circuit, assembly=None) -> DcSolution:
         if self._warm_x is not None:
             try:
-                op = solve_dc(bench, x0=self._warm_x)
+                op = solve_dc(bench, x0=self._warm_x, assembly=assembly)
                 if not self._degenerate(op):
                     self._warm_x = op.x
                     return op
             except (ConvergenceError, ReproError):
                 pass
-        op = solve_dc(bench, initial_guess=self._dc_guess())
+        op = solve_dc(bench, initial_guess=self._dc_guess(), assembly=assembly)
         if self._degenerate(op):
             raise ConvergenceError("amplifier stuck in a degenerate operating point")
         self._warm_x = op.x
@@ -223,24 +406,25 @@ class HybridEvaluator:
             margins.append(abs(device.vds) - device.vdsat)
         return min(margins) if margins else -1.0
 
-    def _loop_margin(self, lin) -> tuple[float | None, float | None]:
+    def _loop_margin_values(
+        self, a: np.ndarray
+    ) -> tuple[float | None, float | None]:
         """Unity crossing and phase margin of the loop gain a(s)*beta.
 
-        a(s) is measured from the non-inverting input (phase 0 at DC); the
-        phase is unwrapped along the sweep so margins past -180 degrees
-        report as negative instead of aliasing.
+        ``a`` is the amplifier transfer over :data:`_LOOP_FREQS`; a(s) is
+        measured from the non-inverting input (phase 0 at DC); the phase is
+        unwrapped along the sweep so margins past -180 degrees report as
+        negative instead of aliasing.
         """
         beta = self.network.beta
-        freqs = np.logspace(3, 11, 241)
-        a = ac_transfer(lin, "out", freqs)
+        freqs = _LOOP_FREQS
         loop_mag = np.abs(a) * beta
         phase = np.degrees(np.unwrap(np.angle(a)))
-        crossing = None
-        for k in range(len(freqs) - 1):
-            if loop_mag[k] >= 1.0 > loop_mag[k + 1]:
-                crossing = k
-        if crossing is None:
+        # Last downward unity crossing (vectorized form of the legacy scan).
+        down = np.nonzero((loop_mag[:-1] >= 1.0) & (loop_mag[1:] < 1.0))[0]
+        if len(down) == 0:
             return None, None
+        crossing = int(down[-1])
         # Log-interpolate the crossing frequency and phase.
         m1, m2 = loop_mag[crossing], loop_mag[crossing + 1]
         t = math.log(m1) / (math.log(m1) - math.log(m2))

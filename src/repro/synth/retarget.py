@@ -26,6 +26,8 @@ def retarget_mdac(
     budget: int = 60,
     seed: int = 7,
     verify_transient: bool = True,
+    kernel: str = "compiled",
+    speculation: int = 0,
 ) -> SynthesisResult:
     """Warm-started synthesis of ``new_spec`` from a previously sized block.
 
@@ -58,4 +60,6 @@ def retarget_mdac(
         x0=x0,
         verify_transient=verify_transient,
         retargeted=True,
+        kernel=kernel,
+        speculation=speculation,
     )

@@ -16,6 +16,7 @@ import numpy as np
 from repro.errors import SynthesisError
 from repro.specs.stage import MdacSpec
 from repro.synth.anneal import anneal
+from repro.synth.batcheval import BatchCostFunction
 from repro.synth.de import differential_evolution
 from repro.synth.evaluator import HybridEvaluator
 from repro.synth.patternsearch import pattern_search
@@ -38,24 +39,47 @@ def synthesize_mdac(
     x0: np.ndarray | None = None,
     verify_transient: bool = True,
     retargeted: bool = False,
+    kernel: str = "compiled",
+    speculation: int = 0,
 ) -> SynthesisResult:
     """Synthesize one MDAC opamp; returns the verified result.
 
     ``optimizer`` is ``"anneal"`` (default, NeoCircuit-style) or ``"de"``.
     ``x0`` (unit coordinates) warm-starts the search — used by retargeting.
+
+    ``kernel`` selects the equation-evaluation kernel (``"compiled"``, the
+    template+batched-solve default, or ``"legacy"``, the reference walk);
+    ``speculation`` > 1 additionally batches optimizer proposals through
+    :class:`~repro.synth.batcheval.BatchCostFunction`.  Both knobs are
+    pure performance choices: results are bit-identical across them.
     """
     start = time.perf_counter()
     space = two_stage_space(mdac, tech)
-    evaluator = HybridEvaluator(mdac, tech)
+    evaluator = HybridEvaluator(mdac, tech, kernel=kernel)
 
-    def cost_fn(u: np.ndarray) -> float:
-        return evaluator.evaluate(space.decode(u)).cost()
+    if speculation > 1 and kernel == "compiled":
+        cost_fn = BatchCostFunction(evaluator, space)
+    else:
+        def cost_fn(u: np.ndarray) -> float:
+            return evaluator.evaluate(space.decode(u)).cost()
 
     if optimizer == "anneal":
-        run = anneal(cost_fn, space.dimension, budget=budget, seed=seed, x0=x0)
+        run = anneal(
+            cost_fn,
+            space.dimension,
+            budget=budget,
+            seed=seed,
+            x0=x0,
+            speculation=speculation,
+        )
     elif optimizer == "de":
         run = differential_evolution(
-            cost_fn, space.dimension, budget=budget, seed=seed, x0=x0
+            cost_fn,
+            space.dimension,
+            budget=budget,
+            seed=seed,
+            x0=x0,
+            speculation=speculation,
         )
     else:
         raise SynthesisError(f"unknown optimizer {optimizer!r}")
@@ -63,7 +87,9 @@ def synthesize_mdac(
     # Local polish: a short pattern search closes the last few percent of
     # constraint margin the annealer leaves behind.
     polish_budget = max(40, budget // 4)
-    best_x, _, _ = pattern_search(cost_fn, run.best_x, budget=polish_budget)
+    best_x, _, _ = pattern_search(
+        cost_fn, run.best_x, budget=polish_budget, speculation=speculation
+    )
 
     sizing = space.decode(best_x)
     final = evaluator.evaluate(sizing, run_transient=verify_transient)

@@ -82,11 +82,22 @@ def _forward_current(
 ) -> tuple[float, float, float, float, float, float]:
     """Normalized (NMOS-like, vds >= 0) current and partial derivatives.
 
-    Returns ``(id, gm, gds, gmb, veff, vdsat)``.
+    Returns ``(id, gm, gds, gmb, veff, vdsat, vth)``.
     """
-    vth, dvth_dvsb = _threshold(params, -vbs)
+    # _threshold and _veff, inlined: this function runs once per device per
+    # Newton iteration, where the call overhead alone was measurable.
+    vsb = -vbs
+    vsb_clamped = max(vsb, -params.phi + 0.05)
+    sq = math.sqrt(params.phi + vsb_clamped)
+    vth = params.vth0 + params.gamma * (sq - math.sqrt(params.phi))
+    if vsb > -params.phi + 0.05:
+        dvth_dvsb = params.gamma / (2.0 * sq)
+    else:
+        dvth_dvsb = 0.0
     vov = vgs - vth
-    veff, dveff_dvov = _veff(vov)
+    root = math.sqrt(vov * vov + 4.0 * _VEFF_DELTA * _VEFF_DELTA)
+    veff = 0.5 * (vov + root)
+    dveff_dvov = 0.5 * (1.0 + vov / root)
 
     beta = params.kp * (w / l)
     esat_l = params.esat * l
@@ -113,7 +124,7 @@ def _forward_current(
     gmb = dids_dveff * dveff_dvov * dvth_dvsb
 
     gds = max(gds, _GDS_MIN)
-    return ids, gm, gds, gmb, veff, veff
+    return ids, gm, gds, gmb, veff, veff, vth
 
 
 def _capacitances(
@@ -150,14 +161,14 @@ def dc_current(
     nvgs, nvds, nvbs = p * vgs, p * vds, p * vbs
 
     if nvds >= 0.0:
-        ids, gm, gds, gmb, _, _ = _forward_current(params, w, l, nvgs, nvds, nvbs)
+        ids, gm, gds, gmb, _, _, _ = _forward_current(params, w, l, nvgs, nvds, nvbs)
         # d(p*I)/d(p*V) transformation cancels: terminal derivative = normalized.
         return p * ids, gm, gds, gmb
     # Reverse mode: swap drain and source.
     swapped_vgs = nvgs - nvds  # becomes vgd
     swapped_vds = -nvds
     swapped_vbs = nvbs - nvds  # becomes vbd
-    ids, gm_s, gds_s, gmb_s, _, _ = _forward_current(
+    ids, gm_s, gds_s, gmb_s, _, _, _ = _forward_current(
         params, w, l, swapped_vgs, swapped_vds, swapped_vbs
     )
     ids_term = -ids
@@ -184,11 +195,19 @@ def operating_point(
     else:
         fvgs, fvds, fvbs = nvgs, nvds, nvbs
 
-    vth, _ = _threshold(params, -fvbs)
-    _, gm, gds, gmb = dc_current(params, w, l, vgs, vds, vbs)
-    ids, _, _, _, veff, vdsat = _forward_current(params, w, l, fvgs, fvds, fvbs)
+    # One forward-model evaluation serves current, derivatives and the
+    # threshold: the terminal transformation below is exactly what
+    # dc_current applies, so the values are bit-identical to calling it
+    # (the model used to be evaluated three times here; hot sizing loops
+    # noticed).
+    ids, fgm, fgds, fgmb, veff, vdsat, vth = _forward_current(
+        params, w, l, fvgs, fvds, fvbs
+    )
     if reverse:
+        gm, gds, gmb = -fgm, fgm + fgds + fgmb, -fgmb
         ids = -ids
+    else:
+        gm, gds, gmb = fgm, fgds, fgmb
 
     if fvgs - vth < 0.0:
         region = "cutoff"

@@ -1,0 +1,199 @@
+"""Compiled MNA templates must replay the legacy stamp walk bit-for-bit.
+
+This is the contract that lets the compiled kernel be the default
+evaluation path while campaign records stay byte-identical to the legacy
+path: every jacobian, residual, small-signal matrix and DC solution the
+template produces equals the element-walk result exactly — not to a
+tolerance, to the bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.dc import _assemble, solve_dc
+from repro.analysis.mna import MnaLayout, layout_cache_disabled, layout_for
+from repro.analysis.smallsignal import linearize
+from repro.analysis.template import MnaTemplate, bind_template, template_for
+from repro.circuit.elements import (
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    Resistor,
+    Switch,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+)
+from repro.circuit.netlist import Circuit
+from repro.enumeration.candidates import PipelineCandidate
+from repro.errors import AnalysisError
+from repro.specs import AdcSpec, plan_stages
+from repro.synth import HybridEvaluator, two_stage_space
+from repro.tech import CMOS025
+
+
+def _opamp_bench(seed: int = 0):
+    plan = plan_stages(AdcSpec(resolution_bits=13), PipelineCandidate((4, 3, 2), 13, 7))
+    mdac = plan.mdacs[2]
+    space = two_stage_space(mdac, CMOS025)
+    evaluator = HybridEvaluator(mdac, CMOS025)
+    rng = np.random.default_rng(seed)
+    sizing = space.decode(rng.random(space.dimension))
+    return evaluator._ac_bench(sizing), evaluator
+
+
+def _mixed_circuit() -> Circuit:
+    """Every element type the DC/AC templates support, in one netlist."""
+    c = Circuit("mixed")
+    c.add(VoltageSource("vin", positive="a", negative="gnd", dc=1.0, ac=1.0))
+    c.add(Resistor("r1", "a", "b", 1e3))
+    c.add(Inductor("l1", "b", "c", 1e-6))
+    c.add(Capacitor("c1", "c", "gnd", 1e-12))
+    c.add(
+        Vccs("g1", out_positive="d", out_negative="gnd",
+             ctrl_positive="c", ctrl_negative="gnd", gm=1e-3)
+    )
+    c.add(Resistor("r2", "d", "gnd", 5e3))
+    c.add(
+        Vcvs("e1", out_positive="e", out_negative="gnd",
+             ctrl_positive="d", ctrl_negative="gnd", gain=2.5)
+    )
+    c.add(Switch("sw1", "e", "f", phase=lambda t: True, r_on=50.0))
+    c.add(Resistor("r3", "f", "gnd", 2e3))
+    c.add(CurrentSource("i1", positive="f", negative="gnd", dc=1e-4, ac=0.5))
+    return c
+
+
+class TestAssembleBitIdentity:
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_opamp_bench_assemble(self, seed):
+        bench, _ = _opamp_bench(seed)
+        layout = layout_for(bench)
+        bound = bind_template(bench)
+        rng = np.random.default_rng(seed + 100)
+        for _ in range(3):
+            x = rng.standard_normal(layout.size)
+            for gmin, scale in ((0.0, 1.0), (1e-3, 1.0), (1e-9, 0.35)):
+                jac_ref, res_ref = _assemble(layout, x, gmin, scale)
+                jac, res = bound.assemble(x, gmin, scale)
+                assert np.array_equal(jac_ref, jac)
+                assert np.array_equal(res_ref, res)
+
+    def test_mixed_elements_assemble(self):
+        circuit = _mixed_circuit()
+        layout = layout_for(circuit)
+        bound = bind_template(circuit)
+        rng = np.random.default_rng(2)
+        for _ in range(4):
+            x = rng.standard_normal(layout.size)
+            for gmin, scale in ((0.0, 1.0), (1e-4, 0.7), (1e-9, 0.05)):
+                jac_ref, res_ref = _assemble(layout, x, gmin, scale)
+                jac, res = bound.assemble(x, gmin, scale)
+                assert np.array_equal(jac_ref, jac)
+                assert np.array_equal(res_ref, res)
+
+    def test_solve_dc_identical(self):
+        bench, evaluator = _opamp_bench(5)
+        ref = solve_dc(bench, initial_guess=evaluator._dc_guess())
+        via_template = solve_dc(
+            bench,
+            initial_guess=evaluator._dc_guess(),
+            assembly=bind_template(bench),
+        )
+        assert np.array_equal(ref.x, via_template.x)
+        assert ref.iterations == via_template.iterations
+        assert ref.strategy == via_template.strategy
+        assert ref.voltages == via_template.voltages
+        assert ref.branch_currents == via_template.branch_currents
+
+    def test_linearize_identical(self):
+        for circuit, guess in (
+            _opamp_bench(7)[:1] + (None,),
+            (_mixed_circuit(), None),
+        ):
+            op = solve_dc(circuit)
+            bound = bind_template(circuit)
+            ref = linearize(circuit, op, include_noise=False)
+            lin = bound.linearize(op)
+            assert np.array_equal(ref.g_matrix, lin.g_matrix)
+            assert np.array_equal(ref.c_matrix, lin.c_matrix)
+            assert np.array_equal(ref.b_ac, lin.b_ac)
+
+
+class TestTemplateCacheAndBinding:
+    def test_template_cached_per_topology(self):
+        bench_a, _ = _opamp_bench(1)
+        bench_b, _ = _opamp_bench(2)  # same topology, different sizing
+        assert template_for(bench_a) is template_for(bench_b)
+
+    def test_bind_rejects_other_topology(self):
+        bench, _ = _opamp_bench(1)
+        template = template_for(bench)
+        with pytest.raises(AnalysisError):
+            template.bind(_mixed_circuit())
+
+    def test_rebind_refreshes_values(self):
+        bench_a, _ = _opamp_bench(1)
+        bench_b, _ = _opamp_bench(2)
+        bound = bind_template(bench_a)
+        bound.rebind(bench_b)
+        reference = bind_template(bench_b)
+        layout = layout_for(bench_b)
+        x = np.random.default_rng(0).standard_normal(layout.size)
+        jac_a, res_a = bound.assemble(x, 0.0, 1.0)
+        jac_b, res_b = reference.assemble(x, 0.0, 1.0)
+        assert np.array_equal(jac_a, jac_b)
+        assert np.array_equal(res_a, res_b)
+
+    def test_layout_cache_shares_structure_not_values(self):
+        bench_a, _ = _opamp_bench(1)
+        bench_b, _ = _opamp_bench(2)
+        layout_a = layout_for(bench_a)
+        layout_b = layout_for(bench_b)
+        assert layout_a.node_of is layout_b.node_of  # shared index maps
+        assert layout_b.circuit is bench_b  # values from the live circuit
+
+    def test_layout_cache_disabled_context(self):
+        bench, _ = _opamp_bench(1)
+        with layout_cache_disabled():
+            fresh = layout_for(bench)
+        assert isinstance(fresh, MnaLayout)
+        assert fresh.node_of == layout_for(bench).node_of
+
+    def test_topology_key_invalidates_on_mutation(self):
+        circuit = _mixed_circuit()
+        key = circuit.topology_key()
+        circuit.add(Resistor("extra", "f", "gnd", 1e4))
+        assert circuit.topology_key() != key
+        circuit.remove("extra")
+        assert circuit.topology_key() == key
+
+    def test_unsupported_element_raises(self):
+        c = Circuit("bad")
+        c.add(VoltageSource("v1", positive="a", negative="gnd", dc=1.0))
+
+        class Weird(Resistor):
+            pass
+
+        # A subclass is fine (isinstance dispatch); a genuinely unknown
+        # element type is rejected at compile time.
+        c.add(Weird("w1", "a", "gnd", 1.0))
+        MnaTemplate(c)  # subclass compiles
+
+        from repro.circuit.elements import Element
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Alien(Element):
+            n1: str = "a"
+            n2: str = "gnd"
+
+            @property
+            def nodes(self):
+                return (self.n1, self.n2)
+
+        c2 = Circuit("bad2")
+        c2.add(VoltageSource("v1", positive="a", negative="gnd", dc=1.0))
+        c2.add(Alien("alien"))
+        with pytest.raises(AnalysisError):
+            MnaTemplate(c2)

@@ -1,0 +1,140 @@
+"""Codegen'd numpy callables for Expr/Poly/RationalFunction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SymbolicError
+from repro.symbolic import (
+    Poly,
+    RationalFunction,
+    compile_expr,
+    compile_poly,
+    compile_ratfunc,
+    symbols,
+)
+
+
+def _symbols():
+    return symbols("gm ro cl")
+
+
+def _expr():
+    gm, ro, cl = _symbols()
+    return gm * ro / (1 + gm * ro) + (gm + cl) ** 2 - 3 / ro
+
+
+def _bindings(seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "gm": float(rng.uniform(1e-4, 1e-2)),
+        "ro": float(rng.uniform(1e4, 1e6)),
+        "cl": float(rng.uniform(1e-13, 1e-11)),
+    }
+
+
+class TestCompiledExpr:
+    def test_matches_tree_walk(self):
+        compiled = compile_expr(_expr())
+        for seed in range(8):
+            b = _bindings(seed)
+            ref = _expr().evaluate(b)
+            assert compiled(b) == pytest.approx(ref, rel=1e-12)
+
+    def test_vectorized_bindings(self):
+        compiled = compile_expr(_expr())
+        singles = [_bindings(s) for s in range(5)]
+        stacked = {
+            k: np.array([b[k] for b in singles]) for k in singles[0]
+        }
+        vec = compiled(stacked)
+        assert vec.shape == (5,)
+        for i, b in enumerate(singles):
+            assert vec[i] == pytest.approx(_expr().evaluate(b), rel=1e-12)
+
+    def test_common_subexpressions_emitted_once(self):
+        gm, ro, _ = _symbols()
+        shared = (gm + ro) ** 2
+        compiled = compile_expr(shared + shared * gm)
+        # The squared sum appears once in the generated source.
+        assert compiled._fn.__source__.count("** 2") == 1
+
+    def test_missing_binding_raises(self):
+        compiled = compile_expr(_expr())
+        with pytest.raises(SymbolicError):
+            compiled({"gm": 1.0, "ro": 1.0})
+
+    def test_missing_symbol_in_order_raises(self):
+        with pytest.raises(SymbolicError):
+            compile_expr(_expr(), symbols_order=("gm",))
+
+
+class TestCompiledPolyAndRatfunc:
+    def _ratfunc(self):
+        gm, ro, cl = _symbols()
+        return RationalFunction(
+            Poly([gm * ro, ro * cl]), Poly([1.0, cl * ro, cl * cl])
+        )
+
+    def test_poly_coeffs_match(self):
+        gm, ro, cl = _symbols()
+        poly = Poly([gm * ro, ro + cl, 2.0])
+        compiled = compile_poly(poly)
+        for seed in range(5):
+            b = _bindings(seed)
+            assert np.allclose(
+                compiled.coeffs(b), poly.evaluate_coeffs(b), rtol=1e-12
+            )
+
+    def test_frequency_response_matches(self):
+        h = self._ratfunc()
+        compiled = compile_ratfunc(h)
+        freqs = np.logspace(2, 10, 17)
+        for seed in range(4):
+            b = _bindings(seed)
+            assert np.allclose(
+                compiled.frequency_response(freqs, b),
+                h.frequency_response(freqs, b),
+                rtol=1e-9,
+            )
+
+    def test_population_vectorized_response(self):
+        h = self._ratfunc()
+        compiled = h.compiled()
+        freqs = np.logspace(3, 9, 13)
+        singles = [_bindings(s) for s in range(6)]
+        stacked = {k: np.array([b[k] for b in singles]) for k in singles[0]}
+        responses = compiled.frequency_response(freqs, stacked)
+        assert responses.shape == (6, len(freqs))
+        for i, b in enumerate(singles):
+            assert np.allclose(
+                responses[i], h.frequency_response(freqs, b), rtol=1e-9
+            )
+
+    def test_frequency_response_dispatches_array_bindings(self):
+        # The public API routes population bindings through the codegen.
+        h = self._ratfunc()
+        freqs = np.logspace(3, 9, 13)
+        singles = [_bindings(s) for s in range(4)]
+        stacked = {k: np.array([b[k] for b in singles]) for k in singles[0]}
+        responses = h.frequency_response(freqs, stacked)
+        assert responses.shape == (4, len(freqs))
+        for i, b in enumerate(singles):
+            assert np.allclose(
+                responses[i], h.frequency_response(freqs, b), rtol=1e-9
+            )
+
+    def test_compiled_is_cached_on_instance(self):
+        h = self._ratfunc()
+        assert h.compiled() is h.compiled()
+
+    def test_unity_gain_frequency_unchanged(self):
+        # The coefficient hoisting inside unity_gain_frequency is exact:
+        # same crossing, same bisection path, same value.
+        gm, ro, cl = _symbols()
+        h = RationalFunction(Poly([gm * ro]), Poly([1.0, ro * cl]))
+        b = {"gm": 1e-2, "ro": 1e5, "cl": 1e-12}
+        fu = h.unity_gain_frequency(b)
+        assert fu is not None
+        # |H| at the crossing is ~1 and the value is stable/deterministic.
+        assert abs(abs(complex(h.frequency_response(np.array([fu]), b)[0])) - 1.0) < 1e-3
+        assert fu == h.unity_gain_frequency(b)

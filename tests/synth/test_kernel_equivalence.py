@@ -1,0 +1,184 @@
+"""Kernel equivalence: compiled/batched/speculative paths == legacy, bitwise.
+
+The PR 3 acceptance contract: the compiled kernel is the default, so every
+metric, cost, optimizer trajectory and synthesis outcome it produces must
+be *bit-identical* to the legacy evaluator — including through the
+speculative proposal batches, which may waste work but may never change a
+number or a counter.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.persist import sizing_digest
+from repro.enumeration.candidates import PipelineCandidate
+from repro.errors import SynthesisError
+from repro.specs import AdcSpec, plan_stages
+from repro.synth import (
+    BatchCostFunction,
+    HybridEvaluator,
+    anneal,
+    differential_evolution,
+    synthesize_mdac,
+    two_stage_space,
+)
+from repro.synth.patternsearch import pattern_search
+from repro.tech import CMOS025
+
+
+def _mdac():
+    plan = plan_stages(AdcSpec(resolution_bits=13), PipelineCandidate((4, 3, 2), 13, 7))
+    return plan.mdacs[2]
+
+
+def _assert_results_equal(a, b):
+    for field in (
+        "power",
+        "dc_gain",
+        "loop_unity_hz",
+        "phase_margin",
+        "saturation_margin",
+        "settling_error",
+        "dc_ok",
+    ):
+        assert getattr(a, field) == getattr(b, field), field
+    assert a.violations == b.violations
+    assert a.cost() == b.cost()
+
+
+class TestEvaluatorEquivalence:
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SynthesisError):
+            HybridEvaluator(_mdac(), CMOS025, kernel="quantum")
+
+    def test_compiled_matches_legacy_bitwise(self):
+        mdac = _mdac()
+        space = two_stage_space(mdac, CMOS025)
+        rng = np.random.default_rng(3)
+        sizings = [space.decode(rng.random(space.dimension)) for _ in range(12)]
+        legacy = HybridEvaluator(mdac, CMOS025, kernel="legacy")
+        compiled_ = HybridEvaluator(mdac, CMOS025, kernel="compiled")
+        for sizing in sizings:
+            _assert_results_equal(
+                legacy.evaluate(sizing), compiled_.evaluate(sizing)
+            )
+        assert legacy.equation_evals == compiled_.equation_evals
+
+    def test_evaluate_batch_matches_sequential(self):
+        mdac = _mdac()
+        space = two_stage_space(mdac, CMOS025)
+        rng = np.random.default_rng(9)
+        sizings = [space.decode(rng.random(space.dimension)) for _ in range(10)]
+        sequential = HybridEvaluator(mdac, CMOS025, kernel="compiled")
+        batched = HybridEvaluator(mdac, CMOS025, kernel="compiled")
+        seq_results = [sequential.evaluate(s) for s in sizings]
+        batch_results = batched.evaluate_batch(sizings)
+        for a, b in zip(seq_results, batch_results):
+            _assert_results_equal(a, b)
+        assert sequential.equation_evals == batched.equation_evals
+        # The warm trace covers every candidate (speculation relies on it).
+        assert len(batched._batch_warm_trace) == len(sizings)
+
+    def test_evaluate_batch_legacy_fallback(self):
+        mdac = _mdac()
+        space = two_stage_space(mdac, CMOS025)
+        rng = np.random.default_rng(4)
+        sizings = [space.decode(rng.random(space.dimension)) for _ in range(4)]
+        legacy = HybridEvaluator(mdac, CMOS025, kernel="legacy")
+        reference = HybridEvaluator(mdac, CMOS025, kernel="legacy")
+        for a, b in zip(
+            legacy.evaluate_batch(sizings),
+            [reference.evaluate(s) for s in sizings],
+        ):
+            _assert_results_equal(a, b)
+
+
+class TestSpeculationEquivalence:
+    def _cost_pair(self):
+        mdac = _mdac()
+        space = two_stage_space(mdac, CMOS025)
+        plain_eval = HybridEvaluator(mdac, CMOS025, kernel="compiled")
+
+        def plain(u):
+            return plain_eval.evaluate(space.decode(u)).cost()
+
+        batch_eval = HybridEvaluator(mdac, CMOS025, kernel="compiled")
+        batch = BatchCostFunction(batch_eval, space)
+        return plain, plain_eval, batch, batch_eval
+
+    def test_anneal_trajectory_identical(self):
+        plain, plain_eval, batch, batch_eval = self._cost_pair()
+        ref = anneal(plain, 9, budget=60, seed=2)
+        spec = anneal(batch, 9, budget=60, seed=2, speculation=6)
+        assert ref.history == spec.history
+        assert np.array_equal(ref.best_x, spec.best_x)
+        assert ref.best_cost == spec.best_cost
+        # Counters rewound to the serial count, waste tracked separately.
+        assert plain_eval.equation_evals == batch_eval.equation_evals
+        assert batch.speculated > 0
+
+    def test_de_trajectory_identical(self):
+        plain, plain_eval, batch, batch_eval = self._cost_pair()
+        ref = differential_evolution(plain, 9, budget=48, seed=2, population=8)
+        spec = differential_evolution(
+            batch, 9, budget=48, seed=2, population=8, speculation=8
+        )
+        assert ref.history == spec.history
+        assert np.array_equal(ref.best_x, spec.best_x)
+        assert plain_eval.equation_evals == batch_eval.equation_evals
+
+    def test_pattern_search_identical(self):
+        plain, plain_eval, batch, batch_eval = self._cost_pair()
+        x0 = np.full(9, 0.5)
+        ref = pattern_search(plain, x0, budget=40)
+        spec = pattern_search(batch, x0, budget=40, speculation=8)
+        assert np.array_equal(ref[0], spec[0])
+        assert ref[1] == spec[1]
+        assert ref[2] == spec[2]
+        assert plain_eval.equation_evals == batch_eval.equation_evals
+
+    def test_flush_rewinds_unconsumed_speculation(self):
+        _, _, batch, batch_eval = self._cost_pair()
+        rng = np.random.default_rng(0)
+        proposals = [rng.random(9) for _ in range(4)]
+        batch.speculate(proposals)
+        assert batch.pending == 4
+        first = batch(proposals[0])  # consume one
+        batch.flush()
+        assert batch.pending == 0
+        assert batch.discarded == 3
+        assert batch_eval.equation_evals == 1  # only the consumed one counts
+        # Re-evaluating the same point serially reproduces the cached cost.
+        fresh_eval = HybridEvaluator(_mdac(), CMOS025, kernel="compiled")
+        fresh = BatchCostFunction(fresh_eval, two_stage_space(_mdac(), CMOS025))
+        assert fresh(proposals[0]) == first
+
+
+class TestSynthesisEquivalence:
+    @pytest.mark.parametrize("optimizer", ["anneal", "de"])
+    def test_synthesize_identical_across_kernels(self, optimizer):
+        mdac = _mdac()
+        runs = {
+            label: synthesize_mdac(
+                mdac,
+                CMOS025,
+                budget=60,
+                seed=1,
+                optimizer=optimizer,
+                verify_transient=False,
+                kernel=kernel,
+                speculation=speculation,
+            )
+            for label, kernel, speculation in (
+                ("legacy", "legacy", 0),
+                ("compiled", "compiled", 0),
+                ("speculative", "compiled", 6),
+            )
+        }
+        base = runs["legacy"]
+        for label in ("compiled", "speculative"):
+            other = runs[label]
+            assert sizing_digest(other) == sizing_digest(base), label
+            assert other.history == base.history, label
+            assert other.equation_evals == base.equation_evals, label
+            assert other.final.cost() == base.final.cost(), label
