@@ -11,6 +11,10 @@ measurements of the compiled evaluation kernels against the legacy path.
 ``--check`` is the CI regression guard: it fails the run when the compiled
 kernel is slower than the legacy path on the same workload, or when any
 variant's synthesis result diverges (the bit-identity contract).
+
+A stage that *raises* is recorded in its JSON slot as ``{"error": ...}``
+and the run exits non-zero after writing the (partial) report — CI fails
+loudly instead of uploading a silently truncated BENCH artifact.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ import json
 import platform
 import sys
 import time
+import traceback
 from pathlib import Path
 
 import numpy as np
@@ -175,6 +180,24 @@ def main(argv=None) -> int:
     repeats = 10 if args.smoke else 30
     population = 16 if args.smoke else 48
 
+    # Each stage runs in its own guard: a raising benchmark must not
+    # silently truncate the JSON.  The error is recorded in the stage's
+    # slot (so CI artifacts show *which* stage died and why) and the run
+    # exits non-zero after writing the partial report.
+    stage_fns = {
+        "synthesize_mdac": lambda: stage_synthesize(budget),
+        "equation_metric_stage": lambda: stage_equation_metrics(repeats),
+        "evaluate_batch": lambda: stage_batch_api(population),
+    }
+    stages: dict[str, dict] = {}
+    stage_errors: list[str] = []
+    for name, stage_fn in stage_fns.items():
+        try:
+            stages[name] = stage_fn()
+        except Exception:
+            stages[name] = {"error": traceback.format_exc()}
+            stage_errors.append(name)
+
     report = {
         "bench": "PR3 compiled evaluation kernels",
         "config": {
@@ -184,18 +207,21 @@ def main(argv=None) -> int:
             "numpy": np.__version__,
             "machine": platform.machine(),
         },
-        "stages": {
-            "synthesize_mdac": stage_synthesize(budget),
-            "equation_metric_stage": stage_equation_metrics(repeats),
-            "evaluate_batch": stage_batch_api(population),
-        },
+        "stages": stages,
     }
 
     out_path = Path(args.out)
     out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(report, indent=2))
+
+    if stage_errors:
+        for name in stage_errors:
+            print(f"BENCH FAILED: stage {name!r} raised (see {out_path})",
+                  file=sys.stderr)
+        return 1
+
     synth = report["stages"]["synthesize_mdac"]
     eqn = report["stages"]["equation_metric_stage"]
-    print(json.dumps(report, indent=2))
     print(
         f"\nfull-candidate speedup: {synth['speedup_full_candidate']}x, "
         f"equation-metric stage: {eqn['speedup']}x -> {out_path}"

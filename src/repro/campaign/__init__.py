@@ -7,6 +7,14 @@ a campaign-wide synthesis ledger and the persistent block cache across all
 scenarios, and get back a structured results store (JSONL records) plus a
 figure-of-merit comparison report.
 
+Store-backed campaigns are a checkpointed work queue: a manifest pins the
+store to one grid + config (``manifest.py``), every completed scenario
+commits its record and ledger journal (``checkpoint.py``) so an
+interrupted run resumes byte-identically, and grids shard
+deterministically across machines (``grid.shard_scenarios``) with
+``merge.merge_shards`` fusing the shard stores back into the single-run
+store.
+
 Layering: ``campaign`` sits above ``flow`` and below ``experiments`` /
 ``cli`` — the figure drivers and the ``repro-adc campaign`` command are
 thin clients of :func:`run_campaign`.  See ``docs/architecture.md``.
@@ -22,12 +30,22 @@ Quickstart::
     campaign.save("campaign-out")     # results.jsonl + report.txt + meta.json
 """
 
+from repro.campaign.checkpoint import CheckpointStore
 from repro.campaign.grid import (
     CampaignGrid,
     Scenario,
     parse_int_axis,
     parse_rate_axis,
+    parse_shard,
+    shard_scenarios,
 )
+from repro.campaign.manifest import (
+    CampaignManifest,
+    build_manifest,
+    read_manifest,
+    write_manifest,
+)
+from repro.campaign.merge import merge_shards
 from repro.campaign.report import comparison_report
 from repro.campaign.runner import (
     CampaignResult,
@@ -45,17 +63,25 @@ from repro.campaign.store import (
 
 __all__ = [
     "CampaignGrid",
+    "CampaignManifest",
     "CampaignRecord",
     "CampaignResult",
+    "CheckpointStore",
     "LedgerBackedCache",
     "Scenario",
     "ScenarioResult",
     "SynthesisLedger",
+    "build_manifest",
     "comparison_report",
+    "merge_shards",
     "parse_int_axis",
     "parse_rate_axis",
+    "parse_shard",
+    "read_manifest",
     "read_records",
     "run_campaign",
+    "shard_scenarios",
     "walden_fom",
+    "write_manifest",
     "write_records",
 ]

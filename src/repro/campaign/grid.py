@@ -138,6 +138,69 @@ class CampaignGrid:
         return tuple(scenarios)
 
 
+def parse_shard(text: str) -> tuple[int, int]:
+    """Parse a CLI shard spec ``"K/N"`` -> (index, count), 1-based.
+
+    ``"1/1"`` is the unsharded identity; ``"2/3"`` is the second of three
+    shards of the same grid.
+    """
+    index_text, sep, count_text = text.partition("/")
+    try:
+        if not sep:
+            raise ValueError
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise SpecificationError(
+            f"cannot parse shard spec {text!r} (expected K/N, e.g. 1/2)"
+        ) from None
+    if count < 1 or not 1 <= index <= count:
+        raise SpecificationError(
+            f"shard index out of range in {text!r} (need 1 <= K <= N)"
+        )
+    return index, count
+
+
+def shard_scenarios(
+    scenarios: tuple[Scenario, ...], index: int, count: int
+) -> tuple[Scenario, ...]:
+    """Deterministically select shard ``index`` of ``count`` shards.
+
+    Sharding distributes *ledger-independent units*, never individual
+    scenarios: every analytic scenario is its own unit (it touches no
+    shared synthesis state), while all synthesis scenarios form one
+    indivisible unit — the campaign ledger chains their warm-start donor
+    pool in expansion order, so splitting that chain across shards would
+    change which donors each scenario sees and break the byte-identity of
+    sharded vs. unsharded runs.  Units are assigned round-robin in
+    expansion order, so the partition is a pure function of (grid, count):
+    every shard of every run agrees on it without coordination.
+    """
+    if count < 1 or not 1 <= index <= count:
+        raise SpecificationError(
+            f"shard index out of range: {index}/{count} (need 1 <= K <= N)"
+        )
+    if count == 1:
+        return tuple(scenarios)
+    units: list[list[Scenario]] = []
+    synthesis_unit: list[Scenario] | None = None
+    for scenario in scenarios:
+        if scenario.mode == "synthesis":
+            if synthesis_unit is None:
+                synthesis_unit = []
+                units.append(synthesis_unit)
+            synthesis_unit.append(scenario)
+        else:
+            units.append([scenario])
+    selected = [
+        scenario
+        for u, unit in enumerate(units)
+        if u % count == index - 1
+        for scenario in unit
+    ]
+    selected.sort(key=lambda s: s.index)
+    return tuple(selected)
+
+
 def parse_int_axis(text: str) -> tuple[int, ...]:
     """Parse a CLI integer axis: ``"10-13"`` (inclusive) or ``"10,12,13"``.
 

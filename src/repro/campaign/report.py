@@ -73,16 +73,50 @@ def synthesis_summary(records: Iterable[CampaignRecord]) -> str:
     return "\n".join(lines)
 
 
-def comparison_report(campaign: "CampaignResult") -> str:
-    """The full report for one campaign run."""
-    records = campaign.records
+def grid_header(
+    scenario_count: int,
+    resolutions: Iterable[int],
+    sample_rates_hz: Iterable[float],
+    modes: Iterable[str],
+    corner_tags: Iterable[str],
+    shard: tuple[int, int] = (1, 1),
+) -> str:
+    """The report's first line, built from plain axis values.
+
+    Taking axes (not a :class:`CampaignGrid`) lets the shard ``merge``
+    path rebuild the exact unsharded header from a manifest alone — the
+    byte-identity contract between merged and single-run reports hangs on
+    both paths funnelling through this one function.
+    """
     header = (
-        f"Campaign: {len(records)} scenarios "
-        f"(K in {{{', '.join(str(k) for k in campaign.grid.resolutions)}}}, "
-        f"rates {{{', '.join(f'{r / 1e6:g}M' for r in campaign.grid.sample_rates_hz)}}}, "
-        f"modes {{{', '.join(campaign.grid.modes)}}}, "
-        f"corners {{{', '.join(tag for tag, _ in campaign.grid.corners)}}})"
+        f"Campaign: {scenario_count} scenarios "
+        f"(K in {{{', '.join(str(k) for k in resolutions)}}}, "
+        f"rates {{{', '.join(f'{r / 1e6:g}M' for r in sample_rates_hz)}}}, "
+        f"modes {{{', '.join(modes)}}}, "
+        f"corners {{{', '.join(corner_tags)}}})"
     )
+    if shard != (1, 1):
+        header += f" — shard {shard[0]}/{shard[1]}"
+    return header
+
+
+def compose_report(header: str, records: Iterable[CampaignRecord]) -> str:
+    """Assemble the full report text from a header and records."""
+    records = list(records)
     return "\n".join(
         [header, "", format_records(records), "", synthesis_summary(records)]
     )
+
+
+def comparison_report(campaign: "CampaignResult") -> str:
+    """The full report for one campaign run."""
+    records = campaign.records
+    header = grid_header(
+        len(records),
+        campaign.grid.resolutions,
+        campaign.grid.sample_rates_hz,
+        campaign.grid.modes,
+        [tag for tag, _ in campaign.grid.corners],
+        shard=campaign.shard,
+    )
+    return compose_report(header, records)

@@ -25,13 +25,23 @@ across backends — the PR 1 determinism guarantee lifted to batches.
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import shutil
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
-from repro.campaign.grid import CampaignGrid, Scenario
+from repro.campaign.checkpoint import QUEUE_DIRNAME, CheckpointStore
+from repro.campaign.grid import CampaignGrid, Scenario, shard_scenarios
+from repro.campaign.manifest import (
+    CampaignManifest,
+    build_manifest,
+    read_manifest,
+    require_matching_manifest,
+    write_manifest,
+)
 from repro.campaign.store import (
     META_FILENAME,
     REPORT_FILENAME,
@@ -40,6 +50,7 @@ from repro.campaign.store import (
     walden_fom,
     write_records,
 )
+from repro.errors import SpecificationError
 from repro.engine.config import FlowConfig
 from repro.engine.persist import digest as persist_digest, sizing_digest
 from repro.flow.cache import PersistentBlockCache
@@ -78,11 +89,20 @@ class SynthesisLedger:
     _donor_digests: set[str] = field(default_factory=set)
     #: Blocks any scenario loaded from the ledger instead of searching.
     shared_hits: int = 0
+    #: When set (the runner installs a fresh list per scenario while a
+    #: checkpointing store is active), every ``record`` call is journalled
+    #: as ``(fingerprint, spec_key, result)`` so the scenario's ledger
+    #: contribution can be checkpointed and replayed on resume.
+    journal: list[tuple[str, str, SynthesisResult]] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def record(
         self, fingerprint: str, result: SynthesisResult, spec_key: str
     ) -> None:
         """Admit a resolved block into the ledger (idempotent per design)."""
+        if self.journal is not None:
+            self.journal.append((fingerprint, spec_key, result))
         self.memory.setdefault(fingerprint, result)
         if result.feasible:
             self.by_spec.setdefault(spec_key, result)
@@ -90,6 +110,19 @@ class SynthesisLedger:
         if digest not in self._donor_digests:
             self._donor_digests.add(digest)
             self.donors.append(result)
+
+    def replay(
+        self, journal: Sequence[tuple[str, str, SynthesisResult]]
+    ) -> None:
+        """Re-apply a checkpointed journal, reconstructing ledger state.
+
+        ``record`` is idempotent per design and journal entries preserve
+        admission order, so replaying the journals of completed scenarios
+        (in scenario order) leaves ``memory``/``by_spec``/``donors`` —
+        donor *order* included — exactly as the original run left them.
+        """
+        for fingerprint, spec_key, result in journal:
+            self.record(fingerprint, result, spec_key)
 
 
 @dataclass
@@ -159,12 +192,16 @@ class ScenarioResult:
     """One scenario's full outcome: optimization result plus its record."""
 
     scenario: Scenario
-    #: The ranked optimization outcome (in memory; not serialized).
-    topology: TopologyResult
+    #: The ranked optimization outcome (in memory; not serialized).  ``None``
+    #: when the scenario was replayed from a checkpoint on resume — the
+    #: record survives an interruption, the in-memory object does not.
+    topology: TopologyResult | None
     #: The deterministic JSONL record.
     record: CampaignRecord
     #: Wall time of this scenario [s] — nondeterministic, kept out of the record.
     wall_seconds: float
+    #: True when this scenario was served from a checkpoint, not executed.
+    replayed: bool = False
 
 
 @dataclass(frozen=True)
@@ -177,6 +214,13 @@ class CampaignResult:
     backend_name: str
     #: Total campaign wall time [s].
     wall_seconds: float
+    #: (index, count) of the shard this run covered; (1, 1) when unsharded.
+    shard: tuple[int, int] = (1, 1)
+    #: The store identity written alongside the results (``None`` only for
+    #: hand-assembled results; ``run_campaign`` always provides one).
+    manifest: CampaignManifest | None = None
+    #: Scenarios served from checkpoints instead of executing (resume).
+    replayed_scenarios: int = 0
 
     @property
     def records(self) -> tuple[CampaignRecord, ...]:
@@ -207,7 +251,8 @@ class CampaignResult:
         return {
             s.scenario.spec.resolution_bits: s.topology
             for s in self.scenarios
-            if s.scenario.mode == mode
+            if s.topology is not None
+            and s.scenario.mode == mode
             and s.scenario.spec.sample_rate_hz == sample_rate_hz
             and s.scenario.corner == corner
         }
@@ -222,7 +267,9 @@ class CampaignResult:
         """Write the results store into ``store_dir``.
 
         Produces ``results.jsonl`` (deterministic records), ``report.txt``
-        (deterministic comparison report) and ``meta.json`` (wall times and
+        (deterministic comparison report), ``manifest.json`` (the store's
+        identity — grid/config digests and shard coverage, see
+        :mod:`repro.campaign.manifest`) and ``meta.json`` (wall times and
         backend — the one nondeterministic artifact).  Returns the paths.
         """
         directory = Path(store_dir)
@@ -230,16 +277,21 @@ class CampaignResult:
         results_path = write_records(self.records, directory / RESULTS_FILENAME)
         report_path = directory / REPORT_FILENAME
         report_path.write_text(self.report() + "\n", encoding="utf-8")
+        paths = {"results": results_path, "report": report_path}
+        if self.manifest is not None:
+            paths["manifest"] = write_manifest(self.manifest, directory)
         meta = {
             "backend": self.backend_name,
             "wall_seconds": self.wall_seconds,
+            "replayed_scenarios": self.replayed_scenarios,
             "scenario_wall_seconds": {
                 s.record.label: s.wall_seconds for s in self.scenarios
             },
         }
         meta_path = directory / META_FILENAME
         meta_path.write_text(json.dumps(meta, indent=2) + "\n", encoding="utf-8")
-        return {"results": results_path, "report": report_path, "meta": meta_path}
+        paths["meta"] = meta_path
+        return paths
 
 
 def _make_record(
@@ -279,8 +331,12 @@ def run_campaign(
     config: FlowConfig | None = None,
     ledger: SynthesisLedger | None = None,
     progress: Callable[[ScenarioResult], None] | None = None,
+    *,
+    store_dir: str | Path | None = None,
+    resume: bool = False,
+    shard: tuple[int, int] = (1, 1),
 ) -> CampaignResult:
-    """Run every scenario of the grid as one batch.
+    """Run every scenario of the grid (or of one shard of it) as one batch.
 
     ``config`` supplies the execution backend, synthesis budgets and the
     persistent cache directory shared by all scenarios.  ``ledger`` defaults
@@ -288,45 +344,116 @@ def run_campaign(
     campaigns.  ``progress`` (if given) is called with each
     :class:`ScenarioResult` as it completes — the CLI uses it for live
     status lines.
+
+    ``store_dir`` switches on the checkpointing layer: a manifest
+    identifying the campaign is written up front, every completed scenario
+    commits a checkpoint (its record plus its ledger-journal — see
+    :mod:`repro.campaign.checkpoint`), and the final store
+    (``results.jsonl`` / ``report.txt`` / ``manifest.json`` / ``meta.json``)
+    is saved on completion.  With ``resume=True`` an interrupted store's
+    checkpointed scenarios replay byte-identically (records *and* their
+    ledger contributions, so the remaining scenarios plan the same warm
+    starts) instead of re-running; the manifest must match the requested
+    campaign or the call refuses with a :class:`SpecificationError`.
+    Without ``resume``, stale checkpoints and queue state are cleared.
+
+    ``shard=(k, n)`` runs only the k-th of n deterministic slices of the
+    grid (see :func:`repro.campaign.grid.shard_scenarios`); the shard
+    stores are fused back into the single-run store by
+    :func:`repro.campaign.merge.merge_shards`.
+
+    When the ``'queue'`` backend is selected without an explicit
+    ``queue_dir``, its lease/ack directory is placed inside ``store_dir``
+    so task-level completions also survive a kill.
     """
     if config is None:
         config = FlowConfig()
     if ledger is None:
         ledger = SynthesisLedger()
+    if resume and store_dir is None:
+        raise SpecificationError("resume=True requires store_dir")
 
-    backend = config.make_backend()
+    scenarios = shard_scenarios(grid.expand(), *shard)
+    manifest = build_manifest(
+        grid, config, shard, tuple(s.label for s in scenarios)
+    )
+
+    checkpoints: CheckpointStore | None = None
+    completed: list = []
+    if store_dir is not None:
+        store_path = Path(store_dir)
+        checkpoints = CheckpointStore(store_path)
+        existing = read_manifest(store_path)
+        if resume and existing is not None:
+            require_matching_manifest(existing, manifest, store_path)
+        if not resume:
+            # A fresh run starts clean: stale checkpoints *and* stale queue
+            # acks (which would otherwise replay results a previous code
+            # version computed) are both discarded.
+            checkpoints.clear()
+            shutil.rmtree(store_path / QUEUE_DIRNAME, ignore_errors=True)
+        write_manifest(manifest, store_path)
+        if config.backend == "queue" and config.queue_dir is None:
+            config = dataclasses.replace(
+                config, queue_dir=str(store_path / QUEUE_DIRNAME)
+            )
+        if resume:
+            completed = checkpoints.completed_prefix(scenarios)
+
     results: list[ScenarioResult] = []
     campaign_start = time.perf_counter()
+    for scenario, record, journal in completed:
+        ledger.replay(journal)
+        scenario_result = ScenarioResult(
+            scenario=scenario,
+            topology=None,
+            record=record,
+            wall_seconds=0.0,
+            replayed=True,
+        )
+        results.append(scenario_result)
+        if progress is not None:
+            progress(scenario_result)
+
+    backend = config.make_backend()
     try:
-        for scenario in grid.expand():
-            cache: LedgerBackedCache | None = None
-            if scenario.mode == "synthesis":
-                cache = LedgerBackedCache(
-                    tech=scenario.spec.tech,
-                    budget=config.budget,
-                    retarget_budget=config.retarget_budget,
-                    seed=config.seed,
-                    retarget_seed=config.retarget_seed,
-                    verify_transient=config.verify_transient,
-                    eval_kernel=config.eval_kernel,
-                    eval_speculation=config.eval_speculation,
-                    donor_pool=tuple(ledger.donors),
-                    ledger=ledger,
-                    cache_dir=config.cache_dir,
+        for scenario in scenarios[len(completed):]:
+            if checkpoints is not None:
+                ledger.journal = []
+            try:
+                cache: LedgerBackedCache | None = None
+                if scenario.mode == "synthesis":
+                    cache = LedgerBackedCache(
+                        tech=scenario.spec.tech,
+                        budget=config.budget,
+                        retarget_budget=config.retarget_budget,
+                        seed=config.seed,
+                        retarget_seed=config.retarget_seed,
+                        verify_transient=config.verify_transient,
+                        eval_kernel=config.eval_kernel,
+                        eval_speculation=config.eval_speculation,
+                        donor_pool=tuple(ledger.donors),
+                        ledger=ledger,
+                        cache_dir=config.cache_dir,
+                    )
+                start = time.perf_counter()
+                topology = optimize_topology(
+                    scenario.spec,
+                    mode=scenario.mode,
+                    cache=cache,
+                    config=config,
+                    backend=backend,
                 )
-            start = time.perf_counter()
-            topology = optimize_topology(
-                scenario.spec,
-                mode=scenario.mode,
-                cache=cache,
-                config=config,
-                backend=backend,
-            )
-            wall = time.perf_counter() - start
+                wall = time.perf_counter() - start
+                record = _make_record(scenario, topology, cache)
+                if checkpoints is not None:
+                    checkpoints.write(scenario, record, ledger.journal or [])
+            finally:
+                ledger.journal = None
             scenario_result = ScenarioResult(
                 scenario=scenario,
                 topology=topology,
-                record=_make_record(scenario, topology, cache),
+                record=record,
                 wall_seconds=wall,
             )
             results.append(scenario_result)
@@ -335,12 +462,18 @@ def run_campaign(
     finally:
         backend.close()
 
-    return CampaignResult(
+    campaign = CampaignResult(
         grid=grid,
         scenarios=tuple(results),
         backend_name=backend.name,
         wall_seconds=time.perf_counter() - campaign_start,
+        shard=shard,
+        manifest=manifest,
+        replayed_scenarios=len(completed),
     )
+    if store_dir is not None:
+        campaign.save(store_dir)
+    return campaign
 
 
 __all__ = [

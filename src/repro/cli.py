@@ -10,6 +10,9 @@ Examples::
     repro-adc runtime
     repro-adc explore --bits 12
     repro-adc campaign --bits 10-13 --rates 20,40,60 --out campaign-out
+    repro-adc campaign --bits 10-13 --out campaign-out --resume
+    repro-adc campaign --bits 10-13 --shard 1/2 --out shard1
+    repro-adc merge shard1 shard2 --out merged
 
 Every flow command accepts the execution-engine flags (``--backend``,
 ``--workers``, ``--cache-dir``, ``--budget``, ``--retarget-budget``,
@@ -25,8 +28,10 @@ import sys
 
 from repro.campaign import (
     CampaignGrid,
+    merge_shards,
     parse_int_axis,
     parse_rate_axis,
+    parse_shard,
     run_campaign,
 )
 from repro.engine.backend import BACKENDS
@@ -65,7 +70,16 @@ campaigns:
   repro-adc campaign expands --bits x --rates x --modes into a scenario
   grid and runs it as one batch: one backend, one persistent cache and one
   warm-start donor pool shared across all scenarios.  Results land in
-  --out as results.jsonl, report.txt and meta.json.
+  --out as results.jsonl, report.txt, manifest.json and meta.json.  With
+  --out the run is checkpointed per scenario: a killed campaign rerun with
+  --resume replays completed scenarios byte-identically and only executes
+  the rest (the manifest refuses a store built for a different
+  grid/config).  --shard K/N runs the K-th of N deterministic slices of
+  the grid on this machine; repro-adc merge SHARD_DIR... --out DIR fuses
+  the shard stores into the single-run store, byte-identical to an
+  unsharded run.  --backend queue executes through a crash-tolerant
+  file-backed work queue (leases/acks under the store, --queue-dir to
+  relocate), so interrupted scenarios also resume at task granularity.
 
 docs: docs/architecture.md (layer map), docs/engine.md (backends, waves,
 fingerprints).
@@ -114,6 +128,13 @@ def _engine_parent() -> argparse.ArgumentParser:
         default=0,
         help="speculative proposal-batch depth for the optimizers (0 = off)",
     )
+    group.add_argument(
+        "--queue-dir",
+        default=None,
+        metavar="DIR",
+        help="lease/ack directory for --backend queue (default: inside the "
+        "campaign --out store, or a temporary directory)",
+    )
     return parent
 
 
@@ -123,6 +144,7 @@ def _flow_config(args: argparse.Namespace) -> FlowConfig:
         backend=args.backend,
         max_workers=args.workers,
         cache_dir=args.cache_dir,
+        queue_dir=args.queue_dir,
         budget=args.budget,
         retarget_budget=args.retarget_budget,
         verify_transient=not args.no_verify,
@@ -199,6 +221,39 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="suppress per-scenario progress lines",
     )
+    p_camp.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the store's completed-scenario checkpoints and run "
+        "only the rest (requires --out; refuses a mismatched manifest)",
+    )
+    p_camp.add_argument(
+        "--shard",
+        default="1/1",
+        metavar="K/N",
+        help="run only the K-th of N deterministic grid slices "
+        "(default 1/1 = the whole grid); fuse stores with repro-adc merge",
+    )
+
+    p_merge = sub.add_parser(
+        "merge",
+        help="fuse shard stores into one campaign store",
+        description=(
+            "Validate that the given shard stores belong to the same "
+            "campaign (matching grid/config manifests, every shard present "
+            "exactly once) and write the merged results store — "
+            "byte-identical to a single unsharded run."
+        ),
+    )
+    p_merge.add_argument(
+        "stores", nargs="+", metavar="SHARD_DIR", help="shard store directories"
+    )
+    p_merge.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="merged-store directory (default: print the report only)",
+    )
 
     args = parser.parse_args(argv)
 
@@ -227,14 +282,18 @@ def main(argv: list[str] | None = None) -> int:
             sample_rates_hz=parse_rate_axis(args.rates),
             modes=tuple(m.strip() for m in args.modes.split(",") if m.strip()),
         )
+        shard = parse_shard(args.shard)
+        if args.resume and args.out is None:
+            parser.error("--resume requires --out (the store to resume)")
 
         def _progress(scenario_result) -> None:
             record = scenario_result.record
+            note = " [replayed]" if scenario_result.replayed else ""
             print(
                 f"[{record.index + 1}/{grid.size}] {record.label}: "
                 f"winner {record.winner}, "
                 f"{record.winner_power_w * 1e3:.2f} mW "
-                f"({scenario_result.wall_seconds:.2f} s)",
+                f"({scenario_result.wall_seconds:.2f} s){note}",
                 file=sys.stderr,
             )
 
@@ -242,11 +301,24 @@ def main(argv: list[str] | None = None) -> int:
             grid,
             config=_flow_config(args),
             progress=None if args.quiet else _progress,
+            store_dir=args.out,
+            resume=args.resume,
+            shard=shard,
         )
         print(campaign.report())
         if args.out is not None:
-            paths = campaign.save(args.out)
-            print(f"\nresults store: {paths['results']}", file=sys.stderr)
+            if campaign.replayed_scenarios:
+                print(
+                    f"resumed: {campaign.replayed_scenarios} scenario(s) "
+                    "replayed from checkpoints",
+                    file=sys.stderr,
+                )
+            print(f"\nresults store: {args.out}/results.jsonl", file=sys.stderr)
+    elif args.command == "merge":
+        _, report_text, _ = merge_shards(args.stores, out_dir=args.out)
+        print(report_text)
+        if args.out is not None:
+            print(f"\nmerged store: {args.out}/results.jsonl", file=sys.stderr)
     return 0
 
 

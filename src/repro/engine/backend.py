@@ -17,9 +17,18 @@ serial results bit-for-bit.
 
 from __future__ import annotations
 
+import inspect
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Iterable, Protocol, Sequence, TypeVar, runtime_checkable
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    Protocol,
+    Sequence,
+    TypeVar,
+    runtime_checkable,
+)
 
 from repro.errors import SpecificationError
 
@@ -141,13 +150,24 @@ class ThreadPoolBackend(_PooledBackend):
     executor_cls = ThreadPoolExecutor
 
 
+def _make_queue_backend(max_workers=None, chunksize=1, queue_dir=None):
+    """Factory for the file-backed work-queue backend (lazy import)."""
+    from repro.engine.workqueue import QueueBackend
+
+    return QueueBackend(
+        max_workers=max_workers, chunksize=chunksize, queue_dir=queue_dir
+    )
+
+
 #: Registered backend names -> factories.  Extension point: register a new
 #: name here (or assign ``BACKENDS['myname'] = factory`` at import time) and
-#: every FlowConfig / CLI ``--backend`` choice picks it up.
+#: every FlowConfig / CLI ``--backend`` choice picks it up.  Factories that
+#: accept a ``queue_dir`` keyword receive :attr:`FlowConfig.queue_dir`.
 BACKENDS: dict[str, Callable[..., ExecutionBackend]] = {
     "serial": lambda max_workers=None, chunksize=1: SerialBackend(),
     "thread": ThreadPoolBackend,
     "process": ProcessPoolBackend,
+    "queue": _make_queue_backend,
 }
 
 
@@ -155,8 +175,13 @@ def make_backend(
     name: str,
     max_workers: int | None = None,
     chunksize: int = 1,
+    queue_dir: str | None = None,
 ) -> ExecutionBackend:
-    """Instantiate a backend by registered name."""
+    """Instantiate a backend by registered name.
+
+    ``queue_dir`` is forwarded only to factories whose signature accepts it
+    (the work-queue backend); other backends ignore it.
+    """
     try:
         factory = BACKENDS[name]
     except KeyError:
@@ -164,4 +189,11 @@ def make_backend(
         raise SpecificationError(
             f"unknown execution backend {name!r} (known: {known})"
         ) from None
-    return factory(max_workers=max_workers, chunksize=chunksize)
+    kwargs: dict[str, Any] = {"max_workers": max_workers, "chunksize": chunksize}
+    try:
+        accepts_queue_dir = "queue_dir" in inspect.signature(factory).parameters
+    except (TypeError, ValueError):
+        accepts_queue_dir = False
+    if accepts_queue_dir:
+        kwargs["queue_dir"] = queue_dir
+    return factory(**kwargs)

@@ -31,6 +31,12 @@ class FlowConfig:
     max_workers: int | None = None
     #: Tasks handed to each pool worker per dispatch.
     chunksize: int = 1
+    #: Directory for the 'queue' backend's lease/ack files; ``None`` lets
+    #: the backend use an ephemeral temporary directory (functional, but
+    #: task acks do not survive the process).  The campaign runner points
+    #: this inside the results store so interrupted runs resume at task
+    #: granularity.  Ignored by the other backends.
+    queue_dir: str | None = None
     #: Directory for the persistent block cache; ``None`` keeps synthesis
     #: results in-memory only.
     cache_dir: str | None = None
@@ -56,7 +62,10 @@ class FlowConfig:
     def make_backend(self) -> ExecutionBackend:
         """Instantiate this configuration's execution backend."""
         return make_backend(
-            self.backend, max_workers=self.max_workers, chunksize=self.chunksize
+            self.backend,
+            max_workers=self.max_workers,
+            chunksize=self.chunksize,
+            queue_dir=self.queue_dir,
         )
 
     def make_cache(self, tech: "Technology") -> "BlockCache":

@@ -109,6 +109,30 @@ def block_fingerprint(
     return digest(payload)
 
 
+def atomic_write_bytes(path: str | Path, payload: bytes) -> Path:
+    """Write ``payload`` to ``path`` via a same-directory temp + rename.
+
+    The rename is atomic on POSIX, so readers only ever observe the file
+    absent or complete — the primitive under every durable artifact here
+    (cache entries, campaign manifests/checkpoints, work-queue acks).
+    Parent directories are created as needed.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
 def entry_path(cache_dir: str | Path, fingerprint: str) -> Path:
     """Path of the cache entry for a fingerprint."""
     return Path(cache_dir) / f"{fingerprint}{ENTRY_SUFFIX}"
@@ -141,7 +165,14 @@ def load_result(cache_dir: str | Path, fingerprint: str) -> Any | None:
             return pickle.load(handle)
     except FileNotFoundError:
         return None
-    except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ValueError):
+    except (
+        OSError,
+        pickle.UnpicklingError,
+        EOFError,
+        AttributeError,
+        ValueError,
+        ImportError,  # a pickled class moved between code versions
+    ):
         # Unreadable entries are treated as misses; the block is simply
         # re-synthesized and the entry rewritten.
         return None

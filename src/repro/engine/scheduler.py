@@ -132,6 +132,28 @@ class SynthesisJob:
     eval_kernel: str = "compiled"
     eval_speculation: int = 0
 
+    def queue_payload(self) -> dict[str, Any]:
+        """Stable identity for the work-queue backend's ack files.
+
+        Two fields of the raw dataclass cannot enter a content address: the
+        donor's ``wall_seconds`` is nondeterministic (so the donor collapses
+        to its :func:`sizing_digest`, mirroring :func:`block_fingerprint`),
+        and the kernel/speculation knobs are excluded because results are
+        bit-identical across them — an ack written under one kernel serves
+        the other, exactly like the persistent block cache.
+        """
+        return {
+            "kind": "synthesis_job",
+            "spec": self.spec,
+            "tech": self.tech,
+            "budget": self.budget,
+            "seed": self.seed,
+            "verify_transient": bool(self.verify_transient),
+            "donor": None if self.donor is None else sizing_digest(self.donor),
+            "retarget_budget": self.retarget_budget,
+            "retarget_seed": self.retarget_seed,
+        }
+
 
 def run_synthesis_job(job: SynthesisJob) -> SynthesisResult:
     """Execute one job — the process-pool entry point.

@@ -49,6 +49,87 @@ class TestCampaignCommand:
         with pytest.raises(SpecificationError):
             main(["campaign", "--bits", "banana", "--quiet"])
 
+    def test_campaign_writes_manifest(self, tmp_path):
+        out = tmp_path / "store"
+        assert (
+            main(["campaign", "--bits", "10-11", "--quiet", "--out", str(out)]) == 0
+        )
+        assert (out / "manifest.json").exists()
+        assert (out / "checkpoints").is_dir()
+
+    def test_bad_shard_spec_errors(self):
+        from repro.errors import SpecificationError
+
+        with pytest.raises(SpecificationError):
+            main(["campaign", "--bits", "10-11", "--quiet", "--shard", "3/2"])
+
+    def test_resume_without_out_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--bits", "10-11", "--quiet", "--resume"])
+        assert "--resume requires --out" in capsys.readouterr().err
+
+
+class TestShardMergeCommands:
+    def test_shard_run_and_merge_match_unsharded(self, tmp_path, capsys):
+        args = ["campaign", "--bits", "10-12", "--rates", "20,40", "--quiet"]
+        assert main(args + ["--out", str(tmp_path / "ref")]) == 0
+        for k in (1, 2):
+            assert (
+                main(
+                    args
+                    + ["--out", str(tmp_path / f"shard{k}"), "--shard", f"{k}/2"]
+                )
+                == 0
+            )
+        assert (
+            main(
+                [
+                    "merge",
+                    str(tmp_path / "shard1"),
+                    str(tmp_path / "shard2"),
+                    "--out",
+                    str(tmp_path / "merged"),
+                ]
+            )
+            == 0
+        )
+        assert "Campaign comparison" in capsys.readouterr().out
+        for name in ("results.jsonl", "report.txt", "manifest.json"):
+            assert (tmp_path / "merged" / name).read_bytes() == (
+                tmp_path / "ref" / name
+            ).read_bytes(), name
+
+    def test_merge_refuses_mismatched_stores(self, tmp_path):
+        from repro.errors import SpecificationError
+
+        base = ["--rates", "20,40", "--quiet"]
+        assert (
+            main(
+                ["campaign", "--bits", "10-12", *base]
+                + ["--out", str(tmp_path / "a"), "--shard", "1/2"]
+            )
+            == 0
+        )
+        assert (
+            main(
+                ["campaign", "--bits", "10-13", *base]
+                + ["--out", str(tmp_path / "b"), "--shard", "2/2"]
+            )
+            == 0
+        )
+        with pytest.raises(SpecificationError, match="grid digest"):
+            main(["merge", str(tmp_path / "a"), str(tmp_path / "b")])
+
+    def test_resume_replays_and_reports(self, tmp_path, capsys):
+        out = str(tmp_path / "store")
+        args = ["campaign", "--bits", "10-11", "--quiet", "--out", out]
+        assert main(args) == 0
+        first = (tmp_path / "store" / "results.jsonl").read_bytes()
+        assert main(args + ["--resume"]) == 0
+        err = capsys.readouterr().err
+        assert "replayed from checkpoints" in err
+        assert (tmp_path / "store" / "results.jsonl").read_bytes() == first
+
 
 class TestHelpEpilog:
     def test_epilog_describes_flowconfig_era_flags(self, capsys):

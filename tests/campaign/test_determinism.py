@@ -2,15 +2,15 @@
 
 The PR 1 guarantee — parallel runs rank candidates identically to serial —
 lifted to whole campaigns: the JSONL results store and the comparison
-report must compare byte-for-byte across the serial, thread and process
-backends, for both analytic and synthesis scenarios.
+report must compare byte-for-byte across the serial, thread, process and
+work-queue backends, for both analytic and synthesis scenarios.
 """
 
 import pytest
 
 from repro.campaign import CampaignGrid, run_campaign
 
-BACKENDS = ("serial", "thread", "process")
+BACKENDS = ("serial", "thread", "process", "queue")
 
 
 def _store_bytes(tmp_path, grid, config):
@@ -41,13 +41,13 @@ class TestAnalyticDeterminism:
 
     def test_results_jsonl_byte_identical(self, stores):
         serial_results = stores["serial"][0]
-        assert stores["thread"][0] == serial_results
-        assert stores["process"][0] == serial_results
+        for name in BACKENDS[1:]:
+            assert stores[name][0] == serial_results, name
 
     def test_report_byte_identical(self, stores):
         serial_report = stores["serial"][1]
-        assert stores["thread"][1] == serial_report
-        assert stores["process"][1] == serial_report
+        for name in BACKENDS[1:]:
+            assert stores[name][1] == serial_report, name
 
     def test_nine_plus_point_grid_covered(self, stores):
         # The acceptance grid: >= 9 scenarios with identical rankings.
@@ -79,17 +79,17 @@ class TestSynthesisDeterminism:
 
     def test_results_jsonl_byte_identical(self, stores):
         serial_results = stores["serial"][0]
-        assert stores["thread"][0] == serial_results
-        assert stores["process"][0] == serial_results
+        for name in BACKENDS[1:]:
+            assert stores[name][0] == serial_results, name
 
     def test_report_byte_identical(self, stores):
         serial_report = stores["serial"][1]
-        assert stores["thread"][1] == serial_report
-        assert stores["process"][1] == serial_report
+        for name in BACKENDS[1:]:
+            assert stores[name][1] == serial_report, name
 
     def test_synthesis_accounting_identical(self, stores):
         # Not just the rankings: the cold/retarget/pool split is part of
         # the record, so the *plan* must match across backends too.
         records = {name: stores[name][2].records for name in BACKENDS}
-        assert records["thread"] == records["serial"]
-        assert records["process"] == records["serial"]
+        for name in BACKENDS[1:]:
+            assert records[name] == records["serial"], name

@@ -1,0 +1,198 @@
+"""Deterministic sharding and shard-store merging.
+
+The acceptance contract: a grid split across N shards and merged produces a
+results store and report byte-identical to a single unsharded serial run.
+"""
+
+import pytest
+
+from repro.campaign import (
+    CampaignGrid,
+    merge_shards,
+    parse_shard,
+    run_campaign,
+    shard_scenarios,
+)
+from repro.engine.config import FlowConfig
+from repro.errors import SpecificationError
+
+ANALYTIC_GRID = CampaignGrid(resolutions=(10, 11, 12), sample_rates_hz=(20e6, 40e6))
+
+
+def _config(**overrides) -> FlowConfig:
+    base = dict(budget=60, retarget_budget=30, verify_transient=False)
+    base.update(overrides)
+    return FlowConfig(**base)
+
+
+class TestShardPartition:
+    def test_shards_cover_the_grid_exactly_once(self):
+        scenarios = ANALYTIC_GRID.expand()
+        for count in (1, 2, 3, 4, 7):
+            shards = [
+                shard_scenarios(scenarios, k, count) for k in range(1, count + 1)
+            ]
+            indices = sorted(s.index for shard in shards for s in shard)
+            assert indices == list(range(len(scenarios)))
+
+    def test_partition_is_deterministic(self):
+        scenarios = ANALYTIC_GRID.expand()
+        assert shard_scenarios(scenarios, 2, 3) == shard_scenarios(scenarios, 2, 3)
+
+    def test_shard_preserves_expansion_order(self):
+        scenarios = ANALYTIC_GRID.expand()
+        for k in (1, 2, 3):
+            selected = shard_scenarios(scenarios, k, 3)
+            assert [s.index for s in selected] == sorted(s.index for s in selected)
+
+    def test_synthesis_scenarios_stay_on_one_shard(self):
+        # The ledger chains synthesis scenarios; splitting the chain would
+        # change warm starts and break sharded-vs-unsharded byte-identity.
+        grid = CampaignGrid(
+            resolutions=(10, 11, 12), modes=("analytic", "synthesis")
+        )
+        scenarios = grid.expand()
+        for count in (2, 3):
+            owners = set()
+            for k in range(1, count + 1):
+                if any(
+                    s.mode == "synthesis"
+                    for s in shard_scenarios(scenarios, k, count)
+                ):
+                    owners.add(k)
+            assert len(owners) == 1
+
+    def test_parse_shard(self):
+        assert parse_shard("1/1") == (1, 1)
+        assert parse_shard("2/3") == (2, 3)
+        for bad in ("0/2", "3/2", "banana", "1", "1/0", "-1/2"):
+            with pytest.raises(SpecificationError):
+                parse_shard(bad)
+
+    def test_out_of_range_shard_rejected(self):
+        with pytest.raises(SpecificationError):
+            shard_scenarios(ANALYTIC_GRID.expand(), 3, 2)
+
+
+class TestMergeByteIdentity:
+    @pytest.fixture(scope="class")
+    def stores(self, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("shards")
+        ref = tmp_path / "ref"
+        run_campaign(ANALYTIC_GRID, store_dir=ref)
+        shard_dirs = []
+        for k in (1, 2, 3):
+            directory = tmp_path / f"shard{k}"
+            run_campaign(ANALYTIC_GRID, store_dir=directory, shard=(k, 3))
+            shard_dirs.append(directory)
+        merged = tmp_path / "merged"
+        merge_shards(shard_dirs, out_dir=merged)
+        return {"ref": ref, "shards": shard_dirs, "merged": merged}
+
+    def test_results_jsonl_byte_identical(self, stores):
+        assert (stores["merged"] / "results.jsonl").read_bytes() == (
+            stores["ref"] / "results.jsonl"
+        ).read_bytes()
+
+    def test_report_byte_identical(self, stores):
+        assert (stores["merged"] / "report.txt").read_bytes() == (
+            stores["ref"] / "report.txt"
+        ).read_bytes()
+
+    def test_merged_manifest_matches_unsharded(self, stores):
+        assert (stores["merged"] / "manifest.json").read_bytes() == (
+            stores["ref"] / "manifest.json"
+        ).read_bytes()
+
+    def test_shard_reports_are_labelled(self, stores):
+        shard_report = (stores["shards"][0] / "report.txt").read_text()
+        assert "shard 1/3" in shard_report
+        merged_report = (stores["merged"] / "report.txt").read_text()
+        assert "shard" not in merged_report
+
+    def test_merge_order_is_irrelevant(self, stores, tmp_path):
+        out = tmp_path / "reordered"
+        merge_shards(
+            [stores["shards"][2], stores["shards"][0], stores["shards"][1]],
+            out_dir=out,
+        )
+        assert (out / "results.jsonl").read_bytes() == (
+            stores["ref"] / "results.jsonl"
+        ).read_bytes()
+
+    def test_synthesis_grid_shards_and_merges_identically(self, tmp_path):
+        grid = CampaignGrid(
+            resolutions=(10, 11), modes=("analytic", "synthesis")
+        )
+        ref = tmp_path / "ref"
+        run_campaign(grid, config=_config(), store_dir=ref)
+        shard_dirs = []
+        for k in (1, 2):
+            directory = tmp_path / f"s{k}"
+            run_campaign(grid, config=_config(), store_dir=directory, shard=(k, 2))
+            shard_dirs.append(directory)
+        merged = tmp_path / "merged"
+        merge_shards(shard_dirs, out_dir=merged)
+        assert (merged / "results.jsonl").read_bytes() == (
+            ref / "results.jsonl"
+        ).read_bytes()
+        assert (merged / "report.txt").read_bytes() == (
+            ref / "report.txt"
+        ).read_bytes()
+
+
+class TestMergeValidation:
+    def test_merge_refuses_different_grids(self, tmp_path):
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        run_campaign(ANALYTIC_GRID, store_dir=a, shard=(1, 2))
+        other = CampaignGrid(resolutions=(10, 13), sample_rates_hz=(20e6, 40e6))
+        run_campaign(other, store_dir=b, shard=(2, 2))
+        with pytest.raises(SpecificationError, match="grid digest"):
+            merge_shards([a, b])
+
+    def test_merge_refuses_different_configs(self, tmp_path):
+        grid = CampaignGrid(resolutions=(10,), modes=("synthesis",))
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        run_campaign(grid, config=_config(), store_dir=a, shard=(1, 2))
+        run_campaign(grid, config=_config(seed=5), store_dir=b, shard=(2, 2))
+        with pytest.raises(SpecificationError, match="config digest"):
+            merge_shards([a, b])
+
+    def test_merge_refuses_missing_shards(self, tmp_path):
+        a = tmp_path / "a"
+        run_campaign(ANALYTIC_GRID, store_dir=a, shard=(1, 3))
+        with pytest.raises(SpecificationError, match="missing shard"):
+            merge_shards([a])
+
+    def test_merge_refuses_duplicate_shards(self, tmp_path):
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        run_campaign(ANALYTIC_GRID, store_dir=a, shard=(1, 2))
+        run_campaign(ANALYTIC_GRID, store_dir=b, shard=(1, 2))
+        with pytest.raises(SpecificationError, match="duplicate shard"):
+            merge_shards([a, b])
+
+    def test_merge_refuses_an_unfinished_shard(self, tmp_path):
+        a = tmp_path / "a"
+        run_campaign(ANALYTIC_GRID, store_dir=a, shard=(1, 2))
+        b = tmp_path / "b"
+        b.mkdir()
+        from repro.campaign import build_manifest, write_manifest
+        from repro.campaign.grid import shard_scenarios as shard_fn
+
+        labels = tuple(
+            s.label for s in shard_fn(ANALYTIC_GRID.expand(), 2, 2)
+        )
+        write_manifest(
+            build_manifest(ANALYTIC_GRID, FlowConfig(), (2, 2), labels), b
+        )
+        with pytest.raises(SpecificationError, match="incomplete"):
+            merge_shards([a, b])
+
+    def test_merge_refuses_a_non_store(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(SpecificationError, match="manifest"):
+            merge_shards([empty])
