@@ -1,7 +1,9 @@
-"""Run the PR 3 kernel benchmark suite and emit ``BENCH_PR3.json``.
+"""Run the standalone benchmark suite and emit ``BENCH_PR3.json``.
 
 Standalone (no pytest): fixed seeds, deterministic workloads, wall-clock
-measurements of the compiled evaluation kernels against the legacy path.
+measurements of the compiled evaluation kernels against the legacy path,
+plus the optimization-service stage (submission latency, coalescing hit
+rate, sustained jobs/s — see ``benchmarks/bench_service.py``).
 
     PYTHONPATH=src python benchmarks/run_all.py                # full
     PYTHONPATH=src python benchmarks/run_all.py --smoke        # CI smoke
@@ -9,8 +11,10 @@ measurements of the compiled evaluation kernels against the legacy path.
                                                                # regression
 
 ``--check`` is the CI regression guard: it fails the run when the compiled
-kernel is slower than the legacy path on the same workload, or when any
-variant's synthesis result diverges (the bit-identity contract).
+kernel is slower than the legacy path on the same workload, when any
+variant's synthesis result diverges (the bit-identity contract), or when
+the service stage breaks its coalescing contract (N identical concurrent
+submissions must perform exactly one cold synthesis).
 
 A stage that *raises* is recorded in its JSON slot as ``{"error": ...}``
 and the run exits non-zero after writing the (partial) report — CI fails
@@ -179,15 +183,21 @@ def main(argv=None) -> int:
     budget = 120 if args.smoke else 400
     repeats = 10 if args.smoke else 30
     population = 16 if args.smoke else 48
+    identical = 6 if args.smoke else 8
+    distinct = 8 if args.smoke else 16
 
     # Each stage runs in its own guard: a raising benchmark must not
     # silently truncate the JSON.  The error is recorded in the stage's
     # slot (so CI artifacts show *which* stage died and why) and the run
     # exits non-zero after writing the partial report.
+    # bench_service sits next to this script; script-dir imports resolve it.
+    from bench_service import check_service_report, run_service_benchmark
+
     stage_fns = {
         "synthesize_mdac": lambda: stage_synthesize(budget),
         "equation_metric_stage": lambda: stage_equation_metrics(repeats),
         "evaluate_batch": lambda: stage_batch_api(population),
+        "service": lambda: run_service_benchmark(identical, distinct),
     }
     stages: dict[str, dict] = {}
     stage_errors: list[str] = []
@@ -222,9 +232,13 @@ def main(argv=None) -> int:
 
     synth = report["stages"]["synthesize_mdac"]
     eqn = report["stages"]["equation_metric_stage"]
+    service = report["stages"]["service"]
     print(
         f"\nfull-candidate speedup: {synth['speedup_full_candidate']}x, "
-        f"equation-metric stage: {eqn['speedup']}x -> {out_path}"
+        f"equation-metric stage: {eqn['speedup']}x, "
+        f"service: {service['coalescing']['submissions']} identical submissions "
+        f"-> {service['coalescing']['cold_synthesis_runs']} cold synthesis, "
+        f"{service['throughput']['jobs_per_s']} jobs/s -> {out_path}"
     )
 
     if args.check:
@@ -238,6 +252,7 @@ def main(argv=None) -> int:
                 "regression: compiled kernel slower than legacy on the "
                 f"smoke workload ({synth['speedup_full_candidate']}x)"
             )
+        failures.extend(check_service_report(service))
         if failures:
             for failure in failures:
                 print(f"CHECK FAILED: {failure}", file=sys.stderr)

@@ -16,7 +16,9 @@ The package builds the paper's full stack from scratch:
   figure (:mod:`repro.flow`, :mod:`repro.experiments`);
 * the execution engine (backends, wave scheduler, persistent block cache —
   :mod:`repro.engine`) and the campaign layer for batched design-space
-  sweeps with cross-scenario synthesis reuse (:mod:`repro.campaign`).
+  sweeps with cross-scenario synthesis reuse (:mod:`repro.campaign`);
+* the async optimization service — jobs over HTTP with content-keyed
+  request coalescing and streaming progress (:mod:`repro.service`).
 
 Quickstart::
 
@@ -36,14 +38,15 @@ from repro.enumeration import PipelineCandidate, enumerate_candidates
 from repro.flow import BlockCache, PersistentBlockCache, optimize_topology
 from repro.power import candidate_power
 from repro.specs import AdcSpec, plan_stages
-from repro.tech import CMOS025
+from repro.tech import CMOS025, CMOS025_SLOW
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AdcSpec",
     "BlockCache",
     "CMOS025",
+    "CMOS025_SLOW",
     "CampaignGrid",
     "CampaignResult",
     "FlowConfig",

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import SpecificationError
 from repro.specs.adc import AdcSpec
-from repro.tech.process import CMOS025, Technology
+from repro.tech.process import CMOS025, Technology, resolve_corner
 
 #: Flow modes a scenario may request (see ``optimize_topology``).
 VALID_MODES = ("analytic", "synthesis")
@@ -228,6 +228,19 @@ def parse_int_axis(text: str) -> tuple[int, ...]:
     if not values:
         raise SpecificationError(f"empty integer axis {text!r}")
     return tuple(values)
+
+
+def parse_corner_axis(text: str) -> tuple[tuple[str, Technology], ...]:
+    """Parse a CLI corner axis: comma list of registered corner tags.
+
+    Tags resolve through :data:`repro.tech.process.CORNERS`
+    (``"nom,slow"`` -> ``(("nom", CMOS025), ("slow", CMOS025_SLOW))``);
+    an unknown tag fails naming the registered choices.
+    """
+    tags = [token.strip() for token in text.split(",") if token.strip()]
+    if not tags:
+        raise SpecificationError(f"empty corner axis {text!r}")
+    return tuple((tag, resolve_corner(tag)) for tag in tags)
 
 
 def parse_rate_axis(text: str) -> tuple[float, ...]:

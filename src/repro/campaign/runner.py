@@ -50,7 +50,8 @@ from repro.campaign.store import (
     walden_fom,
     write_records,
 )
-from repro.errors import SpecificationError
+from repro.errors import CampaignInterrupted, SpecificationError
+from repro.engine.cancel import CancelToken
 from repro.engine.config import FlowConfig
 from repro.engine.persist import digest as persist_digest, sizing_digest
 from repro.flow.cache import PersistentBlockCache
@@ -335,6 +336,7 @@ def run_campaign(
     store_dir: str | Path | None = None,
     resume: bool = False,
     shard: tuple[int, int] = (1, 1),
+    cancel: CancelToken | None = None,
 ) -> CampaignResult:
     """Run every scenario of the grid (or of one shard of it) as one batch.
 
@@ -365,6 +367,13 @@ def run_campaign(
     When the ``'queue'`` backend is selected without an explicit
     ``queue_dir``, its lease/ack directory is placed inside ``store_dir``
     so task-level completions also survive a kill.
+
+    ``cancel`` (a :class:`~repro.engine.cancel.CancelToken`) is polled at
+    scenario boundaries: a cancellation raises
+    :class:`~repro.errors.CampaignInterrupted` *after* the last finished
+    scenario committed its checkpoint, so an honoured cancellation is
+    exactly as resumable as a kill — and loses no completed work.  The
+    optimization service uses this for graceful drains.
     """
     if config is None:
         config = FlowConfig()
@@ -418,6 +427,8 @@ def run_campaign(
     backend = config.make_backend()
     try:
         for scenario in scenarios[len(completed):]:
+            if cancel is not None and cancel.cancelled:
+                raise CampaignInterrupted(len(results), len(scenarios))
             if checkpoints is not None:
                 ledger.journal = []
             try:

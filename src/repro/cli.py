@@ -1,5 +1,6 @@
 """Command-line interface: regenerate the paper's figures, explore single
-specs, or sweep whole design-space grids as campaigns.
+specs, sweep whole design-space grids as campaigns, or run / talk to the
+async optimization service.
 
 Examples::
 
@@ -10,21 +11,30 @@ Examples::
     repro-adc runtime
     repro-adc explore --bits 12
     repro-adc campaign --bits 10-13 --rates 20,40,60 --out campaign-out
+    repro-adc campaign --bits 10-13 --corners nom,slow --out corner-out
     repro-adc campaign --bits 10-13 --out campaign-out --resume
     repro-adc campaign --bits 10-13 --shard 1/2 --out shard1
     repro-adc merge shard1 shard2 --out merged
+    repro-adc serve --store svc-store --port 8765
+    repro-adc submit --bits 10-13 --watch --fetch results/
+    repro-adc jobs
 
 Every flow command accepts the execution-engine flags (``--backend``,
 ``--workers``, ``--cache-dir``, ``--budget``, ``--retarget-budget``,
 ``--no-verify``); they assemble the :class:`~repro.engine.config.FlowConfig`
-threaded through every entry point.
+threaded through every entry point.  Specification and service errors exit
+with a single-line ``repro-adc: error: ...`` message (status 2), never a
+traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
 import os
 import sys
+from pathlib import Path
 
 from repro.campaign import (
     CampaignGrid,
@@ -34,8 +44,10 @@ from repro.campaign import (
     parse_shard,
     run_campaign,
 )
+from repro.campaign.grid import parse_corner_axis
 from repro.engine.backend import BACKENDS
 from repro.engine.config import FlowConfig
+from repro.errors import ServiceError, SpecificationError
 from repro.experiments import (
     fig1_stage_powers,
     fig2_total_power,
@@ -48,6 +60,9 @@ from repro.experiments import (
 )
 from repro.flow.topology import optimize_topology
 from repro.specs.adc import AdcSpec
+
+#: Default service URL (``repro-adc submit``/``jobs``), env-overridable.
+DEFAULT_SERVICE_URL = os.environ.get("REPRO_ADC_SERVICE", "http://127.0.0.1:8765")
 
 #: --help epilog: the engine knobs in FlowConfig terms, kept in sync with
 #: :class:`repro.engine.config.FlowConfig` (see tests/campaign/test_cli.py).
@@ -80,9 +95,20 @@ campaigns:
   unsharded run.  --backend queue executes through a crash-tolerant
   file-backed work queue (leases/acks under the store, --queue-dir to
   relocate), so interrupted scenarios also resume at task granularity.
+  --corners sweeps registered technology corners (nom, slow).
+
+service:
+  repro-adc serve runs the long-lived optimization service: campaign and
+  optimize jobs over a JSON HTTP API, scheduled with priority + per-client
+  fairness, coalesced by content (identical requests share one
+  computation) and drained gracefully on SIGTERM — a restarted server
+  resumes its queue without recomputing completed jobs.  repro-adc submit
+  sends a job (--watch streams progress; --fetch downloads the result
+  store, byte-identical to a direct campaign run) and repro-adc jobs
+  lists the queue.  See docs/service.md.
 
 docs: docs/architecture.md (layer map), docs/engine.md (backends, waves,
-fingerprints).
+fingerprints), docs/service.md (job API).
 """
 
 
@@ -138,8 +164,45 @@ def _engine_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _require_store_dir(path: str | None, flag: str) -> str | None:
+    """A friendly guard for directory-valued flags.
+
+    Rejects a path that exists but is not a directory (``run_campaign``
+    would otherwise die deep inside with a bare ``NotADirectoryError``).
+    """
+    if path is not None and Path(path).exists() and not Path(path).is_dir():
+        raise SpecificationError(
+            f"{flag} {path!r} exists and is not a directory "
+            "(pass a directory path, or remove the file)"
+        )
+    return path
+
+
+def _grid_from_args(args: argparse.Namespace) -> CampaignGrid:
+    """The one place CLI axis flags become a CampaignGrid.
+
+    Shared by ``campaign`` and ``submit`` so the two commands can never
+    interpret the same flags differently (the service-vs-direct
+    byte-identity contract depends on that).
+    """
+    return CampaignGrid(
+        resolutions=parse_int_axis(args.bits),
+        sample_rates_hz=parse_rate_axis(args.rates),
+        modes=tuple(m.strip() for m in args.modes.split(",") if m.strip()),
+        corners=parse_corner_axis(args.corners),
+    )
+
+
 def _flow_config(args: argparse.Namespace) -> FlowConfig:
     """Assemble the FlowConfig from parsed engine flags."""
+    if args.queue_dir is not None and args.backend != "queue":
+        raise SpecificationError(
+            f"--queue-dir only applies to --backend queue "
+            f"(got --backend {args.backend}; valid backends: "
+            f"{', '.join(sorted(BACKENDS))})"
+        )
+    _require_store_dir(args.queue_dir, "--queue-dir")
+    _require_store_dir(args.cache_dir, "--cache-dir")
     return FlowConfig(
         backend=args.backend,
         max_workers=args.workers,
@@ -211,6 +274,12 @@ def main(argv: list[str] | None = None) -> int:
         help="flow-mode axis: comma list of analytic/synthesis (default analytic)",
     )
     p_camp.add_argument(
+        "--corners",
+        default="nom",
+        help="technology-corner axis: comma list of registered corner tags "
+        "(default nom; see repro.tech.CORNERS)",
+    )
+    p_camp.add_argument(
         "--out",
         default=None,
         metavar="DIR",
@@ -255,8 +324,128 @@ def main(argv: list[str] | None = None) -> int:
         help="merged-store directory (default: print the report only)",
     )
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the async optimization service",
+        description=(
+            "Run the long-lived optimization service: accept campaign and "
+            "optimize jobs over a JSON HTTP API, coalesce identical "
+            "requests onto one computation, stream progress events, and "
+            "drain gracefully on SIGTERM (a restart resumes the queue)."
+        ),
+    )
+    p_serve.add_argument(
+        "--store",
+        required=True,
+        metavar="DIR",
+        help="service store directory (job records, queue, result artifacts)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8765)
+    p_serve.add_argument(
+        "--job-workers",
+        type=int,
+        default=1,
+        help="jobs executed concurrently (default 1)",
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        default=os.environ.get("REPRO_ADC_CACHE"),
+        help="persistent block-cache directory shared by all jobs "
+        "(env REPRO_ADC_CACHE)",
+    )
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit a job to the optimization service",
+        description=(
+            "Submit a campaign (default) or single-spec optimize job to a "
+            "running repro-adc serve instance; --watch streams progress "
+            "events and --fetch downloads the result artifacts."
+        ),
+    )
+    p_submit.add_argument("--url", default=DEFAULT_SERVICE_URL)
+    p_submit.add_argument(
+        "--kind", choices=("campaign", "optimize"), default="campaign"
+    )
+    p_submit.add_argument(
+        "--bits",
+        default=None,
+        help="resolution axis (campaign, default 10-13) or single "
+        "resolution (optimize, default 12)",
+    )
+    p_submit.add_argument(
+        "--rates", default="40", help="sample-rate axis in MSPS (campaign)"
+    )
+    p_submit.add_argument(
+        "--modes", default="analytic", help="flow-mode axis (campaign)"
+    )
+    p_submit.add_argument(
+        "--corners", default="nom", help="technology-corner axis (campaign)"
+    )
+    p_submit.add_argument(
+        "--mode",
+        choices=("analytic", "synthesis"),
+        default="analytic",
+        help="flow mode (optimize)",
+    )
+    p_submit.add_argument(
+        "--backend", choices=sorted(BACKENDS), default="serial",
+        help="execution backend the server runs this job on",
+    )
+    p_submit.add_argument("--workers", type=int, default=None)
+    p_submit.add_argument("--budget", type=int, default=400)
+    p_submit.add_argument("--retarget-budget", type=int, default=80)
+    p_submit.add_argument("--no-verify", action="store_true")
+    p_submit.add_argument(
+        "--eval-kernel", choices=("compiled", "legacy"), default="compiled"
+    )
+    p_submit.add_argument("--speculation", type=int, default=0)
+    p_submit.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="queue priority (lower runs first; default 0)",
+    )
+    p_submit.add_argument(
+        "--client",
+        default="cli",
+        help="client tag for fair scheduling (default cli)",
+    )
+    p_submit.add_argument(
+        "--watch",
+        action="store_true",
+        help="stream job events until the job finishes",
+    )
+    p_submit.add_argument(
+        "--fetch",
+        default=None,
+        metavar="DIR",
+        help="download the result artifacts into DIR when done "
+        "(implies --watch)",
+    )
+
+    p_jobs = sub.add_parser(
+        "jobs",
+        help="list the optimization service's jobs",
+        description="List every job the service knows, in submission order.",
+    )
+    p_jobs.add_argument("--url", default=DEFAULT_SERVICE_URL)
+    p_jobs.add_argument(
+        "--stats", action="store_true", help="also print scheduler counters"
+    )
+
     args = parser.parse_args(argv)
 
+    try:
+        return _dispatch(args, parser)
+    except (SpecificationError, ServiceError) as exc:
+        print(f"repro-adc: error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Execute one parsed command; library errors bubble to ``main``."""
     if args.command == "fig1":
         mode = "synthesis" if args.synthesis else "analytic"
         print(format_fig1(fig1_stage_powers(mode=mode, config=_flow_config(args))))
@@ -277,12 +466,9 @@ def main(argv: list[str] | None = None) -> int:
         if mode == "synthesis":
             print(f"unique blocks synthesized: {result.unique_blocks}")
     elif args.command == "campaign":
-        grid = CampaignGrid(
-            resolutions=parse_int_axis(args.bits),
-            sample_rates_hz=parse_rate_axis(args.rates),
-            modes=tuple(m.strip() for m in args.modes.split(",") if m.strip()),
-        )
+        grid = _grid_from_args(args)
         shard = parse_shard(args.shard)
+        _require_store_dir(args.out, "--out")
         if args.resume and args.out is None:
             parser.error("--resume requires --out (the store to resume)")
 
@@ -315,10 +501,186 @@ def main(argv: list[str] | None = None) -> int:
                 )
             print(f"\nresults store: {args.out}/results.jsonl", file=sys.stderr)
     elif args.command == "merge":
+        _require_store_dir(args.out, "--out")
         _, report_text, _ = merge_shards(args.stores, out_dir=args.out)
         print(report_text)
         if args.out is not None:
             print(f"\nmerged store: {args.out}/results.jsonl", file=sys.stderr)
+    elif args.command == "serve":
+        return _cmd_serve(args)
+    elif args.command == "submit":
+        return _cmd_submit(args)
+    elif args.command == "jobs":
+        return _cmd_jobs(args)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the optimization service until SIGTERM/SIGINT."""
+    from repro.service.server import OptimizationService
+
+    _require_store_dir(args.store, "--store")
+    _require_store_dir(args.cache_dir, "--cache-dir")
+    service = OptimizationService(
+        args.store,
+        host=args.host,
+        port=args.port,
+        job_workers=args.job_workers,
+        cache_dir=args.cache_dir,
+    )
+
+    def _ready() -> None:
+        print(
+            f"repro-adc service on {service.base_url} "
+            f"(store: {args.store}, workers: {args.job_workers})",
+            flush=True,
+        )
+
+    def _draining() -> None:
+        print("draining...", flush=True)
+
+    try:
+        asyncio.run(service.run(on_ready=_ready, on_drain=_draining))
+    except KeyboardInterrupt:
+        pass
+    print("stopped", flush=True)
+    return 0
+
+
+def _submit_request(args: argparse.Namespace) -> dict:
+    """Build the submission body from CLI flags (validates axes locally)."""
+    if args.bits is None:
+        args.bits = "10-13" if args.kind == "campaign" else "12"
+    config = {
+        "backend": args.backend,
+        "max_workers": args.workers,
+        "budget": args.budget,
+        "retarget_budget": args.retarget_budget,
+        "verify_transient": not args.no_verify,
+        "eval_kernel": args.eval_kernel,
+        "eval_speculation": args.speculation,
+    }
+    if args.kind == "campaign":
+        grid = _grid_from_args(args)
+        return {
+            "kind": "campaign",
+            "grid": {
+                "resolutions": list(grid.resolutions),
+                "sample_rates_hz": list(grid.sample_rates_hz),
+                "modes": list(grid.modes),
+                "corners": [tag for tag, _ in grid.corners],
+            },
+            "config": config,
+            "priority": args.priority,
+            "client": args.client,
+        }
+    bits = parse_int_axis(args.bits)
+    if len(bits) != 1:
+        raise SpecificationError(
+            f"optimize jobs take a single resolution (--bits {args.bits!r} "
+            f"expands to {len(bits)} values; use --kind campaign for sweeps)"
+        )
+    corners = parse_corner_axis(args.corners)
+    if len(corners) != 1:
+        raise SpecificationError(
+            "optimize jobs take a single corner "
+            f"(--corners {args.corners!r}; use --kind campaign for sweeps)"
+        )
+    rates = parse_rate_axis(args.rates)
+    if len(rates) != 1:
+        raise SpecificationError(
+            f"optimize jobs take a single rate (--rates {args.rates!r}; "
+            "use --kind campaign for sweeps)"
+        )
+    return {
+        "kind": "optimize",
+        "spec": {
+            "resolution_bits": bits[0],
+            "sample_rate_hz": rates[0],
+            "corner": corners[0][0],
+        },
+        "mode": args.mode,
+        "config": config,
+        "priority": args.priority,
+        "client": args.client,
+    }
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one job; optionally stream events and fetch artifacts."""
+    from repro.service.client import ServiceClient
+    from repro.service.jobs import TERMINAL_STATES
+
+    if args.fetch is not None:
+        _require_store_dir(args.fetch, "--fetch")
+    client = ServiceClient(args.url)
+    response = client.submit(_submit_request(args))
+    job = response["job"]
+    note = " (coalesced with an identical job)" if response["coalesced"] else ""
+    print(f"job {job['id']}: {job['kind']} {job['state']}{note}")
+    if not (args.watch or args.fetch):
+        return 0
+
+    final_state = job["state"]
+    while final_state not in TERMINAL_STATES:
+        for event in client.watch(job["id"]):
+            final_state = event.get("state", final_state)
+            if event["event"] == "scenario":
+                print(
+                    f"  [{event['completed']}/{event['total_scenarios']}] "
+                    f"{event['label']}: winner {event['winner']}"
+                    + (" [replayed]" if event.get("replayed") else ""),
+                    file=sys.stderr,
+                )
+            elif event["event"] in ("started", "requeued", "failed", "done"):
+                print(f"  {event['event']}", file=sys.stderr)
+            if final_state in TERMINAL_STATES:
+                break
+        else:
+            # Stream severed (server drained): wait() rides out the
+            # restart window instead of failing on the first refused poll.
+            final_state = client.wait(job["id"])["state"]
+
+    if final_state == "failed":
+        detail = client.job(job["id"]).get("error")
+        raise ServiceError(f"job {job['id']} failed: {detail}")
+    if final_state == "cancelled":
+        print(f"job {job['id']} was cancelled")
+        return 1
+    report = None
+    if args.fetch is not None:
+        paths = client.download(job["id"], args.fetch)
+        for name in sorted(paths):
+            print(f"fetched {paths[name]}", file=sys.stderr)
+        if "report.txt" in paths:  # already on disk: no extra round-trips
+            report = paths["report.txt"].read_text(encoding="utf-8")
+    elif "report.txt" in client.artifacts(job["id"]):
+        report = client.artifact(job["id"], "report.txt").decode("utf-8")
+    if report:
+        print(report, end="")
+    else:
+        print(json.dumps(client.result(job["id"]), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    """List the service's jobs (and optionally its counters)."""
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    jobs = client.jobs()
+    if not jobs:
+        print("no jobs")
+    for job in jobs:
+        progress = f"{job['completed_scenarios']}/{job['total_scenarios']}"
+        error = f"  error: {job['error']}" if job["error"] else ""
+        print(
+            f"{job['id']}  {job['kind']:8s} {job['state']:9s} "
+            f"{progress:>7s}  x{job['submissions']} "
+            f"(client {job['client']}, priority {job['priority']}){error}"
+        )
+    if args.stats:
+        print(json.dumps(client.stats(), indent=2, sort_keys=True))
     return 0
 
 

@@ -1,0 +1,43 @@
+"""Cooperative cancellation for long-running engine work.
+
+The engine's backends execute *blocking* maps — a process pool or a file
+queue cannot abort a task midway without losing determinism.  What the
+layers above (the campaign runner, the async optimization service) need is
+coarser: a way to say "stop at the next safe boundary".  :class:`CancelToken`
+is that signal — a thread-safe flag set by a controller (a SIGTERM handler,
+a service drain) and polled by workloads at their checkpoint boundaries.
+
+The campaign runner polls the token between scenarios: every completed
+scenario has already committed its checkpoint, so an honoured cancellation
+loses no work — ``run_campaign(..., resume=True)`` picks up exactly where
+the interrupted run stopped (see :class:`repro.errors.CampaignInterrupted`).
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class CancelToken:
+    """A thread-safe "stop at the next safe boundary" flag.
+
+    Controllers call :meth:`cancel` (any thread); workloads poll
+    :attr:`cancelled` at their checkpoint boundaries.  The token is sticky —
+    once cancelled it stays cancelled — so a late poll never misses the
+    signal.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        """Request cancellation (idempotent, callable from any thread)."""
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether cancellation has been requested."""
+        return self._event.is_set()
+
+
+__all__ = ["CancelToken"]

@@ -34,6 +34,7 @@ ack appears, then stolen after ``lease_timeout``.
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 import shutil
@@ -56,6 +57,31 @@ LEASE_SUFFIX = ".lease"
 
 #: Sentinel distinguishing "no ack" from a legitimately-``None`` result.
 _MISS = object()
+
+
+def _lease_pid(text: str) -> int:
+    """Claimant pid recorded in a lease file, 0 when unparseable.
+
+    Leases are JSON (``{"pid": N}``); bare-integer bodies from older runs
+    still parse.  Anything else — truncated JSON, binary garbage, an empty
+    file from a crash mid-write — yields 0, which the sweep treats as a
+    dead claim and breaks.
+    """
+    try:
+        payload = json.loads(text)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        try:
+            return int(text.strip() or "0")
+        except ValueError:
+            return 0
+    if isinstance(payload, dict):
+        pid = payload.get("pid", 0)
+    else:
+        pid = payload
+    try:
+        return int(pid)
+    except (TypeError, ValueError):
+        return 0
 
 
 def _pid_alive(pid: int) -> bool:
@@ -167,10 +193,10 @@ class QueueBackend:
         """
         lease = self._lease_path(key)
         try:
-            pid = int(lease.read_text().strip() or "0")
+            pid = _lease_pid(lease.read_text(errors="replace"))
         except FileNotFoundError:
             return
-        except (OSError, ValueError):
+        except OSError:
             pid = 0
         if pid > 0 and _pid_alive(pid):
             return
@@ -202,7 +228,7 @@ class QueueBackend:
                 pass
             return self._run_one(fn, key, task)
         with os.fdopen(fd, "w") as handle:
-            handle.write(str(os.getpid()))
+            handle.write(json.dumps({"pid": os.getpid()}))
         try:
             result = fn(task)
             self._store_ack(key, result)

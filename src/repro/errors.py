@@ -46,3 +46,24 @@ class EnumerationError(ReproError):
 
 class SynthesisError(ReproError):
     """Raised when block-level synthesis cannot produce a feasible design."""
+
+
+class CampaignInterrupted(ReproError):
+    """Raised when a campaign honours a cancellation at a scenario boundary.
+
+    Every scenario counted in ``completed`` has already committed its
+    checkpoint, so the interrupted store resumes byte-identically with
+    ``run_campaign(..., resume=True)``.
+    """
+
+    def __init__(self, completed: int, total: int):
+        self.completed = completed
+        self.total = total
+        super().__init__(
+            f"campaign interrupted after {completed}/{total} scenario(s); "
+            "resume with run_campaign(..., resume=True)"
+        )
+
+
+class ServiceError(ReproError):
+    """Raised for optimization-service failures (bad requests, transport)."""

@@ -1,0 +1,91 @@
+"""Async optimization service: long-running job orchestration over HTTP.
+
+The service layer turns the batch reproducer into a serving system: a
+long-running asyncio process accepts topology-optimization and campaign
+jobs over a JSON HTTP API, schedules them through the existing
+:mod:`repro.engine` backends (the blocking flow runs on executor threads),
+and streams progress events back to clients.
+
+Three properties define it:
+
+* **Request coalescing** — jobs are content-addressed with the PR 4
+  manifest digests (grid digest + result-relevant config digest), so N
+  identical submissions — concurrent or repeated — collapse onto *one*
+  computation, and every client receives byte-identical results
+  (:mod:`repro.service.jobs`).
+* **Fair scheduling** — an asyncio :class:`~repro.service.scheduler.JobScheduler`
+  drains priority buckets lowest-first and round-robins between clients
+  inside a bucket, so one flooding client cannot starve another
+  (:mod:`repro.service.scheduler`).
+* **Durable lifecycle** — job records and results live on disk; campaign
+  jobs execute into per-job checkpointed campaign stores, so a SIGTERM'd
+  server drains at a scenario boundary and a restarted one resumes its
+  queue without recomputing anything that finished
+  (:mod:`repro.service.server`).
+
+Quickstart::
+
+    repro-adc serve --store svc &
+    repro-adc submit --bits 10-12 --watch
+    repro-adc jobs
+
+or programmatically::
+
+    from repro.service import BackgroundServer, ServiceClient
+
+    with BackgroundServer(store_dir="svc") as server:
+        client = ServiceClient(server.base_url)
+        job = client.submit({"kind": "campaign",
+                             "grid": {"resolutions": [10, 11]}})
+        client.wait(job["job"]["id"])
+
+See ``docs/service.md`` for the API, the job lifecycle and the coalescing
+semantics.
+"""
+
+from typing import Any
+
+__all__ = [
+    "BackgroundServer",
+    "JobRecord",
+    "JobRequest",
+    "JobScheduler",
+    "JobStore",
+    "OptimizationService",
+    "ServiceClient",
+    "parse_request",
+    "topology_payload",
+]
+
+#: Public name -> defining submodule.  Resolved lazily (PEP 562) so
+#: importing one piece (say ``ServiceClient``) does not also construct
+#: the scheduler/server modules and their executor machinery.  (The
+#: ``repro`` package ``__init__`` itself still imports the flow stack,
+#: so this is about layering, not interpreter footprint.)
+_EXPORTS = {
+    "BackgroundServer": "repro.service.server",
+    "OptimizationService": "repro.service.server",
+    "JobScheduler": "repro.service.scheduler",
+    "JobRecord": "repro.service.jobs",
+    "JobRequest": "repro.service.jobs",
+    "JobStore": "repro.service.jobs",
+    "parse_request": "repro.service.jobs",
+    "topology_payload": "repro.service.jobs",
+    "ServiceClient": "repro.service.client",
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro.service' has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

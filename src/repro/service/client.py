@@ -1,0 +1,261 @@
+"""Blocking client for the optimization service (stdlib ``http.client``).
+
+``ServiceClient`` is the library the CLI (``repro-adc submit`` /
+``repro-adc jobs``) and the benchmarks talk through.  Control calls are
+plain request/response JSON; :meth:`ServiceClient.watch` consumes the
+server's streaming NDJSON event endpoint line-by-line, so a caller follows
+a running campaign scenario-by-scenario without polling::
+
+    client = ServiceClient("http://127.0.0.1:8765")
+    job = client.submit({"kind": "campaign", "grid": {"resolutions": [10, 11]}})
+    for event in client.watch(job["job"]["id"]):
+        print(event["event"], event.get("label"))
+
+Transport failures and HTTP error payloads both surface as
+:class:`~repro.errors.ServiceError` with the server's single-line message,
+so CLI users see ``repro-adc: error: ...`` instead of a traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection, HTTPException
+from pathlib import Path
+from typing import Any, Iterator
+from urllib.parse import urlsplit
+
+from repro.errors import ServiceError
+from repro.service.jobs import TERMINAL_STATES
+
+
+class ServiceClient:
+    """Talk to one service instance at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout: float = 600.0):
+        split = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+        if split.scheme not in ("", "http"):
+            raise ServiceError(
+                f"unsupported service URL scheme {split.scheme!r} (use http://)"
+            )
+        if not split.hostname:
+            raise ServiceError(f"cannot parse service URL {base_url!r}")
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.timeout = timeout
+        self.base_url = f"http://{self.host}:{self.port}"
+
+    # -- transport -----------------------------------------------------------
+
+    def _connect(self, timeout: float | None = None) -> HTTPConnection:
+        return HTTPConnection(
+            self.host, self.port, timeout=self.timeout if timeout is None else timeout
+        )
+
+    def _request_bytes(
+        self, method: str, path: str, body: Any = None, timeout: float | None = None
+    ) -> tuple[int, bytes]:
+        connection = self._connect(timeout)
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            return response.status, response.read()
+        except (OSError, HTTPException) as exc:
+            raise ServiceError(
+                f"cannot reach optimization service at {self.base_url} ({exc})"
+            ) from exc
+        finally:
+            connection.close()
+
+    def _request(
+        self, method: str, path: str, body: Any = None, timeout: float | None = None
+    ) -> Any:
+        status, data = self._request_bytes(method, path, body, timeout)
+        if status >= 400:
+            raise ServiceError(self._error_message(status, data))
+        try:
+            return json.loads(data) if data else {}
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                f"malformed response from {self.base_url} ({exc})"
+            ) from exc
+
+    @staticmethod
+    def _error_message(status: int, data: bytes) -> str:
+        try:
+            return str(json.loads(data)["error"])
+        except (json.JSONDecodeError, KeyError, TypeError, UnicodeDecodeError):
+            return f"service returned HTTP {status}"
+
+    # -- control API ---------------------------------------------------------
+
+    def submit(self, request: dict) -> dict:
+        """Submit a job body; returns ``{"job": ..., "coalesced": ...}``."""
+        return self._request("POST", "/jobs", body=request)
+
+    def jobs(self) -> list[dict]:
+        """All jobs known to the server, in submission order."""
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        """One job's current state."""
+        return self._request("GET", f"/jobs/{job_id}")["job"]
+
+    def cancel(self, job_id: str) -> dict:
+        """Cancel a queued job."""
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def result(self, job_id: str) -> dict:
+        """The canonical result summary of a done job."""
+        status, data = self._request_bytes("GET", f"/jobs/{job_id}/result")
+        if status >= 400:
+            raise ServiceError(self._error_message(status, data))
+        return json.loads(data)
+
+    def artifacts(self, job_id: str) -> list[str]:
+        """Names of the job's servable artifacts."""
+        return self._request("GET", f"/jobs/{job_id}/artifacts")["artifacts"]
+
+    def artifact(self, job_id: str, name: str) -> bytes:
+        """Raw artifact bytes (e.g. ``results.jsonl`` — byte-identical to a
+        direct ``run_campaign`` store)."""
+        status, data = self._request_bytes("GET", f"/jobs/{job_id}/artifacts/{name}")
+        if status >= 400:
+            raise ServiceError(self._error_message(status, data))
+        return data
+
+    def download(self, job_id: str, dest_dir: str | Path) -> dict[str, Path]:
+        """Fetch every artifact into ``dest_dir``; returns name -> path."""
+        directory = Path(dest_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths: dict[str, Path] = {}
+        for name in self.artifacts(job_id):
+            path = directory / name
+            path.write_bytes(self.artifact(job_id, name))
+            paths[name] = path
+        return paths
+
+    def stats(self) -> dict:
+        """Scheduler counters (queue depth, coalescing, executions)."""
+        return self._request("GET", "/stats")
+
+    def health(self) -> dict:
+        """Liveness summary."""
+        return self._request("GET", "/healthz")
+
+    def drain(self) -> dict:
+        """Ask the server to drain gracefully (it exits afterwards)."""
+        return self._request("POST", "/drain")
+
+    # -- streaming -----------------------------------------------------------
+
+    def watch(self, job_id: str, timeout: float | None = None) -> Iterator[dict]:
+        """Stream a job's events (one dict per line) until terminal.
+
+        The first event is a state snapshot, so watching a finished job
+        yields exactly one terminal event.  The stream ends early (without
+        a terminal event) if the server drains mid-job, the connection is
+        severed, or ``timeout`` (a socket timeout for this stream only;
+        defaults to the client timeout) elapses between events — callers
+        that must outlive those should loop :meth:`wait`.
+        """
+        connection = HTTPConnection(
+            self.host,
+            self.port,
+            timeout=self.timeout if timeout is None else timeout,
+        )
+        try:
+            try:
+                connection.request("GET", f"/jobs/{job_id}/events")
+                response = connection.getresponse()
+            except (OSError, HTTPException) as exc:
+                raise ServiceError(
+                    f"cannot reach optimization service at {self.base_url} ({exc})"
+                ) from exc
+            if response.status >= 400:
+                raise ServiceError(
+                    self._error_message(response.status, response.read())
+                )
+            while True:
+                try:
+                    line = response.readline()
+                except (OSError, HTTPException):
+                    return  # stream severed (drain/kill/timeout): end
+                if not line:
+                    return
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError:
+                    return  # truncated final line from a severed stream
+        finally:
+            connection.close()
+
+    #: How long ``wait`` tolerates an unreachable server (a drain-restart
+    #: window) before giving up, when no explicit timeout bounds it.
+    RESTART_GRACE_S = 30.0
+
+    def wait(self, job_id: str, timeout: float | None = None) -> dict:
+        """Block until the job is terminal; returns its final summary.
+
+        Survives severed event streams *and* brief unreachability (the
+        server drained on SIGTERM and is restarting — the lifecycle
+        docs/service.md advertises) by re-polling with a grace window;
+        raises :class:`ServiceError` when ``timeout`` elapses or the
+        service stays down past :attr:`RESTART_GRACE_S`.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        unreachable_since: float | None = None
+        while True:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ServiceError(f"timed out waiting for job {job_id}")
+            try:
+                # The poll shares the remaining budget too — a stalled
+                # server must not hold this call for the full client
+                # timeout.
+                job = self._request(
+                    "GET", f"/jobs/{job_id}", timeout=remaining
+                )["job"]
+            except ServiceError:
+                now = time.monotonic()
+                if unreachable_since is None:
+                    unreachable_since = now
+                if now - unreachable_since > self.RESTART_GRACE_S:
+                    raise
+                time.sleep(0.5)
+                continue
+            unreachable_since = None
+            if job["state"] in TERMINAL_STATES:
+                return job
+            # Cap the stream's socket timeout at the remaining budget so a
+            # quiet stream cannot overshoot the caller's deadline.
+            last_state = None
+            try:
+                for event in self.watch(job_id, timeout=remaining):
+                    if event.get("state") in TERMINAL_STATES:
+                        return self.job(job_id)
+                    last_state = event.get("state")
+                    if deadline is not None and time.monotonic() > deadline:
+                        break
+            except ServiceError:
+                pass  # stream refused mid-restart: the re-poll's grace
+                # window decides when to give up
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    f"timed out waiting for job {job_id} "
+                    f"(last state {last_state!r})"
+                )
+            time.sleep(0.1)
+
+
+__all__ = ["ServiceClient"]

@@ -10,9 +10,12 @@ minutiae are not needed (see DESIGN.md, substitutions table).
 """
 
 from repro.tech.process import (
+    CORNERS,
     MosfetParams,
     Technology,
     CMOS025,
+    CMOS025_SLOW,
+    resolve_corner,
 )
 from repro.tech.mosfet import MosfetOperatingPoint, dc_current, operating_point
 from repro.tech.passives import (
@@ -22,13 +25,16 @@ from repro.tech.passives import (
 )
 
 __all__ = [
+    "CORNERS",
     "MosfetParams",
     "Technology",
     "CMOS025",
+    "CMOS025_SLOW",
     "MosfetOperatingPoint",
     "dc_current",
     "operating_point",
     "capacitor_mismatch_sigma",
     "min_capacitor",
+    "resolve_corner",
     "switch_on_resistance",
 ]

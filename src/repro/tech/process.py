@@ -7,9 +7,11 @@ is what the paper's flow targets.  All values are SI.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.constants import EPSILON_0, EPSILON_SIO2
+from repro.errors import SpecificationError
 
 
 @dataclass(frozen=True)
@@ -137,3 +139,61 @@ CMOS025 = Technology(
     cap_min=5e-15,
     cpar_floor=50e-15,
 )
+
+
+def _slow_device(params: MosfetParams) -> MosfetParams:
+    """Derate one polarity to its slow-process corner.
+
+    Classic SS-corner shifts: higher threshold (thicker effective oxide /
+    dopant skew), lower mobility, and slightly earlier velocity saturation.
+    Capacitances are left at nominal — corner cap skew is second-order for
+    the power trends this flow ranks on.
+    """
+    return dataclasses.replace(
+        params,
+        vth0=params.vth0 + 0.06,
+        kp=params.kp * 0.85,
+        esat=params.esat * 0.9,
+    )
+
+
+#: Slow / low-voltage corner of the same 0.25 um process: worst-case-speed
+#: devices at a 10 % reduced supply (3.0 V).  Blocks sized here carry more
+#: bias margin, so corner campaigns bound the nominal design's power from
+#: above.  Registered in :data:`CORNERS` so campaign grids can sweep it.
+CMOS025_SLOW = Technology(
+    name="cmos025_slow",
+    vdd=3.0,
+    lmin=CMOS025.lmin,
+    wmin=CMOS025.wmin,
+    nmos=_slow_device(CMOS025.nmos),
+    pmos=_slow_device(CMOS025.pmos),
+    cap_density=CMOS025.cap_density,
+    cap_matching=CMOS025.cap_matching,
+    cap_min=CMOS025.cap_min,
+    cpar_floor=CMOS025.cpar_floor,
+)
+
+#: Registered technology corners, by campaign-grid tag.  Extension point:
+#: register a new tag here and ``CampaignGrid.corners`` /
+#: ``repro-adc campaign --corners`` / service requests pick it up.
+CORNERS: dict[str, Technology] = {
+    "nom": CMOS025,
+    "slow": CMOS025_SLOW,
+}
+
+
+def resolve_corner(tag: str) -> Technology:
+    """Look a corner tag up in :data:`CORNERS`.
+
+    The one place the "unknown corner" error is worded — the campaign
+    grid axis parser and the service request validators all resolve
+    through here, so CLI and HTTP clients see the same message.
+    """
+    try:
+        return CORNERS[tag]
+    except KeyError:
+        raise SpecificationError(
+            f"unknown technology corner {tag!r} "
+            f"(registered: {', '.join(sorted(CORNERS))})"
+        ) from None

@@ -43,11 +43,11 @@ class TestCampaignCommand:
         assert "Campaign comparison" in capsys.readouterr().out
         assert list(tmp_path.iterdir()) == []
 
-    def test_campaign_bad_axis_errors(self):
-        from repro.errors import SpecificationError
-
-        with pytest.raises(SpecificationError):
-            main(["campaign", "--bits", "banana", "--quiet"])
+    def test_campaign_bad_axis_is_a_friendly_error(self, capsys):
+        assert main(["campaign", "--bits", "banana", "--quiet"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-adc: error:")
+        assert "banana" in err and "Traceback" not in err
 
     def test_campaign_writes_manifest(self, tmp_path):
         out = tmp_path / "store"
@@ -57,11 +57,13 @@ class TestCampaignCommand:
         assert (out / "manifest.json").exists()
         assert (out / "checkpoints").is_dir()
 
-    def test_bad_shard_spec_errors(self):
-        from repro.errors import SpecificationError
-
-        with pytest.raises(SpecificationError):
-            main(["campaign", "--bits", "10-11", "--quiet", "--shard", "3/2"])
+    def test_bad_shard_spec_is_a_friendly_error(self, capsys):
+        assert (
+            main(["campaign", "--bits", "10-11", "--quiet", "--shard", "3/2"]) == 2
+        )
+        err = capsys.readouterr().err
+        assert err.startswith("repro-adc: error:")
+        assert "shard" in err
 
     def test_resume_without_out_errors(self, capsys):
         with pytest.raises(SystemExit):
@@ -99,9 +101,7 @@ class TestShardMergeCommands:
                 tmp_path / "ref" / name
             ).read_bytes(), name
 
-    def test_merge_refuses_mismatched_stores(self, tmp_path):
-        from repro.errors import SpecificationError
-
+    def test_merge_refuses_mismatched_stores(self, tmp_path, capsys):
         base = ["--rates", "20,40", "--quiet"]
         assert (
             main(
@@ -117,8 +117,11 @@ class TestShardMergeCommands:
             )
             == 0
         )
-        with pytest.raises(SpecificationError, match="grid digest"):
-            main(["merge", str(tmp_path / "a"), str(tmp_path / "b")])
+        capsys.readouterr()  # drop the campaign progress output
+        assert main(["merge", str(tmp_path / "a"), str(tmp_path / "b")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-adc: error:")
+        assert "grid digest" in err
 
     def test_resume_replays_and_reports(self, tmp_path, capsys):
         out = str(tmp_path / "store")
@@ -129,6 +132,82 @@ class TestShardMergeCommands:
         err = capsys.readouterr().err
         assert "replayed from checkpoints" in err
         assert (tmp_path / "store" / "results.jsonl").read_bytes() == first
+
+
+class TestFriendlyErrors:
+    """Bad backend/queue-dir/store-dir combinations fail with one line."""
+
+    def test_queue_dir_without_queue_backend_names_valid_choices(
+        self, tmp_path, capsys
+    ):
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--bits",
+                    "10",
+                    "--quiet",
+                    "--queue-dir",
+                    str(tmp_path / "q"),
+                ]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert err.startswith("repro-adc: error:")
+        assert "--backend queue" in err
+        assert "process, queue, serial, thread" in err
+
+    def test_out_path_collision_is_a_friendly_error(self, tmp_path, capsys):
+        collision = tmp_path / "occupied"
+        collision.write_text("a file, not a store", encoding="utf-8")
+        assert (
+            main(["campaign", "--bits", "10", "--quiet", "--out", str(collision)])
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert err.startswith("repro-adc: error:")
+        assert "not a directory" in err
+
+    def test_unknown_corner_names_registered_tags(self, capsys):
+        assert (
+            main(["campaign", "--bits", "10", "--quiet", "--corners", "ff"]) == 2
+        )
+        err = capsys.readouterr().err
+        assert err.startswith("repro-adc: error:")
+        assert "nom" in err and "slow" in err
+
+    def test_merge_of_non_store_directory_is_friendly(self, tmp_path, capsys):
+        assert main(["merge", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-adc: error:")
+        assert "manifest.json" in err
+
+
+class TestCornerAxis:
+    def test_corner_campaign_runs_and_labels_records(self, tmp_path, capsys):
+        out = tmp_path / "store"
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--bits",
+                    "10-11",
+                    "--corners",
+                    "nom,slow",
+                    "--quiet",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        lines = (out / "results.jsonl").read_text().splitlines()
+        assert len(lines) == 4  # 2 resolutions x 2 corners
+        records = [json.loads(line) for line in lines]
+        assert {r["corner"] for r in records} == {"nom", "slow"}
+        assert {r["tech"] for r in records} == {"cmos025", "cmos025_slow"}
+        assert "k10_40M_analytic_slow" in {r["label"] for r in records}
 
 
 class TestHelpEpilog:

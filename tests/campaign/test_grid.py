@@ -4,10 +4,12 @@ import pytest
 
 from repro.campaign.grid import (
     CampaignGrid,
+    parse_corner_axis,
     parse_int_axis,
     parse_rate_axis,
 )
 from repro.errors import SpecificationError
+from repro.tech import CMOS025, CMOS025_SLOW, CORNERS
 
 
 class TestGrid:
@@ -59,6 +61,61 @@ class TestGrid:
     def test_unknown_mode_rejected(self):
         with pytest.raises(SpecificationError):
             CampaignGrid(resolutions=(12,), modes=("spice",))
+
+
+class TestCornerAxis:
+    def test_two_corner_grid_expands_corner_major(self):
+        grid = CampaignGrid(
+            resolutions=(10, 11),
+            corners=(("nom", CMOS025), ("slow", CMOS025_SLOW)),
+        )
+        scenarios = grid.expand()
+        assert len(scenarios) == grid.size == 4
+        # Corners are the slowest axis: the whole nominal block first.
+        assert [(s.corner, s.spec.resolution_bits) for s in scenarios] == [
+            ("nom", 10),
+            ("nom", 11),
+            ("slow", 10),
+            ("slow", 11),
+        ]
+        # Every scenario's spec carries its corner's technology...
+        assert [s.spec.tech.name for s in scenarios] == [
+            "cmos025",
+            "cmos025",
+            "cmos025_slow",
+            "cmos025_slow",
+        ]
+        # ...and non-nominal corners are visible in the label.
+        assert scenarios[0].label == "k10_40M_analytic"
+        assert scenarios[2].label == "k10_40M_analytic_slow"
+
+    def test_registered_corners_have_distinct_technologies(self):
+        assert set(CORNERS) >= {"nom", "slow"}
+        assert CORNERS["nom"] is CMOS025
+        assert CORNERS["slow"] is CMOS025_SLOW
+        assert CMOS025_SLOW.vdd < CMOS025.vdd
+        assert CMOS025_SLOW.nmos.vth0 > CMOS025.nmos.vth0
+        assert CMOS025_SLOW.nmos.kp < CMOS025.nmos.kp
+
+    def test_duplicate_corner_tags_rejected(self):
+        with pytest.raises(SpecificationError):
+            CampaignGrid(
+                resolutions=(12,),
+                corners=(("nom", CMOS025), ("nom", CMOS025_SLOW)),
+            )
+
+    def test_parse_corner_axis(self):
+        assert parse_corner_axis("nom,slow") == (
+            ("nom", CMOS025),
+            ("slow", CMOS025_SLOW),
+        )
+        assert parse_corner_axis("slow") == (("slow", CMOS025_SLOW),)
+
+    def test_parse_corner_axis_rejects_unknown_and_empty(self):
+        with pytest.raises(SpecificationError, match="nom, slow"):
+            parse_corner_axis("nom,ff")
+        with pytest.raises(SpecificationError, match="empty"):
+            parse_corner_axis(" , ")
 
 
 class TestAxisParsing:

@@ -164,6 +164,54 @@ class TestCrashTolerance:
             assert backend.broken_leases == 0  # sweep left the live lease
         assert CALLS == [8]  # stolen and executed after the timeout
 
+    def test_corrupt_lease_json_is_swept(self, tmp_path):
+        # A crash mid-write can leave truncated JSON in the lease; the
+        # sweep must treat it as a dead claim, not crash the run.
+        task = TrackedTask(11)
+        key = task_key(tracked, task)
+        (tmp_path / f"{key}{LEASE_SUFFIX}").write_text('{"pid": 12')
+        CALLS.clear()
+        with QueueBackend(max_workers=1, queue_dir=tmp_path) as backend:
+            assert backend.map(tracked, [task]) == [111]
+            assert backend.broken_leases == 1
+        assert CALLS == [11]
+        assert not (tmp_path / f"{key}{LEASE_SUFFIX}").exists()
+
+    def test_binary_garbage_lease_is_swept(self, tmp_path):
+        task = TrackedTask(12)
+        key = task_key(tracked, task)
+        (tmp_path / f"{key}{LEASE_SUFFIX}").write_bytes(b"\x00\xff\xfe{pid")
+        CALLS.clear()
+        with QueueBackend(max_workers=1, queue_dir=tmp_path) as backend:
+            assert backend.map(tracked, [task]) == [112]
+            assert backend.broken_leases == 1
+        assert CALLS == [12]
+
+    def test_json_lease_with_non_numeric_pid_is_swept(self, tmp_path):
+        task = TrackedTask(13)
+        key = task_key(tracked, task)
+        (tmp_path / f"{key}{LEASE_SUFFIX}").write_text('{"pid": "soon"}')
+        with QueueBackend(max_workers=1, queue_dir=tmp_path) as backend:
+            assert backend.map(tracked, [task]) == [113]
+            assert backend.broken_leases == 1
+
+    def test_recycled_pid_lease_does_not_crash_the_run(self, tmp_path):
+        # A stale lease whose recorded pid was recycled by an unrelated
+        # live process (pid 1 is the classic case) looks alive to the
+        # sweep, so it is conservatively left in place — the worker then
+        # waits the lease out and steals it.  The run must complete either
+        # way, with the correct result.
+        task = TrackedTask(14)
+        key = task_key(tracked, task)
+        (tmp_path / f"{key}{LEASE_SUFFIX}").write_text('{"pid": 1}')
+        CALLS.clear()
+        with QueueBackend(
+            max_workers=1, queue_dir=tmp_path, lease_timeout=0.3
+        ) as backend:
+            assert backend.map(tracked, [task]) == [114]
+            assert backend.broken_leases == 0  # sweep kept the "live" claim
+        assert CALLS == [14]  # stolen after the timeout and executed
+
     def test_failed_task_leaves_no_ack(self, tmp_path):
         def explode(task):
             raise RuntimeError("boom")

@@ -1,0 +1,329 @@
+"""JobScheduler: queueing discipline, coalescing, drain/recovery."""
+
+import asyncio
+
+import pytest
+
+from repro.campaign import CampaignGrid, run_campaign
+from repro.engine.config import FlowConfig
+from repro.errors import SpecificationError
+from repro.service.jobs import JobStore
+from repro.service.scheduler import TERMINAL_STATES, JobScheduler
+
+
+def campaign_body(bits, client="anon", priority=0, **config):
+    return {
+        "kind": "campaign",
+        "grid": {"resolutions": list(bits)},
+        "config": config,
+        "client": client,
+        "priority": priority,
+    }
+
+
+async def wait_idle(scheduler, timeout=60.0):
+    """Wait until the queue is empty and nothing is running."""
+    async def _poll():
+        while True:
+            stats = scheduler.stats()
+            if not stats["queued"] and not stats["running"]:
+                return
+            await asyncio.sleep(0.01)
+
+    await asyncio.wait_for(_poll(), timeout)
+
+
+def patch_execute(monkeypatch, order, delay=0.0):
+    """Replace the blocking flow with an order-recording stub."""
+    import time as _time
+
+    def fake_execute(self, record, token):
+        order.append((record.client, record.key))
+        if delay:
+            _time.sleep(delay)
+        self.store.write_result(record.key, b"{}\n")
+
+    monkeypatch.setattr(JobScheduler, "_execute", fake_execute)
+
+
+class TestQueueDiscipline:
+    def test_priority_buckets_drain_lowest_first(self, tmp_path, monkeypatch):
+        order = []
+        patch_execute(monkeypatch, order)
+
+        async def scenario():
+            scheduler = JobScheduler(JobStore(tmp_path), job_workers=1)
+            low = scheduler.submit(campaign_body([10], priority=5))[0]
+            urgent = scheduler.submit(campaign_body([11], priority=-1))[0]
+            normal = scheduler.submit(campaign_body([12], priority=0))[0]
+            await scheduler.start()
+            await wait_idle(scheduler)
+            await scheduler.drain()
+            return [key for _, key in order], (urgent.key, normal.key, low.key)
+
+        executed, expected = asyncio.run(scenario())
+        assert executed == list(expected)
+
+    def test_clients_round_robin_within_a_priority(self, tmp_path, monkeypatch):
+        order = []
+        patch_execute(monkeypatch, order)
+
+        async def scenario():
+            scheduler = JobScheduler(JobStore(tmp_path), job_workers=1)
+            # alice floods three jobs before bob's single submission...
+            for bits in ([10], [11], [12]):
+                scheduler.submit(campaign_body(bits, client="alice"))
+            scheduler.submit(campaign_body([13], client="bob"))
+            await scheduler.start()
+            await wait_idle(scheduler)
+            await scheduler.drain()
+            return [client for client, _ in order]
+
+        clients = asyncio.run(scenario())
+        # ...yet bob's job runs second, not fourth.
+        assert clients == ["alice", "bob", "alice", "alice"]
+
+    def test_cancel_dequeues_a_queued_job(self, tmp_path, monkeypatch):
+        order = []
+        patch_execute(monkeypatch, order)
+
+        async def scenario():
+            scheduler = JobScheduler(JobStore(tmp_path), job_workers=1)
+            keep = scheduler.submit(campaign_body([10]))[0]
+            drop = scheduler.submit(campaign_body([11]))[0]
+            assert scheduler.cancel(drop.key) is True
+            assert drop.state == "cancelled"
+            assert scheduler.cancel(drop.key) is False  # already terminal
+            await scheduler.start()
+            await wait_idle(scheduler)
+            await scheduler.drain()
+            return [key for _, key in order], keep.key
+
+        executed, kept = asyncio.run(scenario())
+        assert executed == [kept]
+
+    def test_submit_while_draining_is_refused(self, tmp_path):
+        async def scenario():
+            scheduler = JobScheduler(JobStore(tmp_path), job_workers=1)
+            await scheduler.start()
+            await scheduler.drain()
+            with pytest.raises(SpecificationError, match="draining"):
+                scheduler.submit(campaign_body([10]))
+
+        asyncio.run(scenario())
+
+
+class TestCoalescing:
+    def test_identical_submissions_share_one_execution(self, tmp_path, monkeypatch):
+        order = []
+        patch_execute(monkeypatch, order)
+
+        async def scenario():
+            scheduler = JobScheduler(JobStore(tmp_path), job_workers=2)
+            first, coalesced_first = scheduler.submit(campaign_body([10, 11]))
+            for _ in range(4):
+                record, coalesced = scheduler.submit(campaign_body([10, 11]))
+                assert coalesced is True
+                assert record is first
+            await scheduler.start()
+            await wait_idle(scheduler)
+            await scheduler.drain()
+            return coalesced_first, first, scheduler.stats()
+
+        coalesced_first, record, stats = asyncio.run(scenario())
+        assert coalesced_first is False
+        assert record.submissions == 5
+        assert record.state == "done"
+        assert len(order) == 1
+        assert stats["submissions"] == 5
+        assert stats["coalesced"] == 4
+        assert stats["executions"] == 1
+
+    def test_urgent_coalesced_submission_escalates_priority(
+        self, tmp_path, monkeypatch
+    ):
+        order = []
+        patch_execute(monkeypatch, order)
+
+        async def scenario():
+            scheduler = JobScheduler(JobStore(tmp_path), job_workers=1)
+            ahead = scheduler.submit(campaign_body([12], priority=0))[0]
+            parked = scheduler.submit(campaign_body([10], priority=5))[0]
+            # An identical but urgent submission must not wait at 5.
+            again, coalesced = scheduler.submit(campaign_body([10], priority=-1))
+            assert coalesced is True and again is parked
+            assert parked.priority == -1
+            # A *less* urgent duplicate never de-escalates.
+            scheduler.submit(campaign_body([10], priority=9))
+            assert parked.priority == -1
+            await scheduler.start()
+            await wait_idle(scheduler)
+            await scheduler.drain()
+            return [key for _, key in order], parked.key, ahead.key
+
+        executed, parked_key, ahead_key = asyncio.run(scenario())
+        assert executed == [parked_key, ahead_key]
+
+    def test_done_jobs_coalesce_without_reexecution(self, tmp_path, monkeypatch):
+        order = []
+        patch_execute(monkeypatch, order)
+
+        async def scenario():
+            scheduler = JobScheduler(JobStore(tmp_path), job_workers=1)
+            await scheduler.start()
+            record, _ = scheduler.submit(campaign_body([10]))
+            await wait_idle(scheduler)
+            assert record.state == "done"
+            again, coalesced = scheduler.submit(campaign_body([10]))
+            assert coalesced is True and again.state == "done"
+            await scheduler.drain()
+
+        asyncio.run(scenario())
+        assert len(order) == 1
+
+    def test_done_job_with_lost_result_reexecutes_on_resubmission(
+        self, tmp_path, monkeypatch
+    ):
+        order = []
+        patch_execute(monkeypatch, order)
+
+        async def scenario():
+            scheduler = JobScheduler(JobStore(tmp_path), job_workers=1)
+            await scheduler.start()
+            record, _ = scheduler.submit(campaign_body([10]))
+            await wait_idle(scheduler)
+            assert record.state == "done"
+            # Someone deletes the artifacts while the server is live: the
+            # resubmission must re-enqueue (and actually run), not park the
+            # record as 'queued' outside every bucket.
+            (scheduler.store.result_dir(record.key) / "result.json").unlink()
+            again, coalesced = scheduler.submit(campaign_body([10]))
+            assert coalesced is False and again is record
+            await wait_idle(scheduler)
+            assert record.state == "done"
+            assert scheduler.store.result_ready(record.key)
+            await scheduler.drain()
+
+        asyncio.run(scenario())
+        assert len(order) == 2  # executed once per submission
+
+    def test_failed_jobs_reenqueue_on_resubmission(self, tmp_path, monkeypatch):
+        attempts = []
+
+        def flaky_execute(self, record, token):
+            attempts.append(record.key)
+            if len(attempts) == 1:
+                raise RuntimeError("transient")
+            self.store.write_result(record.key, b"{}\n")
+
+        monkeypatch.setattr(JobScheduler, "_execute", flaky_execute)
+
+        async def scenario():
+            scheduler = JobScheduler(JobStore(tmp_path), job_workers=1)
+            await scheduler.start()
+            record, _ = scheduler.submit(campaign_body([10]))
+            await wait_idle(scheduler)
+            assert record.state == "failed"
+            assert "transient" in record.error
+            retry, coalesced = scheduler.submit(campaign_body([10]))
+            assert coalesced is False and retry is record
+            await wait_idle(scheduler)
+            await scheduler.drain()
+            return record
+
+        record = asyncio.run(scenario())
+        assert record.state == "done" and record.error is None
+        assert len(attempts) == 2
+
+
+class TestDrainAndRecovery:
+    def test_queued_jobs_recover_across_schedulers(self, tmp_path, monkeypatch):
+        order = []
+        patch_execute(monkeypatch, order)
+
+        async def first_life():
+            # Submit without ever starting workers: the persisted queue is
+            # what a crash would leave behind.
+            scheduler = JobScheduler(JobStore(tmp_path), job_workers=1)
+            scheduler.submit(campaign_body([10]))
+            scheduler.submit(campaign_body([11]))
+
+        async def second_life():
+            scheduler = JobScheduler(JobStore(tmp_path), job_workers=1)
+            await scheduler.start()
+            assert scheduler.counters["recovered"] == 2
+            await wait_idle(scheduler)
+            await scheduler.drain()
+            return scheduler
+
+        async def third_life():
+            scheduler = JobScheduler(JobStore(tmp_path), job_workers=1)
+            await scheduler.start()
+            assert scheduler.counters["recovered"] == 0  # done jobs stay done
+            states = [r.state for r in scheduler.jobs.values()]
+            await scheduler.drain()
+            return states
+
+        asyncio.run(first_life())
+        asyncio.run(second_life())
+        assert len(order) == 2
+        assert asyncio.run(third_life()) == ["done", "done"]
+        assert len(order) == 2  # nothing recomputed
+
+    def test_drain_requeues_midflight_campaign_and_resume_is_byte_identical(
+        self, tmp_path
+    ):
+        """The acceptance scenario: SIGTERM-equivalent drain mid-campaign,
+        restart, and a final store byte-identical to an uninterrupted run."""
+        body = {
+            "kind": "campaign",
+            "grid": {"resolutions": [10, 11, 12], "modes": ["synthesis"]},
+            "config": {
+                "budget": 120,
+                "retarget_budget": 40,
+                "verify_transient": False,
+            },
+        }
+
+        async def interrupted_life():
+            scheduler = JobScheduler(JobStore(tmp_path / "svc"), job_workers=1)
+            await scheduler.start()
+            record, _ = scheduler.submit(body)
+            events = scheduler.subscribe(record.key)
+            # Drain as soon as the first scenario commits its checkpoint.
+            while True:
+                event = await asyncio.wait_for(events.get(), timeout=120)
+                if event["event"] == "scenario":
+                    break
+            await scheduler.drain()
+            return record
+
+        record = asyncio.run(interrupted_life())
+        # The drain interrupted the job at a scenario boundary (if the last
+        # scenario raced the cancel the job may have finished; both are
+        # legal — but the common path is a requeue with partial progress).
+        assert record.state in ("queued", "done")
+
+        async def resumed_life():
+            scheduler = JobScheduler(JobStore(tmp_path / "svc"), job_workers=1)
+            await scheduler.start()
+            await wait_idle(scheduler, timeout=300)
+            await scheduler.drain()
+            (job,) = scheduler.jobs.values()
+            assert job.state == "done"
+            return scheduler.store.campaign_store_dir(job.key)
+
+        store_dir = asyncio.run(resumed_life())
+
+        reference = tmp_path / "reference"
+        run_campaign(
+            CampaignGrid(resolutions=(10, 11, 12), modes=("synthesis",)),
+            config=FlowConfig(
+                budget=120, retarget_budget=40, verify_transient=False
+            ),
+            store_dir=reference,
+        )
+        for name in ("results.jsonl", "report.txt", "manifest.json"):
+            assert (store_dir / name).read_bytes() == (
+                reference / name
+            ).read_bytes(), name
