@@ -18,8 +18,12 @@ The PR 3 tentpole claim, measured three ways on a standard
 
 The legacy variant runs under ``layout_cache_disabled`` so it also pays
 the per-call :class:`~repro.analysis.mna.MnaLayout` derivation the
-pre-kernel evaluator paid.  Numbers land in ``BENCH_PR3.json`` via
+pre-kernel evaluator paid.  Numbers land in ``BENCH_PR6.json`` via
 ``benchmarks/run_all.py``.
+
+PR 6 adds the speculation receipt: the shipped
+``FlowConfig.eval_speculation`` default is asserted against a fresh
+measurement, so the default can only flip when this file proves it.
 """
 
 import time
@@ -29,6 +33,7 @@ import pytest
 
 from repro.analysis.ac import ac_system_stack, ac_transfer, solve_ac_stack
 from repro.analysis.mna import layout_cache_disabled
+from repro.engine.config import FlowConfig
 from repro.engine.persist import sizing_digest
 from repro.enumeration.candidates import PipelineCandidate
 from repro.specs import AdcSpec, plan_stages
@@ -119,3 +124,39 @@ def test_equation_metric_stage_speedup():
         f"batched {batched_rate:6.1f}/s -> {speedup:.2f}x"
     )
     assert speedup >= 3.0
+
+
+@pytest.mark.slow
+def test_speculation_earns_its_default():
+    """The shipped ``eval_speculation`` default must match the measurement.
+
+    PR 6 re-profiled speculation with the adaptive depth controller: the
+    DC Newton stage (the serial, warm-start-dependent majority of a
+    candidate's cost) cannot batch across proposals, so a speculated
+    batch only ties the serial walk and every discarded proposal is pure
+    loss.  The controller narrows the gap but does not win it, so the
+    default stays 0.  If a future kernel change makes speculation win
+    decisively on this workload, this test fails until the default flips
+    — and vice versa.  The 1.10x / 0.95x band is hysteresis so a noisy
+    tie cannot flip the verdict either way.
+    """
+    plain, plain_rate = _synthesize("compiled")
+    speculative, speculative_rate = _synthesize("compiled", speculation=8)
+    assert sizing_digest(speculative) == sizing_digest(plain)
+    assert speculative.history == plain.history
+    speedup = speculative_rate / plain_rate
+    print(
+        f"\nspeculation: plain {plain_rate:7.1f} cand/s, "
+        f"speculative {speculative_rate:7.1f} cand/s -> {speedup:.2f}x "
+        f"(shipped default: {FlowConfig.eval_speculation})"
+    )
+    if FlowConfig.eval_speculation == 0:
+        assert speedup < 1.10, (
+            f"speculation now wins decisively ({speedup:.2f}x); "
+            "flip FlowConfig.eval_speculation on and update the docs"
+        )
+    else:
+        assert speedup > 0.95, (
+            f"speculation lost its edge ({speedup:.2f}x); "
+            "turn FlowConfig.eval_speculation back off"
+        )

@@ -1,4 +1,4 @@
-"""Run the standalone benchmark suite and emit ``BENCH_PR3.json``.
+"""Run the standalone benchmark suite and emit ``BENCH_PR6.json``.
 
 Standalone (no pytest): fixed seeds, deterministic workloads, wall-clock
 measurements of the compiled evaluation kernels against the legacy path,
@@ -10,11 +10,22 @@ rate, sustained jobs/s — see ``benchmarks/bench_service.py``).
     PYTHONPATH=src python benchmarks/run_all.py --check ...    # exit 1 on
                                                                # regression
 
+The PR 3 stages (``synthesize_mdac`` / ``equation_metric_stage`` /
+``evaluate_batch`` / ``service``) carry forward unchanged; PR 6 adds
+``corner_tensor`` (candidates×corners fused solve vs per-corner loops),
+``template_cache`` (compiled stamp programs persisted across workers —
+the warm-rerun compile count must be zero) and ``speculation`` (plain vs
+adaptive-speculative optimizer batching, with the shipped default checked
+against the measurement).
+
 ``--check`` is the CI regression guard: it fails the run when the compiled
 kernel is slower than the legacy path on the same workload, when any
-variant's synthesis result diverges (the bit-identity contract), or when
-the service stage breaks its coalescing contract (N identical concurrent
-submissions must perform exactly one cold synthesis).
+variant's synthesis result diverges (the bit-identity contract), when the
+fused corner tensor misses its speedup floor, when a warm template store
+still compiles, when the shipped speculation default contradicts the
+measurement, or when the service stage breaks its coalescing contract
+(N identical concurrent submissions must perform exactly one cold
+synthesis).
 
 A stage that *raises* is recorded in its JSON slot as ``{"error": ...}``
 and the run exits non-zero after writing the (partial) report — CI fails
@@ -27,6 +38,7 @@ import argparse
 import json
 import platform
 import sys
+import tempfile
 import time
 import traceback
 from pathlib import Path
@@ -35,12 +47,20 @@ import numpy as np
 
 from repro.analysis.ac import ac_system_stack, ac_transfer, solve_ac_stack
 from repro.analysis.mna import layout_cache_disabled
+from repro.analysis.template import (
+    TEMPLATE_STATS,
+    _TEMPLATE_CACHE,
+    reset_template_stats,
+)
+from repro.engine.config import FlowConfig
 from repro.engine.persist import sizing_digest
+from repro.engine.threads import pin_blas_threads
 from repro.enumeration.candidates import PipelineCandidate
 from repro.specs import AdcSpec, plan_stages
 from repro.synth import HybridEvaluator, synthesize_mdac, two_stage_space
-from repro.synth.evaluator import _AC_FREQS
+from repro.synth.evaluator import _AC_FREQS, CornerSetEvaluator
 from repro.tech import CMOS025
+from repro.tech.process import CMOS025_SLOW
 
 
 def _block_spec():
@@ -169,16 +189,170 @@ def stage_batch_api(population: int) -> dict:
     }
 
 
+def _results_match(a, b) -> bool:
+    return (
+        a.cost() == b.cost()
+        and a.violations == b.violations
+        and a.power == b.power
+    )
+
+
+def stage_corner_tensor(population: int) -> dict:
+    """Fused candidates×corners tensor solve vs per-corner loops.
+
+    Three variants over the same population and corner set:
+
+    * per-corner legacy walk — one ``evaluate`` call per (corner,
+      candidate), the PR 2 baseline the acceptance floor is measured
+      against;
+    * per-corner compiled batches — PR 3's ``evaluate_batch`` once per
+      corner (what a caller could already write by hand);
+    * fused — one :class:`CornerSetEvaluator.evaluate_batch` staging the
+      whole candidates×corners×freq tensor through a single chunked
+      ``np.linalg.solve`` stream.
+    """
+    mdac = _block_spec()
+    space = two_stage_space(mdac, CMOS025)
+    corners = [CMOS025, CMOS025_SLOW]
+    rng = np.random.default_rng(11)
+    sizings = [space.decode(rng.random(space.dimension)) for _ in range(population)]
+
+    def percorner_legacy():
+        grid = []
+        for tech in corners:
+            # One evaluator per corner: the sequential walk must keep its
+            # DC warm-start chain, like the fused path keeps per corner.
+            evaluator = HybridEvaluator(mdac, tech, kernel="legacy")
+            grid.append([evaluator.evaluate(s) for s in sizings])
+        return grid
+
+    def percorner_batches():
+        return [
+            HybridEvaluator(mdac, tech, kernel="compiled").evaluate_batch(sizings)
+            for tech in corners
+        ]
+
+    def fused():
+        return CornerSetEvaluator(mdac, corners).evaluate_batch(sizings)
+
+    def timed(fn):
+        fn()  # warm module-level layout/template caches
+        start = time.perf_counter()
+        results = fn()
+        return results, time.perf_counter() - start
+
+    legacy_grid, legacy_wall = timed(percorner_legacy)
+    batch_grid, batch_wall = timed(percorner_batches)
+    fused_grid, fused_wall = timed(fused)
+    identical = all(
+        _results_match(a, b) and _results_match(a, c)
+        for la, lb, lc in zip(legacy_grid, batch_grid, fused_grid)
+        for a, b, c in zip(la, lb, lc)
+    )
+    cells = population * len(corners)
+    return {
+        "workload": f"{population} candidates x {len(corners)} corners "
+                    f"({cells} evaluations)",
+        "percorner_legacy_cands_per_s": round(cells / legacy_wall, 1),
+        "percorner_batch_cands_per_s": round(cells / batch_wall, 1),
+        "fused_cands_per_s": round(cells / fused_wall, 1),
+        "speedup_fused_vs_percorner_legacy": round(legacy_wall / fused_wall, 2),
+        "speedup_fused_vs_percorner_batches": round(batch_wall / fused_wall, 2),
+        "identical_results": identical,
+    }
+
+
+def stage_template_cache() -> dict:
+    """Persisted stamp programs: a warm worker must not compile at all.
+
+    Simulates a pool/queue worker restart: compile into an on-disk
+    :class:`~repro.analysis.template.TemplateStore`, wipe the in-process
+    cache (a fresh interpreter has an empty one), and re-evaluate.  The
+    warm pass must report zero compiles — templates load from the store.
+    """
+    mdac = _block_spec()
+    space = two_stage_space(mdac, CMOS025)
+    rng = np.random.default_rng(13)
+    sizings = [space.decode(rng.random(space.dimension)) for _ in range(4)]
+
+    def evaluate(store_dir):
+        evaluator = HybridEvaluator(
+            mdac, CMOS025, kernel="compiled", template_store=store_dir
+        )
+        return [evaluator.evaluate(s) for s in sizings]
+
+    with tempfile.TemporaryDirectory() as store_dir:
+        _TEMPLATE_CACHE.clear()
+        reset_template_stats()
+        start = time.perf_counter()
+        cold = evaluate(store_dir)
+        cold_wall = time.perf_counter() - start
+        cold_stats = dict(TEMPLATE_STATS)
+
+        _TEMPLATE_CACHE.clear()  # a freshly forked worker starts empty
+        reset_template_stats()
+        start = time.perf_counter()
+        warm = evaluate(store_dir)
+        warm_wall = time.perf_counter() - start
+        warm_stats = dict(TEMPLATE_STATS)
+
+    identical = all(_results_match(a, b) for a, b in zip(cold, warm))
+    return {
+        "workload": f"{len(sizings)} evaluations, cold store vs warm rerun",
+        "cold_compiled": cold_stats["compiled"],
+        "warm_compiled": warm_stats["compiled"],
+        "warm_store_hits": warm_stats["store_hits"],
+        "wall_cold_s": round(cold_wall, 3),
+        "wall_warm_s": round(warm_wall, 3),
+        "identical_results": identical,
+    }
+
+
+def stage_speculation(synth: dict) -> dict:
+    """Does speculation earn a default?  Receipts for the shipped value.
+
+    Reuses the ``synthesize_mdac`` walls (same workload, already
+    measured) and compares the shipped ``FlowConfig.eval_speculation``
+    against the measured winner with a ~10% hysteresis band so a noisy
+    tie can't flip the verdict either way.
+    """
+    if "error" in synth:
+        raise RuntimeError("synthesize_mdac stage failed; no walls to compare")
+    speedup = round(synth["wall_compiled_s"] / synth["wall_speculative_s"], 3)
+    default = FlowConfig.eval_speculation
+    if default == 0:
+        # Shipped off: fine unless speculation decisively wins.
+        consistent = speedup < 1.10
+    else:
+        # Shipped on: fine unless speculation decisively loses.
+        consistent = speedup > 0.95
+    return {
+        "workload": synth["workload"] + " (walls shared with synthesize_mdac)",
+        "wall_plain_s": synth["wall_compiled_s"],
+        "wall_speculative_s": synth["wall_speculative_s"],
+        "speedup_speculative": speedup,
+        "measured_winner": "speculative" if speedup > 1.0 else "plain",
+        "default_eval_speculation": default,
+        "default_matches_measurement": consistent,
+        "identical_results": synth["identical_results"],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="tiny budgets for CI (seconds, not minutes)")
-    parser.add_argument("--out", default="BENCH_PR3.json",
-                        help="output JSON path (default: BENCH_PR3.json)")
+    parser.add_argument("--out", default="BENCH_PR6.json",
+                        help="output JSON path (default: BENCH_PR6.json)")
     parser.add_argument("--check", action="store_true",
                         help="exit nonzero if compiled is slower than legacy "
                              "or any result diverges")
     args = parser.parse_args(argv)
+
+    # Pin the BLAS/OpenMP pools exactly like the pooled backends do, and
+    # record the effective values so a BENCH artifact states the thread
+    # configuration it was measured under.
+    blas_threads = pin_blas_threads()
 
     budget = 120 if args.smoke else 400
     repeats = 10 if args.smoke else 30
@@ -197,6 +371,10 @@ def main(argv=None) -> int:
         "synthesize_mdac": lambda: stage_synthesize(budget),
         "equation_metric_stage": lambda: stage_equation_metrics(repeats),
         "evaluate_batch": lambda: stage_batch_api(population),
+        "corner_tensor": lambda: stage_corner_tensor(population),
+        "template_cache": stage_template_cache,
+        # Runs after synthesize_mdac (dict order) and reuses its walls.
+        "speculation": lambda: stage_speculation(stages["synthesize_mdac"]),
         "service": lambda: run_service_benchmark(identical, distinct),
     }
     stages: dict[str, dict] = {}
@@ -209,13 +387,14 @@ def main(argv=None) -> int:
             stage_errors.append(name)
 
     report = {
-        "bench": "PR3 compiled evaluation kernels",
+        "bench": "PR6 corner-batched evaluation kernels",
         "config": {
             "smoke": args.smoke,
             "budget": budget,
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
+            "blas_threads": blas_threads,
         },
         "stages": stages,
     }
@@ -232,10 +411,17 @@ def main(argv=None) -> int:
 
     synth = report["stages"]["synthesize_mdac"]
     eqn = report["stages"]["equation_metric_stage"]
+    corner = report["stages"]["corner_tensor"]
+    template = report["stages"]["template_cache"]
+    speculation = report["stages"]["speculation"]
     service = report["stages"]["service"]
     print(
         f"\nfull-candidate speedup: {synth['speedup_full_candidate']}x, "
         f"equation-metric stage: {eqn['speedup']}x, "
+        f"corner tensor: {corner['speedup_fused_vs_percorner_legacy']}x, "
+        f"warm template compiles: {template['warm_compiled']}, "
+        f"speculation: {speculation['speedup_speculative']}x "
+        f"(default={speculation['default_eval_speculation']}), "
         f"service: {service['coalescing']['submissions']} identical submissions "
         f"-> {service['coalescing']['cold_synthesis_runs']} cold synthesis, "
         f"{service['throughput']['jobs_per_s']} jobs/s -> {out_path}"
@@ -251,6 +437,30 @@ def main(argv=None) -> int:
             failures.append(
                 "regression: compiled kernel slower than legacy on the "
                 f"smoke workload ({synth['speedup_full_candidate']}x)"
+            )
+        if not corner["identical_results"]:
+            failures.append(
+                "fused corner tensor diverged from the per-corner walks"
+            )
+        if corner["speedup_fused_vs_percorner_legacy"] < 1.5:
+            failures.append(
+                "regression: fused candidates x corners solve under its "
+                "1.5x floor vs per-corner legacy loops "
+                f"({corner['speedup_fused_vs_percorner_legacy']}x)"
+            )
+        if template["warm_compiled"] != 0:
+            failures.append(
+                "template store miss: a warm worker still compiled "
+                f"{template['warm_compiled']} stamp program(s)"
+            )
+        if not template["identical_results"]:
+            failures.append("store-loaded templates diverged from compiled ones")
+        if not speculation["default_matches_measurement"]:
+            failures.append(
+                "shipped FlowConfig.eval_speculation="
+                f"{speculation['default_eval_speculation']} contradicts the "
+                f"measurement ({speculation['speedup_speculative']}x "
+                f"speculative vs plain)"
             )
         failures.extend(check_service_report(service))
         if failures:

@@ -41,6 +41,75 @@ def ac_system_stack(
     return out
 
 
+def ac_system_tensor(
+    linears: "list[LinearizedCircuit]",
+    frequencies_hz: np.ndarray,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Stacked systems for a *batch* of linearizations, shape (B, F, n, n).
+
+    The batch axis typically flattens candidates×corners: every
+    linearization must share the matrix size (same topology).  Each
+    ``out[b]`` is filled exactly like :func:`ac_system_stack` fills its
+    stack — the tensor form only removes the per-batch Python dispatch, so
+    slice ``[b]`` is bit-identical to ``ac_system_stack(linears[b], ...)``.
+    ``out`` (same shape, complex) is reused in place when given.
+    """
+    frequencies_hz = np.asarray(frequencies_hz, dtype=float)
+    if not linears:
+        raise AnalysisError("ac_system_tensor needs at least one linearization")
+    n = linears[0].size
+    s = 2j * math.pi * frequencies_hz
+    if out is None:
+        out = np.empty((len(linears), len(frequencies_hz), n, n), dtype=complex)
+    for b, linear in enumerate(linears):
+        if linear.size != n:
+            raise AnalysisError(
+                "ac_system_tensor requires same-size systems "
+                f"(got {linear.size} and {n})"
+            )
+        slab = out[b]
+        slab[:] = linear.g_matrix
+        rows, cols = np.nonzero(linear.c_matrix)
+        if len(rows):
+            slab[:, rows, cols] += s[:, None] * linear.c_matrix[rows, cols][None, :]
+    return out
+
+
+def solve_ac_tensor(
+    systems: np.ndarray, b_ac: np.ndarray, frequencies_hz: np.ndarray
+) -> np.ndarray:
+    """Solve a (B, F, n, n) tensor against per-batch excitations, batched.
+
+    ``b_ac`` has shape (B, n) — one excitation vector per batch entry
+    (candidate×corner).  One ``np.linalg.solve`` covers the whole tensor;
+    the gufunc applies LAPACK per (n, n) slice, so every ``[b, k]``
+    solution is bit-identical to ``np.linalg.solve(systems[b, k], b_ac[b])``
+    — and therefore to the per-corner :func:`solve_ac_stack` walk.  On
+    failure the tensor is replayed slice-by-slice so the raised
+    :class:`AnalysisError` names the first singular (batch, frequency)
+    pair.  Returns shape (B, F, n).
+    """
+    n_batch, n_freq = systems.shape[0], systems.shape[1]
+    rhs = np.broadcast_to(
+        np.asarray(b_ac)[:, None, :], (n_batch, n_freq, systems.shape[2])
+    )[..., None]
+    try:
+        return np.linalg.solve(systems, rhs)[..., 0]
+    except np.linalg.LinAlgError:
+        frequencies_hz = np.asarray(frequencies_hz, dtype=float)
+        for b in range(n_batch):
+            for k in range(n_freq):
+                try:
+                    np.linalg.solve(systems[b, k], np.asarray(b_ac)[b])
+                except np.linalg.LinAlgError as exc:
+                    raise AnalysisError(
+                        f"AC solve failed for batch entry {b} at "
+                        f"{frequencies_hz[k]:.3e} Hz"
+                    ) from exc
+        raise AnalysisError("AC solve failed")  # pragma: no cover
+
+
 def solve_ac_stack(
     systems: np.ndarray, b_ac: np.ndarray, frequencies_hz: np.ndarray
 ) -> np.ndarray:

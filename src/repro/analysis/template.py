@@ -18,13 +18,26 @@ This module compiles a circuit *topology* once into flat stamp programs:
   circuit's element values, producing a :class:`BoundMna` whose
   :meth:`~BoundMna.assemble` and :meth:`~BoundMna.linearize` rebuild the
   Newton system / small-signal matrices with a handful of vectorized
-  gathers and two ``np.add.at`` scatters.
+  gathers and two ``np.add.at`` scatters;
+* :class:`BoundMnaStack` binds one template to a whole *corner set* of
+  same-topology circuits at once — its value-slot rebinding carries a
+  leading corner dimension, so a candidates×corners evaluation can fill
+  every corner's small-signal system from one structure walk.
+
+Value slots are pure data — ``(opcode, element name, negate)`` triples
+evaluated by :func:`_slot_value` — so a compiled template is picklable.
+:class:`TemplateStore` persists templates content-keyed by topology key,
+letting pool/queue workers load the compiled program from disk instead of
+recompiling it per synthesis job; :data:`TEMPLATE_STATS` counts compiles
+and store hits so benchmarks can prove the recompile count drops to zero
+on warm reruns.
 
 **Bit-identity contract.**  The compiled assembler reproduces the legacy
 walk's floating-point results *bit for bit*: the scatter arrays list every
 individual ``+=`` in the same order the legacy code performs them
 (``np.add.at`` applies repeated indices sequentially, in order), each slot
-value is computed with the same arithmetic expression shape, and the MOSFET
+value is computed with the same arithmetic expression shape (negation of
+the extracted value, exactly as the legacy stamps negate), and the MOSFET
 compact model is evaluated by the very same
 :func:`repro.tech.mosfet.dc_current` calls.  ``tests/analysis/test_template.py``
 enforces the equality jacobian-by-jacobian; it is what lets
@@ -37,6 +50,12 @@ binding requires an exact topology-key match.
 """
 
 from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
 
 import numpy as np
 
@@ -70,6 +89,61 @@ except (ImportError, AttributeError):  # pragma: no cover - numpy variant
 #: MOSFET small-signal capacitance slot kinds, in compact-model order.
 _CAP_KINDS = ("cgs", "cgd", "cgb", "cdb", "csb")
 
+# ---------------------------------------------------------------------------
+# Constant-slot opcodes.
+#
+# Every non-MOSFET value slot reduces to "extract one element attribute,
+# optionally negated".  Recording slots as (opcode, name, negate) data —
+# instead of closures — keeps the compiled template picklable, which is
+# what makes cross-process template persistence possible.  Negation (not a
+# sign multiply) reproduces the legacy lambdas' ``-value`` expressions
+# bit-for-bit.
+# ---------------------------------------------------------------------------
+
+_OP_ONE = 0  # 1.0 (branch-row unit stamps)
+_OP_RES_INV = 1  # 1 / resistance
+_OP_SW_INV = 2  # 1 / resistance_at(0.0)
+_OP_CAP = 3  # capacitance
+_OP_IND = 4  # inductance
+_OP_GAIN = 5  # VCVS gain
+_OP_GM = 6  # VCCS transconductance
+_OP_DC = 7  # independent-source DC value
+_OP_ZERO = 8  # 0.0 (inductor DC short constraint)
+
+
+def _slot_value(circuit: Circuit, op: int, name: str | None) -> float:
+    """Evaluate one constant-slot opcode against a concrete circuit."""
+    if op == _OP_ONE:
+        return 1.0
+    if op == _OP_RES_INV:
+        return 1.0 / circuit[name].resistance
+    if op == _OP_SW_INV:
+        return 1.0 / circuit[name].resistance_at(0.0)
+    if op == _OP_CAP:
+        return circuit[name].capacitance
+    if op == _OP_IND:
+        return circuit[name].inductance
+    if op == _OP_GAIN:
+        return circuit[name].gain
+    if op == _OP_GM:
+        return circuit[name].gm
+    if op == _OP_DC:
+        return circuit[name].dc
+    if op == _OP_ZERO:
+        return 0.0
+    raise AnalysisError(f"unknown template slot opcode {op}")  # pragma: no cover
+
+
+def _eval_slots(
+    circuit: Circuit, slots: tuple[tuple[int, str | None, bool], ...]
+) -> list[float]:
+    """Evaluate a slot table; ``negate`` replays the legacy ``-value``."""
+    out = []
+    for op, name, negate in slots:
+        value = _slot_value(circuit, op, name)
+        out.append(-value if negate else value)
+    return out
+
 
 class _Coo:
     """Ordered COO recorder: one entry per scalar ``+=`` of a legacy walk.
@@ -82,20 +156,22 @@ class _Coo:
     def __init__(self):
         self.rows: list[int] = []
         self.cols: list[int] = []
-        #: Constant-slot positions and their value extractors
-        #: (``circuit -> float`` callables evaluated at bind time).
+        #: Constant-slot positions and their (opcode, name, negate) slots.
         self.const_pos: list[int] = []
-        self.const_fns: list = []
+        self.const_slots: list[tuple[int, str | None, bool]] = []
 
     def append(self, row: int, col: int) -> int:
         self.rows.append(row)
         self.cols.append(col)
         return len(self.rows) - 1
 
-    def append_const(self, row: int, col: int, fn) -> None:
+    def append_const(
+        self, row: int, col: int, op: int, name: str | None = None,
+        negate: bool = False,
+    ) -> None:
         pos = self.append(row, col)
         self.const_pos.append(pos)
-        self.const_fns.append(fn)
+        self.const_slots.append((op, name, negate))
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -120,7 +196,9 @@ class MnaTemplate:
 
     Build via :func:`template_for` (cached) or directly from a prototype
     circuit; call :meth:`bind` with any same-topology circuit to obtain a
-    value-carrying :class:`BoundMna`.
+    value-carrying :class:`BoundMna`.  Instances are pure data (index
+    arrays plus opcode slot tables) and therefore picklable — see
+    :class:`TemplateStore`.
     """
 
     def __init__(self, circuit: Circuit):
@@ -143,7 +221,7 @@ class MnaTemplate:
         # Pair currents: value = coeff * (x_ext[a] - x_ext[b]).
         pair_a: list[int] = []
         pair_b: list[int] = []
-        pair_fns: list = []
+        pair_slots: list[tuple[int, str | None, bool]] = []
         r_pair_pos: list[int] = []
         r_pair_src: list[int] = []
         r_pair_sign: list[float] = []
@@ -154,18 +232,18 @@ class MnaTemplate:
         # Voltage constraints: value = (xe[p] - xe[n]) - dc * source_scale.
         vc_p: list[int] = []
         vc_n: list[int] = []
-        vc_dc_fns: list = []
+        vc_dc_slots: list[tuple[int, str | None, bool]] = []
         r_vc_pos: list[int] = []
         # VCVS constraints: value = (xe[op]-xe[on]) - gain*(xe[cp]-xe[cn]).
         vg_op: list[int] = []
         vg_on: list[int] = []
         vg_cp: list[int] = []
         vg_cn: list[int] = []
-        vg_gain_fns: list = []
+        vg_gain_slots: list[tuple[int, str | None, bool]] = []
         r_vg_pos: list[int] = []
         # Source injections: value = signed_dc * source_scale.
         r_inj_pos: list[int] = []
-        r_inj_fns: list = []
+        r_inj_slots: list[tuple[int, str | None, bool]] = []
         # MOSFET slots.
         mos_names: list[str] = []
         mos_xe: list[tuple[int, int, int, int]] = []  # (d, g, s, b) ext slots
@@ -177,11 +255,13 @@ class MnaTemplate:
         r_mos_dev: list[int] = []
         r_mos_sign: list[float] = []
 
-        def emit_pair_current(a: int, b: int, coeff_fn, node_i: int, node_j: int):
+        def emit_pair_current(
+            a: int, b: int, op: int, name: str, node_i: int, node_j: int
+        ):
             """cur = coeff*(xe[a]-xe[b]); resid[i] += cur; resid[j] -= cur."""
             pair_a.append(a)
             pair_b.append(b)
-            pair_fns.append(coeff_fn)
+            pair_slots.append((op, name, False))
             src = len(pair_a) - 1
             for node, sign in ((node_i, +1.0), (node_j, -1.0)):
                 if node == GROUND:
@@ -190,24 +270,24 @@ class MnaTemplate:
                 r_pair_src.append(src)
                 r_pair_sign.append(sign)
 
-        def emit_conductance(i: int, j: int, fn):
+        def emit_conductance(i: int, j: int, op: int, name: str):
             """Replay :func:`repro.analysis.mna.stamp_conductance`."""
             if i != GROUND:
-                jac.append_const(i, i, fn)
+                jac.append_const(i, i, op, name)
             if j != GROUND:
-                jac.append_const(j, j, fn)
+                jac.append_const(j, j, op, name)
             if i != GROUND and j != GROUND:
-                jac.append_const(i, j, lambda c, f=fn: -f(c))
-                jac.append_const(j, i, lambda c, f=fn: -f(c))
+                jac.append_const(i, j, op, name, negate=True)
+                jac.append_const(j, i, op, name, negate=True)
 
         def emit_branch_rows(p: int, nn: int, k: int):
             """Voltage-source-style jac cross terms + resid branch currents."""
             if p != GROUND:
-                jac.append_const(p, k, lambda c: 1.0)
-                jac.append_const(k, p, lambda c: 1.0)
+                jac.append_const(p, k, _OP_ONE)
+                jac.append_const(k, p, _OP_ONE)
             if nn != GROUND:
-                jac.append_const(nn, k, lambda c: -1.0)
-                jac.append_const(k, nn, lambda c: -1.0)
+                jac.append_const(nn, k, _OP_ONE, negate=True)
+                jac.append_const(k, nn, _OP_ONE, negate=True)
             if p != GROUND:
                 r_br_pos.append(res.append(p))
                 r_br_k.append(k)
@@ -221,14 +301,16 @@ class MnaTemplate:
             name = element.name
             if isinstance(element, Resistor):
                 i, j = layout.index(element.n1), layout.index(element.n2)
-                fn = lambda c, nm=name: 1.0 / c[nm].resistance
-                emit_conductance(i, j, fn)
-                emit_pair_current(xi(element.n1), xi(element.n2), fn, i, j)
+                emit_conductance(i, j, _OP_RES_INV, name)
+                emit_pair_current(
+                    xi(element.n1), xi(element.n2), _OP_RES_INV, name, i, j
+                )
             elif isinstance(element, Switch):
                 i, j = layout.index(element.n1), layout.index(element.n2)
-                fn = lambda c, nm=name: 1.0 / c[nm].resistance_at(0.0)
-                emit_conductance(i, j, fn)
-                emit_pair_current(xi(element.n1), xi(element.n2), fn, i, j)
+                emit_conductance(i, j, _OP_SW_INV, name)
+                emit_pair_current(
+                    xi(element.n1), xi(element.n2), _OP_SW_INV, name, i, j
+                )
             elif isinstance(element, Capacitor):
                 continue  # open in DC
             elif isinstance(element, CurrentSource):
@@ -236,10 +318,10 @@ class MnaTemplate:
                 nn = layout.index(element.negative)
                 if p != GROUND:
                     r_inj_pos.append(res.append(p))
-                    r_inj_fns.append(lambda c, nm=name: c[nm].dc)
+                    r_inj_slots.append((_OP_DC, name, False))
                 if nn != GROUND:
                     r_inj_pos.append(res.append(nn))
-                    r_inj_fns.append(lambda c, nm=name: -c[nm].dc)
+                    r_inj_slots.append((_OP_DC, name, True))
             elif isinstance(element, VoltageSource):
                 p = layout.index(element.positive)
                 nn = layout.index(element.negative)
@@ -247,7 +329,7 @@ class MnaTemplate:
                 emit_branch_rows(p, nn, k)
                 vc_p.append(xi(element.positive))
                 vc_n.append(xi(element.negative))
-                vc_dc_fns.append(lambda c, nm=name: c[nm].dc)
+                vc_dc_slots.append((_OP_DC, name, False))
                 r_vc_pos.append(res.append(k))
             elif isinstance(element, Vcvs):
                 op_ = layout.index(element.out_positive)
@@ -257,15 +339,15 @@ class MnaTemplate:
                 k = layout.branch(name)
                 # stamp_vcvs order: out rows, then the gain row entries.
                 if op_ != GROUND:
-                    jac.append_const(op_, k, lambda c: 1.0)
-                    jac.append_const(k, op_, lambda c: 1.0)
+                    jac.append_const(op_, k, _OP_ONE)
+                    jac.append_const(k, op_, _OP_ONE)
                 if on_ != GROUND:
-                    jac.append_const(on_, k, lambda c: -1.0)
-                    jac.append_const(k, on_, lambda c: -1.0)
+                    jac.append_const(on_, k, _OP_ONE, negate=True)
+                    jac.append_const(k, on_, _OP_ONE, negate=True)
                 if cp != GROUND:
-                    jac.append_const(k, cp, lambda c, nm=name: -c[nm].gain)
+                    jac.append_const(k, cp, _OP_GAIN, name, negate=True)
                 if cn != GROUND:
-                    jac.append_const(k, cn, lambda c, nm=name: c[nm].gain)
+                    jac.append_const(k, cn, _OP_GAIN, name)
                 if op_ != GROUND:
                     r_br_pos.append(res.append(op_))
                     r_br_k.append(k)
@@ -278,27 +360,27 @@ class MnaTemplate:
                 vg_on.append(xi(element.out_negative))
                 vg_cp.append(xi(element.ctrl_positive))
                 vg_cn.append(xi(element.ctrl_negative))
-                vg_gain_fns.append(lambda c, nm=name: c[nm].gain)
+                vg_gain_slots.append((_OP_GAIN, name, False))
                 r_vg_pos.append(res.append(k))
             elif isinstance(element, Vccs):
                 op_ = layout.index(element.out_positive)
                 on_ = layout.index(element.out_negative)
                 cp = layout.index(element.ctrl_positive)
                 cn = layout.index(element.ctrl_negative)
-                fn = lambda c, nm=name: c[nm].gm
                 for row, sign in ((op_, +1.0), (on_, -1.0)):
                     if row == GROUND:
                         continue
                     if cp != GROUND:
-                        jac.append_const(
-                            row, cp, lambda c, f=fn, s=sign: s * f(c)
-                        )
+                        jac.append_const(row, cp, _OP_GM, name, negate=sign < 0)
                     if cn != GROUND:
-                        jac.append_const(
-                            row, cn, lambda c, f=fn, s=sign: -(s * f(c))
-                        )
+                        jac.append_const(row, cn, _OP_GM, name, negate=sign > 0)
                 emit_pair_current(
-                    xi(element.ctrl_positive), xi(element.ctrl_negative), fn, op_, on_
+                    xi(element.ctrl_positive),
+                    xi(element.ctrl_negative),
+                    _OP_GM,
+                    name,
+                    op_,
+                    on_,
                 )
             elif isinstance(element, Inductor):
                 p = layout.index(element.n1)
@@ -307,7 +389,7 @@ class MnaTemplate:
                 emit_branch_rows(p, nn, k)
                 vc_p.append(xi(element.n1))
                 vc_n.append(xi(element.n2))
-                vc_dc_fns.append(lambda c: 0.0)  # DC short: v_p - v_n = 0
+                vc_dc_slots.append((_OP_ZERO, None, False))  # DC short
                 r_vc_pos.append(res.append(k))
             elif isinstance(element, Mosfet):
                 d = layout.index(element.drain)
@@ -352,15 +434,14 @@ class MnaTemplate:
                 )
 
         asarray = np.asarray
-        self._jac = jac
-        self._res = res
         self._jr = asarray(jac.rows, dtype=np.intp)
         self._jc = asarray(jac.cols, dtype=np.intp)
         self._j_const_pos = asarray(jac.const_pos, dtype=np.intp)
+        self._j_const_slots = tuple(jac.const_slots)
         self._rr = asarray(res.rows, dtype=np.intp)
         self._pair_a = asarray(pair_a, dtype=np.intp)
         self._pair_b = asarray(pair_b, dtype=np.intp)
-        self._pair_fns = pair_fns
+        self._pair_slots = tuple(pair_slots)
         self._r_pair_pos = asarray(r_pair_pos, dtype=np.intp)
         self._r_pair_src = asarray(r_pair_src, dtype=np.intp)
         self._r_pair_sign = asarray(r_pair_sign, dtype=float)
@@ -369,16 +450,16 @@ class MnaTemplate:
         self._r_br_sign = asarray(r_br_sign, dtype=float)
         self._vc_p = asarray(vc_p, dtype=np.intp)
         self._vc_n = asarray(vc_n, dtype=np.intp)
-        self._vc_dc_fns = vc_dc_fns
+        self._vc_dc_slots = tuple(vc_dc_slots)
         self._r_vc_pos = asarray(r_vc_pos, dtype=np.intp)
         self._vg_op = asarray(vg_op, dtype=np.intp)
         self._vg_on = asarray(vg_on, dtype=np.intp)
         self._vg_cp = asarray(vg_cp, dtype=np.intp)
         self._vg_cn = asarray(vg_cn, dtype=np.intp)
-        self._vg_gain_fns = vg_gain_fns
+        self._vg_gain_slots = tuple(vg_gain_slots)
         self._r_vg_pos = asarray(r_vg_pos, dtype=np.intp)
         self._r_inj_pos = asarray(r_inj_pos, dtype=np.intp)
-        self._r_inj_fns = r_inj_fns
+        self._r_inj_slots = tuple(r_inj_slots)
         self.mos_names = tuple(mos_names)
         self._mos_xe = mos_xe
         self._j_mos_pos = asarray(j_mos_pos, dtype=np.intp)
@@ -409,15 +490,15 @@ class MnaTemplate:
         #: (branch-or-node index, sign, element name, 'branch'|'node') for b_ac.
         b_ac_slots: list[tuple[int, float, str]] = []
 
-        def emit_sym(coo: _Coo, i: int, j: int, fn) -> None:
+        def emit_sym(coo: _Coo, i: int, j: int, op: int, name: str) -> None:
             """Symmetric two-terminal stamp (conductance / capacitance)."""
             if i != GROUND:
-                coo.append_const(i, i, fn)
+                coo.append_const(i, i, op, name)
             if j != GROUND:
-                coo.append_const(j, j, fn)
+                coo.append_const(j, j, op, name)
             if i != GROUND and j != GROUND:
-                coo.append_const(i, j, lambda cc, f=fn: -f(cc))
-                coo.append_const(j, i, lambda cc, f=fn: -f(cc))
+                coo.append_const(i, j, op, name, negate=True)
+                coo.append_const(j, i, op, name, negate=True)
 
         def emit_mos_g(row: int, col: int, dev: int, kind: int, sign: float):
             g_mos_pos.append(g.append(row, col))
@@ -441,35 +522,33 @@ class MnaTemplate:
             name = element.name
             if isinstance(element, Resistor):
                 i, j = layout.index(element.n1), layout.index(element.n2)
-                emit_sym(g, i, j, lambda cc, nm=name: 1.0 / cc[nm].resistance)
+                emit_sym(g, i, j, _OP_RES_INV, name)
             elif isinstance(element, Switch):
                 i, j = layout.index(element.n1), layout.index(element.n2)
-                emit_sym(
-                    g, i, j, lambda cc, nm=name: 1.0 / cc[nm].resistance_at(0.0)
-                )
+                emit_sym(g, i, j, _OP_SW_INV, name)
             elif isinstance(element, Capacitor):
                 i, j = layout.index(element.n1), layout.index(element.n2)
-                emit_sym(c, i, j, lambda cc, nm=name: cc[nm].capacitance)
+                emit_sym(c, i, j, _OP_CAP, name)
             elif isinstance(element, Inductor):
                 p, nn = layout.index(element.n1), layout.index(element.n2)
                 k = layout.branch(name)
                 if p != GROUND:
-                    g.append_const(p, k, lambda cc: 1.0)
-                    g.append_const(k, p, lambda cc: 1.0)
+                    g.append_const(p, k, _OP_ONE)
+                    g.append_const(k, p, _OP_ONE)
                 if nn != GROUND:
-                    g.append_const(nn, k, lambda cc: -1.0)
-                    g.append_const(k, nn, lambda cc: -1.0)
-                c.append_const(k, k, lambda cc, nm=name: -cc[nm].inductance)
+                    g.append_const(nn, k, _OP_ONE, negate=True)
+                    g.append_const(k, nn, _OP_ONE, negate=True)
+                c.append_const(k, k, _OP_IND, name, negate=True)
             elif isinstance(element, VoltageSource):
                 p = layout.index(element.positive)
                 nn = layout.index(element.negative)
                 k = layout.branch(name)
                 if p != GROUND:
-                    g.append_const(p, k, lambda cc: 1.0)
-                    g.append_const(k, p, lambda cc: 1.0)
+                    g.append_const(p, k, _OP_ONE)
+                    g.append_const(k, p, _OP_ONE)
                 if nn != GROUND:
-                    g.append_const(nn, k, lambda cc: -1.0)
-                    g.append_const(k, nn, lambda cc: -1.0)
+                    g.append_const(nn, k, _OP_ONE, negate=True)
+                    g.append_const(k, nn, _OP_ONE, negate=True)
                 b_ac_slots.append((k, +1.0, name))
             elif isinstance(element, CurrentSource):
                 p = layout.index(element.positive)
@@ -485,30 +564,27 @@ class MnaTemplate:
                 cn = layout.index(element.ctrl_negative)
                 k = layout.branch(name)
                 if op_ != GROUND:
-                    g.append_const(op_, k, lambda cc: 1.0)
-                    g.append_const(k, op_, lambda cc: 1.0)
+                    g.append_const(op_, k, _OP_ONE)
+                    g.append_const(k, op_, _OP_ONE)
                 if on_ != GROUND:
-                    g.append_const(on_, k, lambda cc: -1.0)
-                    g.append_const(k, on_, lambda cc: -1.0)
+                    g.append_const(on_, k, _OP_ONE, negate=True)
+                    g.append_const(k, on_, _OP_ONE, negate=True)
                 if cp != GROUND:
-                    g.append_const(k, cp, lambda cc, nm=name: -cc[nm].gain)
+                    g.append_const(k, cp, _OP_GAIN, name, negate=True)
                 if cn != GROUND:
-                    g.append_const(k, cn, lambda cc, nm=name: cc[nm].gain)
+                    g.append_const(k, cn, _OP_GAIN, name)
             elif isinstance(element, Vccs):
                 op_ = layout.index(element.out_positive)
                 on_ = layout.index(element.out_negative)
                 cp = layout.index(element.ctrl_positive)
                 cn = layout.index(element.ctrl_negative)
-                fn = lambda cc, nm=name: cc[nm].gm
                 for row, sign in ((op_, +1.0), (on_, -1.0)):
                     if row == GROUND:
                         continue
                     if cp != GROUND:
-                        g.append_const(row, cp, lambda cc, f=fn, s=sign: s * f(cc))
+                        g.append_const(row, cp, _OP_GM, name, negate=sign < 0)
                     if cn != GROUND:
-                        g.append_const(
-                            row, cn, lambda cc, f=fn, s=sign: -(s * f(cc))
-                        )
+                        g.append_const(row, cn, _OP_GM, name, negate=sign > 0)
             elif isinstance(element, Mosfet):
                 dev = dev_of[name]
                 d = layout.index(element.drain)
@@ -549,14 +625,14 @@ class MnaTemplate:
                 )
 
         asarray = np.asarray
-        self._lin_g = g
-        self._lin_c = c
         self._gr = asarray(g.rows, dtype=np.intp)
         self._gc = asarray(g.cols, dtype=np.intp)
         self._g_const_pos = asarray(g.const_pos, dtype=np.intp)
+        self._g_const_slots = tuple(g.const_slots)
         self._cr = asarray(c.rows, dtype=np.intp)
         self._cc = asarray(c.cols, dtype=np.intp)
         self._c_const_pos = asarray(c.const_pos, dtype=np.intp)
+        self._c_const_slots = tuple(c.const_slots)
         self._g_mos_pos = asarray(g_mos_pos, dtype=np.intp)
         self._g_mos_dev = asarray(g_mos_dev, dtype=np.intp)
         self._g_mos_kind = asarray(g_mos_kind, dtype=np.intp)
@@ -578,6 +654,10 @@ class MnaTemplate:
             )
         return BoundMna(self, circuit)
 
+    def bind_stack(self, circuits: "list[Circuit]") -> "BoundMnaStack":
+        """Bind one template to a corner set of same-topology circuits."""
+        return BoundMnaStack(self, circuits)
+
 
 class BoundMna:
     """A template bound to one circuit's element values.
@@ -594,10 +674,10 @@ class BoundMna:
         # DC buffers: constants filled by rebind, MOSFET slots per call.
         self._jv = np.zeros(len(t._jr))
         self._rv = np.zeros(len(t._rr))
-        self._pair_coeff = np.zeros(len(t._pair_fns))
-        self._vc_dc = np.zeros(len(t._vc_dc_fns))
-        self._vg_gain = np.zeros(len(t._vg_gain_fns))
-        self._inj_dc = np.zeros(len(t._r_inj_fns))
+        self._pair_coeff = np.zeros(len(t._pair_slots))
+        self._vc_dc = np.zeros(len(t._vc_dc_slots))
+        self._vg_gain = np.zeros(len(t._vg_gain_slots))
+        self._inj_dc = np.zeros(len(t._r_inj_slots))
         self._kindvals = np.zeros((4, n_mos))
         self._ids = np.zeros(n_mos)
         self._xe = np.empty(t.size + 1)
@@ -618,15 +698,15 @@ class BoundMna:
         self.circuit = circuit
         self.layout: MnaLayout = t.layout.with_circuit(circuit)
         if len(t._j_const_pos):
-            self._jv[t._j_const_pos] = [f(circuit) for f in t._jac.const_fns]
+            self._jv[t._j_const_pos] = _eval_slots(circuit, t._j_const_slots)
         if len(self._pair_coeff):
-            self._pair_coeff[:] = [f(circuit) for f in t._pair_fns]
+            self._pair_coeff[:] = _eval_slots(circuit, t._pair_slots)
         if len(self._vc_dc):
-            self._vc_dc[:] = [f(circuit) for f in t._vc_dc_fns]
+            self._vc_dc[:] = _eval_slots(circuit, t._vc_dc_slots)
         if len(self._vg_gain):
-            self._vg_gain[:] = [f(circuit) for f in t._vg_gain_fns]
+            self._vg_gain[:] = _eval_slots(circuit, t._vg_gain_slots)
         if len(self._inj_dc):
-            self._inj_dc[:] = [f(circuit) for f in t._r_inj_fns]
+            self._inj_dc[:] = _eval_slots(circuit, t._r_inj_slots)
         self._mosfets = [circuit[nm] for nm in t.mos_names]
         #: (params, w, l, mult, d, g, s, b) per device — flat tuples so the
         #: per-iteration model loop avoids attribute chains.
@@ -635,9 +715,9 @@ class BoundMna:
             for i, e in enumerate(self._mosfets)
         ]
         if len(t._g_const_pos):
-            self._gv[t._g_const_pos] = [f(circuit) for f in t._lin_g.const_fns]
+            self._gv[t._g_const_pos] = _eval_slots(circuit, t._g_const_slots)
         if len(t._c_const_pos):
-            self._cv[t._c_const_pos] = [f(circuit) for f in t._lin_c.const_fns]
+            self._cv[t._c_const_pos] = _eval_slots(circuit, t._c_const_slots)
         b_ac = self._b_ac
         b_ac[:] = 0.0
         for idx, sign, nm in t._b_ac_slots:
@@ -771,26 +851,247 @@ class BoundMna:
         )
 
 
+class BoundMnaStack:
+    """One template bound to a *corner set* of same-topology circuits.
+
+    The value-slot rebinding carries a leading corner dimension: every
+    constant buffer becomes ``(n_corners, n_slots)`` and
+    :meth:`linearize` fills every corner's small-signal system in one
+    pass, returning per-corner :class:`~repro.analysis.smallsignal.LinearizedCircuit`
+    objects whose matrices are bit-identical to the single-corner
+    :meth:`BoundMna.linearize` results (each corner's scatter replays the
+    same ordered program).  DC solves stay per-corner — each corner's
+    Newton/homotopy warm-start chain is an independent state machine — via
+    the :attr:`corners` sub-bindings.
+    """
+
+    def __init__(
+        self,
+        template: MnaTemplate,
+        circuits: "list[Circuit] | None" = None,
+        bounds: "list[BoundMna] | None" = None,
+    ):
+        if (circuits is None) == (bounds is None):
+            raise AnalysisError(
+                "BoundMnaStack takes exactly one of circuits= or bounds="
+            )
+        self.template = template
+        #: Per-corner :class:`BoundMna` bindings (the DC path).
+        self.corners = (
+            [template.bind(c) for c in circuits]
+            if bounds is None
+            else list(bounds)
+        )
+        t = template
+        n_corners = len(self.corners)
+        self.n_corners = n_corners
+        # Corner-stacked small-signal value buffers.
+        self._gv_stack = np.zeros((n_corners, len(t._gr)))
+        self._cv_stack = np.zeros((n_corners, len(t._cr)))
+        self._b_ac_stack = np.zeros((n_corners, t.size), dtype=complex)
+        self.refresh()
+
+    @classmethod
+    def from_bounds(cls, bounds: "list[BoundMna]") -> "BoundMnaStack":
+        """Stack already-bound corners (e.g. per-corner evaluator bindings)."""
+        if not bounds:
+            raise AnalysisError("BoundMnaStack needs at least one binding")
+        return cls(bounds[0].template, bounds=bounds)
+
+    def refresh(self) -> "BoundMnaStack":
+        """Pull every corner's current slot values into the stacked buffers."""
+        for c, bound in enumerate(self.corners):
+            self._gv_stack[c] = bound._gv
+            self._cv_stack[c] = bound._cv
+            self._b_ac_stack[c] = bound._b_ac
+        return self
+
+    def rebind(self, circuits: "list[Circuit]") -> "BoundMnaStack":
+        """Refresh every corner's value slots (corner-dimension rebinding)."""
+        if len(circuits) != self.n_corners:
+            raise AnalysisError(
+                f"corner count changed: bound {self.n_corners}, "
+                f"got {len(circuits)}"
+            )
+        for bound, circuit in zip(self.corners, circuits):
+            if bound.circuit is not circuit:
+                bound.rebind(circuit)
+        return self.refresh()
+
+    def linearize(self, ops) -> "list[LinearizedCircuit]":
+        """Per-corner linearizations from per-corner DC solutions.
+
+        ``ops`` is one :class:`~repro.analysis.dc.DcSolution` per corner.
+        Each corner's matrices equal its :meth:`BoundMna.linearize` output
+        bit for bit; the stacked buffers only batch the slot refresh.
+        """
+        t = self.template
+        n = t.size
+        if len(ops) != self.n_corners:
+            raise AnalysisError(
+                f"expected {self.n_corners} operating points, got {len(ops)}"
+            )
+        g_stack = np.zeros((self.n_corners, n, n))
+        c_stack = np.zeros((self.n_corners, n, n))
+        out = []
+        for c, (bound, op) in enumerate(zip(self.corners, ops)):
+            kindvals = bound._kindvals
+            capvals = np.zeros((len(_CAP_KINDS), max(len(bound._mosfets), 1)))
+            for dev, element in enumerate(bound._mosfets):
+                device_op = op.device_ops[element.name]
+                kindvals[_KIND_GM, dev] = device_op.gm
+                kindvals[_KIND_GDS, dev] = device_op.gds
+                kindvals[_KIND_GMB, dev] = device_op.gmb
+                for kind, attr in enumerate(_CAP_KINDS):
+                    capvals[kind, dev] = getattr(device_op, attr)
+            gv = self._gv_stack[c]
+            if len(t._g_mos_pos):
+                gv[t._g_mos_pos] = (
+                    t._g_mos_sign * kindvals[t._g_mos_kind, t._g_mos_dev]
+                )
+            np.add.at(g_stack[c], (t._gr, t._gc), gv)
+            cv = self._cv_stack[c]
+            if len(t._c_mos_pos):
+                cv[t._c_mos_pos] = (
+                    t._c_mos_sign * capvals[t._c_mos_kind, t._c_mos_dev]
+                )
+            np.add.at(c_stack[c], (t._cr, t._cc), cv)
+            out.append(
+                LinearizedCircuit(
+                    layout=bound.layout,
+                    g_matrix=g_stack[c],
+                    c_matrix=c_stack[c],
+                    b_ac=self._b_ac_stack[c].copy(),
+                    op=op,
+                    noise_sources=[],
+                )
+            )
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Template cache + cross-process persistence.
+# ---------------------------------------------------------------------------
+
 #: topology_key -> MnaTemplate, bounded like the layout cache.
 _TEMPLATE_CACHE: dict[tuple, MnaTemplate] = {}
 _TEMPLATE_CACHE_MAX = 128
 
+#: Compile / persistence counters: ``compiled`` counts fresh
+#: ``MnaTemplate`` constructions in this process, ``store_hits`` templates
+#: loaded from a :class:`TemplateStore`, ``store_misses`` store lookups
+#: that fell through to a compile.  Benchmarks reset and read these to
+#: prove that warm reruns stop recompiling.
+TEMPLATE_STATS = {"compiled": 0, "store_hits": 0, "store_misses": 0}
 
-def template_for(circuit: Circuit) -> MnaTemplate:
-    """The compiled stamp template of ``circuit``'s topology (cached)."""
+
+def reset_template_stats() -> None:
+    """Zero :data:`TEMPLATE_STATS` (benchmark/test hook)."""
+    for key in TEMPLATE_STATS:
+        TEMPLATE_STATS[key] = 0
+
+
+def _key_digest(key: tuple) -> str:
+    """Stable content address of a topology key (filesystem-safe)."""
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+
+
+class TemplateStore:
+    """Content-addressed on-disk store of compiled stamp templates.
+
+    Templates are pure data after the opcode refactor, so they pickle; the
+    store keys them by a digest of the circuit topology key.  Writes are
+    atomic (tempfile + rename), reads degrade to a miss on any corruption
+    — a damaged entry costs one recompile, never an error.  The persistent
+    block cache exposes one of these under ``<cache_dir>/templates`` so
+    process-pool and queue workers share compiled programs across jobs.
+    """
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = Path(directory)
+
+    def _path(self, key: tuple) -> Path:
+        return self.directory / f"{_key_digest(key)}.tmpl.pkl"
+
+    def load(self, key: tuple) -> MnaTemplate | None:
+        """The stored template for ``key``, or ``None`` on miss/corruption."""
+        try:
+            with open(self._path(key), "rb") as handle:
+                template = pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ValueError, ImportError):
+            try:
+                os.unlink(self._path(key))
+            except OSError:
+                pass
+            return None
+        if getattr(template, "key", None) != key:
+            return None
+        return template
+
+    def save(self, template: MnaTemplate) -> None:
+        """Persist ``template`` atomically; best-effort (I/O errors ignored)."""
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            payload = pickle.dumps(template, protocol=pickle.HIGHEST_PROTOCOL)
+            fd, tmp = tempfile.mkstemp(
+                dir=self.directory, prefix=".tmpl-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(payload)
+                os.replace(tmp, self._path(template.key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass
+
+
+def template_for(circuit: Circuit, store: TemplateStore | None = None) -> MnaTemplate:
+    """The compiled stamp template of ``circuit``'s topology (cached).
+
+    Lookup order: in-process cache, then ``store`` (when given), then a
+    fresh compile — which is written back to ``store`` so the next process
+    skips it.
+    """
     key = circuit.topology_key()
     cached = _TEMPLATE_CACHE.get(key)
     if cached is None:
         if len(_TEMPLATE_CACHE) >= _TEMPLATE_CACHE_MAX:
             _TEMPLATE_CACHE.clear()
-        cached = MnaTemplate(circuit)
+        if store is not None:
+            cached = store.load(key)
+            if cached is not None:
+                TEMPLATE_STATS["store_hits"] += 1
+            else:
+                TEMPLATE_STATS["store_misses"] += 1
+        if cached is None:
+            cached = MnaTemplate(circuit)
+            TEMPLATE_STATS["compiled"] += 1
+            if store is not None:
+                store.save(cached)
         _TEMPLATE_CACHE[key] = cached
     return cached
 
 
-def bind_template(circuit: Circuit) -> BoundMna:
+def bind_template(circuit: Circuit, store: TemplateStore | None = None) -> BoundMna:
     """Compile (cached) and bind the template for ``circuit`` in one step."""
-    return template_for(circuit).bind(circuit)
+    return template_for(circuit, store=store).bind(circuit)
 
 
-__all__ = ["BoundMna", "MnaTemplate", "bind_template", "template_for"]
+__all__ = [
+    "BoundMna",
+    "BoundMnaStack",
+    "MnaTemplate",
+    "TemplateStore",
+    "TEMPLATE_STATS",
+    "bind_template",
+    "reset_template_stats",
+    "template_for",
+]

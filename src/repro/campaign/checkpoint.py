@@ -4,8 +4,10 @@ A campaign store directory gains a ``checkpoints/`` subdirectory with two
 files per *completed* scenario:
 
 * ``NNNNN.ledger.pkl`` — the scenario's ledger journal: every
-  ``(fingerprint, spec_key, result)`` admission it made into the campaign's
-  :class:`~repro.campaign.runner.SynthesisLedger`, in admission order.
+  ``(fingerprint, spec_key, scope, result)`` admission it made into the
+  campaign's :class:`~repro.campaign.runner.SynthesisLedger`, in admission
+  order (``scope`` is the donor's technology name; journals written before
+  donor scoping carry three-field entries, which replay as unscoped).
   Replaying the journal reconstructs the ledger (donor pool order included)
   exactly as it stood after the scenario finished — which is what makes a
   resumed campaign's *remaining* scenarios plan the same warm starts, and
@@ -38,8 +40,8 @@ CHECKPOINT_DIRNAME = "checkpoints"
 #: Queue-backend subdirectory inside a campaign store (leases/acks).
 QUEUE_DIRNAME = "queue"
 
-#: One ledger-journal entry: (fingerprint, spec_key, result).
-JournalEntry = tuple[str, str, Any]
+#: One ledger-journal entry: (fingerprint, spec_key, scope, result).
+JournalEntry = tuple[str, str, str, Any]
 
 
 class CheckpointStore:

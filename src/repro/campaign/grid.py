@@ -167,11 +167,18 @@ def shard_scenarios(
 
     Sharding distributes *ledger-independent units*, never individual
     scenarios: every analytic scenario is its own unit (it touches no
-    shared synthesis state), while all synthesis scenarios form one
-    indivisible unit — the campaign ledger chains their warm-start donor
-    pool in expansion order, so splitting that chain across shards would
-    change which donors each scenario sees and break the byte-identity of
-    sharded vs. unsharded runs.  Units are assigned round-robin in
+    shared synthesis state), while the synthesis scenarios of one
+    technology corner form one indivisible unit — the campaign ledger
+    chains their warm-start donor pool in expansion order, so splitting a
+    corner's chain across shards would change which donors each scenario
+    sees and break the byte-identity of sharded vs. unsharded runs.
+    Corners *are* independent units because the ledger's donor pool is
+    technology-scoped (see
+    :meth:`~repro.campaign.runner.SynthesisLedger.donors_for`) and its
+    exact-hit layers digest the technology into their keys: nothing a
+    slow-corner scenario records can influence a nominal-corner scenario.
+    A corner sweep therefore splits cleanly across shards — one corner's
+    synthesis chain per unit.  Units are assigned round-robin in
     expansion order, so the partition is a pure function of (grid, count):
     every shard of every run agrees on it without coordination.
     """
@@ -182,13 +189,16 @@ def shard_scenarios(
     if count == 1:
         return tuple(scenarios)
     units: list[list[Scenario]] = []
-    synthesis_unit: list[Scenario] | None = None
+    #: One synthesis unit per technology scope, keyed like the ledger's
+    #: donor pool; created at first encounter to preserve round-robin order.
+    synthesis_units: dict[str, list[Scenario]] = {}
     for scenario in scenarios:
         if scenario.mode == "synthesis":
-            if synthesis_unit is None:
-                synthesis_unit = []
-                units.append(synthesis_unit)
-            synthesis_unit.append(scenario)
+            unit = synthesis_units.get(scenario.spec.tech.name)
+            if unit is None:
+                unit = synthesis_units[scenario.spec.tech.name] = []
+                units.append(unit)
+            unit.append(scenario)
         else:
             units.append([scenario])
     selected = [
@@ -199,6 +209,26 @@ def shard_scenarios(
     ]
     selected.sort(key=lambda s: s.index)
     return tuple(selected)
+
+
+def count_shard_units(scenarios: tuple[Scenario, ...]) -> int:
+    """Number of ledger-independent units sharding can distribute.
+
+    Mirrors the grouping in :func:`shard_scenarios`: one unit per analytic
+    scenario plus one per technology corner that has synthesis scenarios.
+    A shard count above this leaves shards with no work — the CLI refuses
+    such shard specs up front instead of silently running empty shards.
+    """
+    units = 0
+    synthesis_scopes: set[str] = set()
+    for scenario in scenarios:
+        if scenario.mode == "synthesis":
+            if scenario.spec.tech.name not in synthesis_scopes:
+                synthesis_scopes.add(scenario.spec.tech.name)
+                units += 1
+        else:
+            units += 1
+    return units
 
 
 def parse_int_axis(text: str) -> tuple[int, ...]:

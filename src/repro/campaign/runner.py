@@ -78,6 +78,13 @@ class SynthesisLedger:
       applied campaign-wide;
     * ``donors`` is the warm-start pool in admission order, deduplicated by
       sizing digest, seeding retargets for *similar* (not identical) specs.
+      Donors are *scoped by technology*: a block sized under one process
+      corner is meaningless as a warm start under another (the device
+      models differ), so :meth:`donors_for` only hands out donors recorded
+      under the requesting scenario's technology.  Corner scoping is also
+      what makes corners *ledger-independent* — the property
+      :func:`~repro.campaign.grid.shard_scenarios` relies on to split a
+      multi-corner synthesis campaign across shards.
 
     A ledger outlives a single ``run_campaign`` call: pass the same
     instance to a follow-up campaign and it starts from everything the
@@ -88,22 +95,36 @@ class SynthesisLedger:
     by_spec: dict[str, SynthesisResult] = field(default_factory=dict)
     donors: list[SynthesisResult] = field(default_factory=list)
     _donor_digests: set[str] = field(default_factory=set)
+    #: Per-donor technology scope, parallel to ``donors``.  The empty
+    #: scope (legacy journals predating scoping) is visible everywhere.
+    _donor_scopes: list[str] = field(default_factory=list)
     #: Blocks any scenario loaded from the ledger instead of searching.
     shared_hits: int = 0
     #: When set (the runner installs a fresh list per scenario while a
     #: checkpointing store is active), every ``record`` call is journalled
-    #: as ``(fingerprint, spec_key, result)`` so the scenario's ledger
-    #: contribution can be checkpointed and replayed on resume.
-    journal: list[tuple[str, str, SynthesisResult]] | None = field(
+    #: as ``(fingerprint, spec_key, scope, result)`` so the scenario's
+    #: ledger contribution can be checkpointed and replayed on resume.
+    journal: list[tuple[str, str, str, SynthesisResult]] | None = field(
         default=None, repr=False, compare=False
     )
 
     def record(
-        self, fingerprint: str, result: SynthesisResult, spec_key: str
+        self,
+        fingerprint: str,
+        result: SynthesisResult,
+        spec_key: str,
+        scope: str = "",
     ) -> None:
-        """Admit a resolved block into the ledger (idempotent per design)."""
+        """Admit a resolved block into the ledger (idempotent per design).
+
+        ``scope`` is the technology name the block was sized under; it
+        gates which scenarios see the design as a warm-start donor (see
+        :meth:`donors_for`).  The exact-hit layers need no scoping: both
+        keys already digest the technology, so they can never serve a
+        block across corners.
+        """
         if self.journal is not None:
-            self.journal.append((fingerprint, spec_key, result))
+            self.journal.append((fingerprint, spec_key, scope, result))
         self.memory.setdefault(fingerprint, result)
         if result.feasible:
             self.by_spec.setdefault(spec_key, result)
@@ -111,19 +132,38 @@ class SynthesisLedger:
         if digest not in self._donor_digests:
             self._donor_digests.add(digest)
             self.donors.append(result)
+            self._donor_scopes.append(scope)
+
+    def donors_for(self, scope: str) -> tuple[SynthesisResult, ...]:
+        """The warm-start pool visible to one technology scope.
+
+        Admission order is preserved; unscoped donors (recorded by code or
+        journals predating corner scoping) remain visible to every scope.
+        """
+        return tuple(
+            donor
+            for donor, donor_scope in zip(self.donors, self._donor_scopes)
+            if donor_scope == scope or not donor_scope
+        )
 
     def replay(
-        self, journal: Sequence[tuple[str, str, SynthesisResult]]
+        self, journal: Sequence[tuple[str, ...]]
     ) -> None:
         """Re-apply a checkpointed journal, reconstructing ledger state.
 
         ``record`` is idempotent per design and journal entries preserve
         admission order, so replaying the journals of completed scenarios
         (in scenario order) leaves ``memory``/``by_spec``/``donors`` —
-        donor *order* included — exactly as the original run left them.
+        donor *order and scopes* included — exactly as the original run
+        left them.  Legacy three-field entries (written before donor
+        scoping existed) replay into the globally visible empty scope.
         """
-        for fingerprint, spec_key, result in journal:
-            self.record(fingerprint, result, spec_key)
+        for entry in journal:
+            if len(entry) == 4:
+                fingerprint, spec_key, scope, result = entry
+            else:
+                (fingerprint, spec_key, result), scope = entry, ""
+            self.record(fingerprint, result, spec_key, scope=scope)
 
 
 @dataclass
@@ -181,7 +221,12 @@ class LedgerBackedCache(PersistentBlockCache):
     ) -> None:
         super().admit(key, result, fingerprint, newly_synthesized)
         if self.ledger is not None and fingerprint is not None:
-            self.ledger.record(fingerprint, result, self._spec_key(result.spec))
+            self.ledger.record(
+                fingerprint,
+                result,
+                self._spec_key(result.spec),
+                scope=self.tech.name,
+            )
 
     def _persist(self, fingerprint: str, result: SynthesisResult) -> None:
         if self.cache_dir is not None:
@@ -443,7 +488,7 @@ def run_campaign(
                         verify_transient=config.verify_transient,
                         eval_kernel=config.eval_kernel,
                         eval_speculation=config.eval_speculation,
-                        donor_pool=tuple(ledger.donors),
+                        donor_pool=ledger.donors_for(scenario.spec.tech.name),
                         ledger=ledger,
                         cache_dir=config.cache_dir,
                     )

@@ -44,7 +44,7 @@ from repro.campaign import (
     parse_shard,
     run_campaign,
 )
-from repro.campaign.grid import parse_corner_axis
+from repro.campaign.grid import count_shard_units, parse_corner_axis
 from repro.engine.backend import BACKENDS
 from repro.engine.config import FlowConfig
 from repro.errors import ServiceError, SpecificationError
@@ -78,8 +78,9 @@ execution engine (every flow command):
   --eval-kernel picks the equation-evaluation kernel (compiled MNA
   templates + batched AC solves by default; 'legacy' is the reference
   walk — results are bit-identical, see docs/performance.md) and
-  --speculation batches optimizer proposals speculatively.  The same
-  knobs form FlowConfig in the Python API.
+  --speculation caps the optimizers' speculative proposal batches
+  (default off — the measured break-even; --no-speculation forces it
+  off).  The same knobs form FlowConfig in the Python API.
 
 campaigns:
   repro-adc campaign expands --bits x --rates x --modes into a scenario
@@ -92,7 +93,10 @@ campaigns:
   grid/config).  --shard K/N runs the K-th of N deterministic slices of
   the grid on this machine; repro-adc merge SHARD_DIR... --out DIR fuses
   the shard stores into the single-run store, byte-identical to an
-  unsharded run.  --backend queue executes through a crash-tolerant
+  unsharded run.  Synthesis scenarios shard per technology corner (the
+  warm-start donor pool is corner-scoped), so a corner sweep splits its
+  synthesis grids across machines; N above the grid's unit count is
+  refused up front.  --backend queue executes through a crash-tolerant
   file-backed work queue (leases/acks under the store, --queue-dir to
   relocate), so interrupted scenarios also resume at task granularity.
   --corners sweeps registered technology corners (nom, slow).
@@ -145,14 +149,25 @@ def _engine_parent() -> argparse.ArgumentParser:
         "--eval-kernel",
         choices=("compiled", "legacy"),
         default="compiled",
-        help="equation-evaluation kernel (bit-identical results; "
-        "'legacy' keeps the reference per-element walk for A/B timing)",
+        help="equation-evaluation kernel (default: compiled MNA templates "
+        "with tensor-batched AC solves; 'legacy' keeps the reference "
+        "per-element walk for A/B timing — results are bit-identical)",
     )
     group.add_argument(
         "--speculation",
         type=int,
-        default=0,
-        help="speculative proposal-batch depth for the optimizers (0 = off)",
+        default=None,
+        metavar="DEPTH",
+        help="speculative proposal-batch depth cap for the optimizers "
+        f"(default: {FlowConfig.eval_speculation} = off — measured "
+        "break-even, see docs/performance.md; the adaptive controller "
+        "sizes batches below DEPTH; results are bit-identical either way)",
+    )
+    group.add_argument(
+        "--no-speculation",
+        action="store_true",
+        help="force speculation off, overriding --speculation and any "
+        "config default (escape hatch if a future default flips it on)",
     )
     group.add_argument(
         "--queue-dir",
@@ -193,6 +208,19 @@ def _grid_from_args(args: argparse.Namespace) -> CampaignGrid:
     )
 
 
+def _resolve_speculation(args: argparse.Namespace) -> int:
+    """Effective speculation depth from the flag pair.
+
+    ``--no-speculation`` always wins; an unset ``--speculation`` falls
+    back to the library default (:attr:`FlowConfig.eval_speculation`).
+    """
+    if getattr(args, "no_speculation", False):
+        return 0
+    if args.speculation is None:
+        return FlowConfig.eval_speculation
+    return args.speculation
+
+
 def _flow_config(args: argparse.Namespace) -> FlowConfig:
     """Assemble the FlowConfig from parsed engine flags."""
     if args.queue_dir is not None and args.backend != "queue":
@@ -212,7 +240,7 @@ def _flow_config(args: argparse.Namespace) -> FlowConfig:
         retarget_budget=args.retarget_budget,
         verify_transient=not args.no_verify,
         eval_kernel=args.eval_kernel,
-        eval_speculation=args.speculation,
+        eval_speculation=_resolve_speculation(args),
     )
 
 
@@ -400,7 +428,8 @@ def main(argv: list[str] | None = None) -> int:
     p_submit.add_argument(
         "--eval-kernel", choices=("compiled", "legacy"), default="compiled"
     )
-    p_submit.add_argument("--speculation", type=int, default=0)
+    p_submit.add_argument("--speculation", type=int, default=None)
+    p_submit.add_argument("--no-speculation", action="store_true")
     p_submit.add_argument(
         "--priority",
         type=int,
@@ -468,6 +497,14 @@ def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     elif args.command == "campaign":
         grid = _grid_from_args(args)
         shard = parse_shard(args.shard)
+        units = count_shard_units(grid.expand())
+        if shard[1] > units:
+            raise SpecificationError(
+                f"--shard {args.shard} asks for {shard[1]} shards but this "
+                f"grid has only {units} ledger-independent unit(s) — "
+                "synthesis scenarios shard per technology corner (add "
+                "--corners values or lower N)"
+            )
         _require_store_dir(args.out, "--out")
         if args.resume and args.out is None:
             parser.error("--resume requires --out (the store to resume)")
@@ -558,7 +595,7 @@ def _submit_request(args: argparse.Namespace) -> dict:
         "retarget_budget": args.retarget_budget,
         "verify_transient": not args.no_verify,
         "eval_kernel": args.eval_kernel,
-        "eval_speculation": args.speculation,
+        "eval_speculation": _resolve_speculation(args),
     }
     if args.kind == "campaign":
         grid = _grid_from_args(args)

@@ -30,6 +30,7 @@ from typing import (
     runtime_checkable,
 )
 
+from repro.engine.threads import pin_blas_threads
 from repro.errors import SpecificationError
 
 T = TypeVar("T")
@@ -96,7 +97,15 @@ class _PooledBackend:
 
     def _pool(self):
         if self._executor is None:
-            self._executor = self.executor_cls(max_workers=self.max_workers)
+            # Pin the solver libraries to one thread per worker before the
+            # pool exists: fork-started workers inherit the parent's
+            # environment, and the initializer re-pins under spawn (see
+            # :mod:`repro.engine.threads`).  User-exported values win.
+            pin_blas_threads()
+            kwargs: dict[str, Any] = {"max_workers": self.max_workers}
+            if issubclass(self.executor_cls, ProcessPoolExecutor):
+                kwargs["initializer"] = pin_blas_threads
+            self._executor = self.executor_cls(**kwargs)
         return self._executor
 
     def map(self, fn: Callable[[T], R], tasks: Iterable[T]) -> list[R]:

@@ -131,6 +131,12 @@ class SynthesisJob:
     #: fingerprints) are identical across them.
     eval_kernel: str = "compiled"
     eval_speculation: int = 0
+    #: On-disk compiled-template store directory (see
+    #: :class:`repro.analysis.template.TemplateStore`) so pool/queue
+    #: workers load stamp programs instead of recompiling them.  A pure
+    #: performance knob, excluded from :meth:`queue_payload` like the
+    #: kernel selectors above.
+    template_dir: str | None = None
 
     def queue_payload(self) -> dict[str, Any]:
         """Stable identity for the work-queue backend's ack files.
@@ -170,6 +176,7 @@ def run_synthesis_job(job: SynthesisJob) -> SynthesisResult:
             verify_transient=job.verify_transient,
             kernel=job.eval_kernel,
             speculation=job.eval_speculation,
+            template_store=job.template_dir,
         )
     return retarget_mdac(
         job.donor,
@@ -180,6 +187,7 @@ def run_synthesis_job(job: SynthesisJob) -> SynthesisResult:
         verify_transient=job.verify_transient,
         kernel=job.eval_kernel,
         speculation=job.eval_speculation,
+        template_store=job.template_dir,
     )
 
 
@@ -317,6 +325,7 @@ def execute_plan(
             verify_transient=cache.verify_transient,
             eval_kernel=cache.eval_kernel,
             eval_speculation=cache.eval_speculation,
+            template_dir=getattr(cache, "template_dir", None),
         )
 
     for wave in plan.waves:
@@ -383,6 +392,7 @@ def execute_plan(
                     retarget_seed=cache.retarget_seed,
                     eval_kernel=cache.eval_kernel,
                     eval_speculation=cache.eval_speculation,
+                    template_dir=getattr(cache, "template_dir", None),
                 )
             )
         if jobs:

@@ -45,6 +45,7 @@ from pathlib import Path
 from typing import Callable, Iterable, TypeVar
 
 from repro.engine.persist import atomic_write_bytes, digest
+from repro.engine.threads import pin_blas_threads
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -244,6 +245,10 @@ class QueueBackend:
 
     def _pool(self) -> ThreadPoolExecutor:
         if self._executor is None:
+            # Queue workers are threads sharing this process's BLAS pools:
+            # pin them to one solver thread each so max_workers concurrent
+            # solves don't oversubscribe the cores (user settings win).
+            pin_blas_threads()
             self._executor = ThreadPoolExecutor(max_workers=self.max_workers)
         return self._executor
 

@@ -66,18 +66,25 @@ def anneal(
             # Predict the next proposals assuming each step is a rejection
             # with the acceptance draw consumed (the common late-anneal
             # path), then rewind the RNG so the replay below re-draws the
-            # exact same stream.
-            state = rng.bit_generator.state
-            proposals = []
-            for j in range(min(speculation, budget - k)):
-                frac = (k + j) / (budget - 1)
-                spec_step = step_start * (step_end / step_start) ** frac
-                proposals.append(
-                    np.clip(x + rng.normal(0.0, spec_step, dimension), 0.0, 1.0)
-                )
-                rng.random()  # the predicted acceptance draw
-            rng.bit_generator.state = state
-            cost_fn.speculate(proposals)
+            # exact same stream.  The batcher's adaptive controller sizes
+            # the batch to the stream's recent acceptance behaviour (0 =
+            # skip: acceptance is too high for predictions to survive);
+            # the depth never changes results, only how much is prepaid.
+            limit = min(speculation, budget - k)
+            if hasattr(cost_fn, "advise_depth"):
+                limit = cost_fn.advise_depth(limit)
+            if limit > 0:
+                state = rng.bit_generator.state
+                proposals = []
+                for j in range(limit):
+                    frac = (k + j) / (budget - 1)
+                    spec_step = step_start * (step_end / step_start) ** frac
+                    proposals.append(
+                        np.clip(x + rng.normal(0.0, spec_step, dimension), 0.0, 1.0)
+                    )
+                    rng.random()  # the predicted acceptance draw
+                rng.bit_generator.state = state
+                cost_fn.speculate(proposals)
         frac = k / (budget - 1)
         temperature = t_start * (t_end / t_start) ** frac
         step = step_start * (step_end / step_start) ** frac

@@ -39,8 +39,28 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.synth.evaluator import HybridEvaluator
+from repro.synth.evaluator import CornerSetEvaluator, HybridEvaluator
 from repro.synth.space import DesignSpace
+
+#: Adaptive speculation depth bounds.  The controller tracks an estimate
+#: of the proposal stream's prediction *run length* (how many speculated
+#: proposals get consumed before an acceptance breaks the prediction) and
+#: sizes batches to it: acceptance-heavy phases (early anneal, improving
+#: pattern-search sweeps) disable speculation outright — a discarded
+#: speculated proposal costs a full evaluation, so depth there is pure
+#: waste — while rejection-dominated phases (late anneal, stalled polish
+#: sweeps) run deep, fully-consumed batches.  The controller is
+#: outcome-driven and therefore deterministic: the same cost trajectory
+#: always yields the same depths — and any depth sequence is bit-identical
+#: anyway, only wall time moves.
+_DEPTH_MIN = 2
+_DEPTH_MAX = 64
+#: Run-length estimate below which speculation is paused: with batch and
+#: serial evaluation at per-candidate parity, short runs waste more in
+#: discards than batching recovers.
+_MIN_RUNLEN = 4.0
+#: Proposals to leave unspeculated before probing again after a pause.
+_SKIP_SPAN = 16
 
 
 @dataclass
@@ -83,11 +103,41 @@ class BatchCostFunction:
         self.hits = 0
         #: Speculated proposals thrown away after a misprediction.
         self.discarded = 0
+        # Adaptive-depth controller state: estimated prediction run length,
+        # back-off countdown, and a one-shot shallow probe after a pause.
+        self._runlen = float(_DEPTH_MIN)
+        self._skip = 0
+        self._probe = True
 
     @property
     def pending(self) -> int:
         """Speculated proposals not yet consumed."""
         return len(self._queue) - self._queue_head
+
+    def advise_depth(self, limit: int) -> int:
+        """How many proposals to speculate next, at most ``limit``.
+
+        Returns 0 while the controller is backing off (the proposal
+        stream's recent acceptance rate makes rejection-path predictions
+        worthless — every discard costs a full evaluation), a shallow
+        probe right after a back-off span, else the estimated run length
+        clipped to ``limit``.  Optimizers treat 0 as "skip speculation
+        this step"; results are bit-identical whatever this returns.
+        """
+        if limit <= 0:
+            return 0
+        if self._skip > 0:
+            self._skip -= 1
+            if self._skip == 0:
+                self._probe = True
+            return 0
+        if self._probe:
+            self._probe = False
+            return min(_DEPTH_MIN, limit)
+        if self._runlen < _MIN_RUNLEN:
+            self._skip = _SKIP_SPAN
+            return 0
+        return min(int(self._runlen), _DEPTH_MAX, limit)
 
     def speculate(self, proposals: list[np.ndarray]) -> None:
         """Pre-evaluate ``proposals`` in order as one batch.
@@ -131,6 +181,10 @@ class BatchCostFunction:
         if stale == 0 and not self._queue:
             return
         self.discarded += stale
+        # Mispredicted batch: fold the observed consumed prefix into the
+        # run-length estimate (short runs push it under the pause floor).
+        if stale > 0:
+            self._runlen = 0.5 * (self._runlen + self._queue_head)
         evaluator = self.evaluator
         if self._queue_head > 0:
             consumed = self._queue[self._queue_head - 1]
@@ -152,12 +206,53 @@ class BatchCostFunction:
                 self.hits += 1
                 if self._queue_head == len(self._queue):
                     # Fully consumed: the evaluator state already matches
-                    # the serial run, nothing to rewind.
+                    # the serial run, nothing to rewind — and the
+                    # prediction held for the whole batch, so the true run
+                    # length is at least the depth: grow the estimate.
+                    batch = len(self._queue)
                     self._queue = []
                     self._queue_head = 0
+                    self._runlen = max(self._runlen, float(batch + 2))
                 return head.cost
             self.flush()
         return self.evaluator.evaluate(self.space.decode(u)).cost(self.power_scale)
 
 
-__all__ = ["BatchCostFunction"]
+class CornerBatchCostFunction:
+    """Worst-corner cost over a process-corner set, tensor-batched.
+
+    The multi-corner figure of merit (a candidate is only as good as its
+    worst corner) evaluated through
+    :meth:`~repro.synth.evaluator.CornerSetEvaluator.evaluate_batch`: one
+    call scores a whole population under every corner with a single
+    candidates×corners×freq kernel invocation instead of per-corner loops.
+    Callable like the plain cost functions for drop-in optimizer use;
+    :meth:`score_population` is the batched entry point.
+    """
+
+    def __init__(
+        self,
+        evaluator: CornerSetEvaluator,
+        space: DesignSpace,
+        power_scale: float = 1e-3,
+    ):
+        self.evaluator = evaluator
+        self.space = space
+        self.power_scale = power_scale
+
+    def score_population(self, proposals: "list[np.ndarray]") -> "list[float]":
+        """Worst-corner cost of each proposal, one fused tensor solve."""
+        if not len(proposals):
+            return []
+        sizings = [self.space.decode(u) for u in proposals]
+        per_corner = self.evaluator.evaluate_batch(sizings)
+        return [
+            max(corner[i].cost(self.power_scale) for corner in per_corner)
+            for i in range(len(sizings))
+        ]
+
+    def __call__(self, u: np.ndarray) -> float:
+        return self.score_population([u])[0]
+
+
+__all__ = ["BatchCostFunction", "CornerBatchCostFunction"]

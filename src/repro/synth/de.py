@@ -52,13 +52,19 @@ def differential_evolution(
 
     while evaluations < budget:
         if speculative:
+            # Adaptive depth: generations with many selections mispredict
+            # the later trials, so let the batcher size the prepaid prefix
+            # (0 = skip this generation); any depth is bit-identical.
+            limit = min(speculation, budget - evaluations)
+            if hasattr(cost_fn, "advise_depth"):
+                limit = cost_fn.advise_depth(limit)
             state = rng.bit_generator.state
             snapshot = pop.copy()
             proposals = []
             for i in range(population):
                 if evaluations + len(proposals) >= budget:
                     break
-                if len(proposals) >= speculation:
+                if len(proposals) >= limit:
                     break
                 a, b, c = rng.choice(population, size=3, replace=False)
                 mutant = np.clip(
@@ -68,7 +74,8 @@ def differential_evolution(
                 mask[rng.integers(dimension)] = True
                 proposals.append(np.where(mask, mutant, snapshot[i]))
             rng.bit_generator.state = state
-            cost_fn.speculate(proposals)
+            if proposals:
+                cost_fn.speculate(proposals)
         for i in range(population):
             if evaluations >= budget:
                 break

@@ -41,10 +41,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.analysis.ac import ac_system_stack, ac_transfer, solve_ac_stack
+from repro.analysis.ac import (
+    ac_system_stack,
+    ac_system_tensor,
+    ac_transfer,
+    solve_ac_stack,
+)
 from repro.analysis.dc import DcSolution, solve_dc
 from repro.analysis.smallsignal import LinearizedCircuit, linearize
-from repro.analysis.template import bind_template
+from repro.analysis.template import BoundMnaStack, TemplateStore, bind_template
 from repro.analysis.transient import simulate_transient
 from repro.blocks.mdac import MdacNetwork, build_settling_bench
 from repro.blocks.opamp import TwoStageSizing
@@ -81,6 +86,84 @@ _LOOP_FREQS = np.logspace(3, 11, 241)
 
 #: Merged per-candidate AC grid: DC-gain point followed by the loop grid.
 _AC_FREQS = np.concatenate(([_DC_GAIN_FREQ], _LOOP_FREQS))
+
+#: Candidates per fused AC solve chunk.  Each candidate contributes
+#: ``len(_AC_FREQS)`` (n, n) complex systems (~1-2 MB); chunking keeps the
+#: working set cache-resident instead of materializing one population-sized
+#: tensor, while every chunk still goes through a single ``np.linalg.solve``
+#: (the gufunc applies LAPACK per slice, so chunk size never changes bits).
+_AC_BATCH_CHUNK = 8
+
+
+class _AcScratch:
+    """Grow-once scratch (stack + RHS) for fused batched AC solves."""
+
+    __slots__ = ("stack", "rhs")
+
+    def __init__(self):
+        self.stack: np.ndarray | None = None
+        self.rhs: np.ndarray | None = None
+
+    def buffers(self, rows: int, size: int) -> tuple[np.ndarray, np.ndarray]:
+        if (
+            self.stack is None
+            or self.stack.shape[0] < rows
+            or self.stack.shape[1] != size
+        ):
+            self.stack = np.empty((rows, size, size), dtype=complex)
+            self.rhs = np.empty((rows, size, 1), dtype=complex)
+        return self.stack[:rows], self.rhs[:rows]
+
+
+def _solve_staged_ac(pending: "list[_StagedEvaluation]", scratch: _AcScratch) -> None:
+    """Fused AC solve for staged candidates (flattened candidates×corners).
+
+    Fills each entry's ``a_all`` (or marks it failed) exactly like a
+    per-candidate :func:`~repro.analysis.ac.solve_ac_stack` walk would: the
+    chunked ``np.linalg.solve`` applies LAPACK per (n, n) slice, so chunk
+    boundaries and scratch reuse never change a bit of any solution.
+    """
+    n_freq = len(_AC_FREQS)
+    size = pending[0].lin.size
+    for start in range(0, len(pending), _AC_BATCH_CHUNK):
+        part = pending[start : start + _AC_BATCH_CHUNK]
+        rows = len(part) * n_freq
+        stack, rhs = scratch.buffers(rows, size)
+        ac_system_tensor(
+            [s.lin for s in part],
+            _AC_FREQS,
+            out=stack.reshape(len(part), n_freq, size, size),
+        )
+        b0 = part[0].lin.b_ac
+        if all(np.array_equal(s.lin.b_ac, b0) for s in part[1:]):
+            # One excitation for the whole chunk (the sizing loop's case:
+            # b_ac depends only on source ac values): broadcast instead of
+            # materializing per-candidate copies.  Same values either way.
+            rhs = np.broadcast_to(b0, (rows, size))[..., None]
+        else:
+            for i, s in enumerate(part):
+                rhs[i * n_freq : (i + 1) * n_freq, :, 0] = s.lin.b_ac
+        try:
+            solutions = np.linalg.solve(stack, rhs)[..., 0]
+            split = np.split(solutions, len(part))
+        except np.linalg.LinAlgError:
+            # Some candidate's sweep is singular: resolve per candidate so
+            # only that candidate goes infeasible (matching what a
+            # sequential evaluate() would do).
+            split = []
+            for i, s in enumerate(part):
+                block = slice(i * n_freq, (i + 1) * n_freq)
+                try:
+                    split.append(
+                        solve_ac_stack(stack[block], s.lin.b_ac, _AC_FREQS)
+                    )
+                except AnalysisError:
+                    split.append(None)
+        for s, solution in zip(part, split):
+            if solution is None:
+                s.failed = True
+                continue
+            s.a_all = solution[:, s.lin.index("out")].copy()
 
 
 @dataclass
@@ -147,6 +230,7 @@ class HybridEvaluator:
         common_mode: float | None = None,
         transient_points: int = 500,
         kernel: str = "compiled",
+        template_store: TemplateStore | str | None = None,
     ):
         if kernel not in EVAL_KERNELS:
             raise SynthesisError(
@@ -158,6 +242,14 @@ class HybridEvaluator:
         self.common_mode = common_mode if common_mode is not None else 0.45 * tech.vdd
         self.transient_points = transient_points
         self.kernel = kernel
+        #: Optional on-disk store of compiled stamp templates — workers
+        #: point this at ``<cache_dir>/templates`` so they load compiled
+        #: programs instead of recompiling per job.
+        self.template_store = (
+            TemplateStore(template_store)
+            if isinstance(template_store, (str, bytes)) or hasattr(template_store, "__fspath__")
+            else template_store
+        )
         self._warm_x: np.ndarray | None = None
         #: Counters for the ablation benchmarks.
         self.equation_evals = 0
@@ -169,6 +261,8 @@ class HybridEvaluator:
         self._batch_warm_trace: list[np.ndarray | None] = []
         #: Scratch buffer for the per-candidate AC system stack.
         self._ac_stack_buf: np.ndarray | None = None
+        #: Grow-once scratch for fused batch AC solves (chunked).
+        self._batch_scratch = _AcScratch()
         #: Bound stamp template, reused (rebound) across candidates.
         self._bound = None
 
@@ -182,7 +276,7 @@ class HybridEvaluator:
         bound = self._bound
         if bound is not None and bound.template.key == bench.topology_key():
             return bound.rebind(bench)
-        bound = bind_template(bench)
+        bound = bind_template(bench, store=self.template_store)
         self._bound = bound
         return bound
 
@@ -274,35 +368,7 @@ class HybridEvaluator:
 
         pending = [s for s in staged if s.lin is not None]
         if pending:
-            n_freq = len(_AC_FREQS)
-            size = pending[0].lin.size
-            stack = np.empty((len(pending) * n_freq, size, size), dtype=complex)
-            rhs = np.empty((len(pending) * n_freq, size, 1), dtype=complex)
-            for i, s in enumerate(pending):
-                block = slice(i * n_freq, (i + 1) * n_freq)
-                ac_system_stack(s.lin, _AC_FREQS, out=stack[block])
-                rhs[block, :, 0] = s.lin.b_ac
-            try:
-                solutions = np.linalg.solve(stack, rhs)[..., 0]
-                split = np.split(solutions, len(pending))
-            except np.linalg.LinAlgError:
-                # Some candidate's sweep is singular: resolve per candidate
-                # so only that candidate goes infeasible (matching what a
-                # sequential evaluate() would do).
-                split = []
-                for i, s in enumerate(pending):
-                    block = slice(i * n_freq, (i + 1) * n_freq)
-                    try:
-                        split.append(
-                            solve_ac_stack(stack[block], s.lin.b_ac, _AC_FREQS)
-                        )
-                    except AnalysisError:
-                        split.append(None)
-            for s, solution in zip(pending, split):
-                if solution is None:
-                    s.failed = True
-                    continue
-                s.a_all = solution[:, s.lin.index("out")]
+            _solve_staged_ac(pending, self._batch_scratch)
 
         return [
             self._infeasible(s.sizing) if s.failed else self._finish(s, run_transient)
@@ -311,21 +377,9 @@ class HybridEvaluator:
 
     def _stage_equation(self, sizing: TwoStageSizing) -> "_StagedEvaluation":
         """DC solve + linearization — the sequential half of an evaluation."""
-        self.equation_evals += 1
-        staged = _StagedEvaluation(sizing=sizing)
-        bench = self._ac_bench(sizing)
-        bound = self._bind(bench) if self.kernel == "compiled" else None
-        try:
-            op = self._solve_dc(bench, assembly=bound)
-        except (ConvergenceError, ReproError):
-            staged.failed = True
+        staged, bench, bound, op = self._stage_dc(sizing)
+        if staged.failed:
             return staged
-        staged.power = (
-            self.tech.vdd
-            * abs(op.supply_current("vdd_src"))
-            * DIFFERENTIAL_FACTOR
-        )
-        staged.saturation = self._saturation_margin(op)
         try:
             if bound is not None:
                 staged.lin = bound.linearize(op)
@@ -334,6 +388,30 @@ class HybridEvaluator:
         except (AnalysisError, ReproError):
             staged.failed = True
         return staged
+
+    def _stage_dc(self, sizing: TwoStageSizing):
+        """The order-dependent half: bench build, DC solve, power read-out.
+
+        Returns ``(staged, bench, bound, op)`` so corner-set evaluation can
+        interleave per-corner DC chains and defer linearization to the
+        corner-stacked template binding.
+        """
+        self.equation_evals += 1
+        staged = _StagedEvaluation(sizing=sizing)
+        bench = self._ac_bench(sizing)
+        bound = self._bind(bench) if self.kernel == "compiled" else None
+        try:
+            op = self._solve_dc(bench, assembly=bound)
+        except (ConvergenceError, ReproError):
+            staged.failed = True
+            return staged, bench, bound, None
+        staged.power = (
+            self.tech.vdd
+            * abs(op.supply_current("vdd_src"))
+            * DIFFERENTIAL_FACTOR
+        )
+        staged.saturation = self._saturation_margin(op)
+        return staged, bench, bound, op
 
     def _finish(
         self, staged: "_StagedEvaluation", run_transient: bool
@@ -502,3 +580,137 @@ class HybridEvaluator:
             dc_ok=False,
             violations={"dc": 1.0},
         )
+
+
+class CornerSetEvaluator:
+    """Candidates×corners evaluation through one fused tensor solve.
+
+    Multi-corner figure-of-merit computation (Barrandon et al.) evaluates
+    the same candidates under every process corner.  Corners share the
+    testbench topology, so this holds one :class:`HybridEvaluator` per
+    corner (each with its own order-dependent DC warm-start chain), runs
+    the per-corner DC solves serially, linearizes all corners at once
+    through a corner-stacked template binding
+    (:class:`~repro.analysis.template.BoundMnaStack`), and fuses every
+    candidate's and corner's AC sweep into a single candidates×corners×freq
+    ``np.linalg.solve`` tensor.
+
+    **Bit-identity:** ``evaluate_batch(sizings)[c]`` equals
+    ``self.corners[c].evaluate_batch(sizings)`` run standalone, result for
+    result — each corner's DC chain sees the same candidate sequence, the
+    stacked linearization replays each corner's scatter program unchanged,
+    and the tensor solve applies LAPACK per (n, n) slice.
+    ``tests/synth/test_corner_batch.py`` locks this down.
+    """
+
+    def __init__(
+        self,
+        mdac: MdacSpec,
+        techs: "list[Technology]",
+        common_mode: float | None = None,
+        transient_points: int = 500,
+        kernel: str = "compiled",
+        template_store: TemplateStore | str | None = None,
+    ):
+        if not techs:
+            raise SynthesisError("CornerSetEvaluator needs at least one corner")
+        self.corners = [
+            HybridEvaluator(
+                mdac,
+                tech,
+                common_mode=common_mode,
+                transient_points=transient_points,
+                kernel=kernel,
+                template_store=template_store,
+            )
+            for tech in techs
+        ]
+        self.kernel = kernel
+        self._stack: BoundMnaStack | None = None
+        self._tensor_scratch = _AcScratch()
+
+    @property
+    def equation_evals(self) -> int:
+        """Total equation evaluations across all corners."""
+        return sum(ev.equation_evals for ev in self.corners)
+
+    def _corner_stack(self) -> BoundMnaStack | None:
+        """The corner-stacked binding over the corners' current bounds."""
+        bounds = [ev._bound for ev in self.corners]
+        if any(b is None for b in bounds):
+            return None
+        key = bounds[0].template.key
+        if any(b.template.key != key for b in bounds[1:]):
+            return None
+        stack = self._stack
+        if stack is None or len(stack.corners) != len(bounds) or any(
+            sb is not b for sb, b in zip(stack.corners, bounds)
+        ):
+            stack = BoundMnaStack.from_bounds(bounds)
+            self._stack = stack
+        return stack
+
+    def evaluate_batch(
+        self, sizings: "list[TwoStageSizing]", run_transient: bool = False
+    ) -> "list[list[EvalResult]]":
+        """Score ``sizings`` under every corner; returns ``[corner][candidate]``.
+
+        The legacy kernel has no batched form — it falls back to per-corner
+        sequential evaluation (the baseline the benchmarks measure the
+        tensor path against).
+        """
+        if self.kernel != "compiled":
+            return [ev.evaluate_batch(sizings, run_transient) for ev in self.corners]
+
+        n_corners = len(self.corners)
+        staged: list[list[_StagedEvaluation]] = [[] for _ in range(n_corners)]
+        pending: list[_StagedEvaluation] = []
+        for sizing in sizings:
+            # Candidate-major staging: every corner's DC chain still sees
+            # the candidates in list order, identical to its solo run.
+            rows = [ev._stage_dc(sizing) for ev in self.corners]
+            stack = None
+            if all(op is not None for (_, _, _, op) in rows):
+                stack = self._corner_stack()
+            if stack is not None:
+                # One corner-dimension slot refresh + stacked linearize.
+                try:
+                    lins = stack.refresh().linearize(
+                        [op for (_, _, _, op) in rows]
+                    )
+                except (AnalysisError, ReproError):
+                    lins = None
+                    for st, _, _, _ in rows:
+                        st.failed = True
+                if lins is not None:
+                    for (st, _, _, _), lin in zip(rows, lins):
+                        st.lin = lin
+            else:
+                for st, bench, bound, op in rows:
+                    if op is None:
+                        continue
+                    try:
+                        if bound is not None:
+                            st.lin = bound.linearize(op)
+                        else:
+                            st.lin = linearize(bench, op, include_noise=False)
+                    except (AnalysisError, ReproError):
+                        st.failed = True
+            for c, (st, _, _, _) in enumerate(rows):
+                staged[c].append(st)
+                if st.lin is not None:
+                    pending.append(st)
+
+        if pending:
+            # The candidates×corners×freq tensor: one chunked fused solve.
+            _solve_staged_ac(pending, self._tensor_scratch)
+
+        return [
+            [
+                ev._infeasible(st.sizing)
+                if st.failed or st.a_all is None
+                else ev._finish(st, run_transient)
+                for st in staged[c]
+            ]
+            for c, ev in enumerate(self.corners)
+        ]

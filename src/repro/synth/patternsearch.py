@@ -38,19 +38,26 @@ def pattern_search(
 
     while evaluations < budget and current_step >= min_step:
         if speculative:
+            # The adaptive depth bounds how much of the poll set is
+            # prepaid under the no-improvement prediction (0 = skip while
+            # sweeps keep improving early); any depth is bit-identical.
+            limit = min(speculation, budget - evaluations)
+            if hasattr(cost_fn, "advise_depth"):
+                limit = cost_fn.advise_depth(limit)
             proposals = []
             for i in range(dimension):
                 for sign in (+1.0, -1.0):
                     if evaluations + len(proposals) >= budget:
                         break
-                    if len(proposals) >= speculation:
+                    if len(proposals) >= limit:
                         break
                     trial = x.copy()
                     trial[i] = np.clip(trial[i] + sign * current_step, 0.0, 1.0)
                     if trial[i] == x[i]:
                         continue
                     proposals.append(trial)
-            cost_fn.speculate(proposals)
+            if proposals:
+                cost_fn.speculate(proposals)
         improved = False
         for i in range(dimension):
             for sign in (+1.0, -1.0):

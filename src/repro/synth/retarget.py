@@ -28,6 +28,7 @@ def retarget_mdac(
     verify_transient: bool = True,
     kernel: str = "compiled",
     speculation: int = 0,
+    template_store: str | None = None,
 ) -> SynthesisResult:
     """Warm-started synthesis of ``new_spec`` from a previously sized block.
 
@@ -62,4 +63,5 @@ def retarget_mdac(
         retargeted=True,
         kernel=kernel,
         speculation=speculation,
+        template_store=template_store,
     )

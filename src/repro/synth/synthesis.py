@@ -41,6 +41,7 @@ def synthesize_mdac(
     retargeted: bool = False,
     kernel: str = "compiled",
     speculation: int = 0,
+    template_store: str | None = None,
 ) -> SynthesisResult:
     """Synthesize one MDAC opamp; returns the verified result.
 
@@ -50,12 +51,19 @@ def synthesize_mdac(
     ``kernel`` selects the equation-evaluation kernel (``"compiled"``, the
     template+batched-solve default, or ``"legacy"``, the reference walk);
     ``speculation`` > 1 additionally batches optimizer proposals through
-    :class:`~repro.synth.batcheval.BatchCostFunction`.  Both knobs are
-    pure performance choices: results are bit-identical across them.
+    :class:`~repro.synth.batcheval.BatchCostFunction`, with the batch
+    depth adapting to the proposal stream's acceptance behaviour.
+    ``template_store`` points at an on-disk compiled-template store
+    (:class:`~repro.analysis.template.TemplateStore` directory) so worker
+    processes load the stamp program instead of recompiling it.  All three
+    knobs are pure performance choices: results are bit-identical across
+    them.
     """
     start = time.perf_counter()
     space = two_stage_space(mdac, tech)
-    evaluator = HybridEvaluator(mdac, tech, kernel=kernel)
+    evaluator = HybridEvaluator(
+        mdac, tech, kernel=kernel, template_store=template_store
+    )
 
     if speculation > 1 and kernel == "compiled":
         cost_fn = BatchCostFunction(evaluator, space)

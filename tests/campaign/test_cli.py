@@ -184,6 +184,109 @@ class TestFriendlyErrors:
         assert "manifest.json" in err
 
 
+class TestSpeculationFlags:
+    def test_no_speculation_overrides_depth(self):
+        from repro.cli import _resolve_speculation
+
+        class Args:
+            speculation = 8
+            no_speculation = True
+
+        assert _resolve_speculation(Args()) == 0
+
+    def test_unset_speculation_uses_library_default(self):
+        from repro.cli import _resolve_speculation
+        from repro.engine.config import FlowConfig
+
+        class Args:
+            speculation = None
+            no_speculation = False
+
+        assert _resolve_speculation(Args()) == FlowConfig.eval_speculation
+
+    def test_flags_accepted_on_campaign(self, capsys):
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--bits",
+                    "10",
+                    "--quiet",
+                    "--speculation",
+                    "8",
+                    "--no-speculation",
+                ]
+            )
+            == 0
+        )
+        assert "Campaign comparison" in capsys.readouterr().out
+
+    def test_help_documents_default_and_escape_hatch(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--help"])
+        help_text = capsys.readouterr().out
+        assert "--no-speculation" in help_text
+        assert "--speculation" in help_text
+        assert "default" in help_text
+
+
+class TestShardUnitGuard:
+    def test_shard_count_above_units_is_a_friendly_error(self, capsys):
+        # One synthesis corner = one ledger-independent unit; asking for
+        # two shards leaves one empty, so the CLI refuses up front.
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--bits",
+                    "10",
+                    "--modes",
+                    "synthesis",
+                    "--quiet",
+                    "--shard",
+                    "2/2",
+                ]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert err.startswith("repro-adc: error:")
+        assert "ledger-independent" in err
+        assert "corner" in err and "Traceback" not in err
+
+    def test_corner_sweep_unlocks_synthesis_sharding(self, tmp_path, capsys):
+        # Two corners = two synthesis units: the same shard spec that the
+        # guard refuses above is valid once the grid sweeps corners.
+        out = tmp_path / "shard1"
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--bits",
+                    "10",
+                    "--modes",
+                    "synthesis",
+                    "--corners",
+                    "nom,slow",
+                    "--budget",
+                    "60",
+                    "--retarget-budget",
+                    "30",
+                    "--no-verify",
+                    "--quiet",
+                    "--shard",
+                    "1/2",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        lines = (out / "results.jsonl").read_text().splitlines()
+        assert len(lines) == 1  # exactly one corner's synthesis chain
+
+
 class TestCornerAxis:
     def test_corner_campaign_runs_and_labels_records(self, tmp_path, capsys):
         out = tmp_path / "store"

@@ -1,0 +1,80 @@
+"""The adaptive speculation-depth controller.
+
+The controller only moves wall time — bit-identity under any depth
+sequence is locked down by ``tests/synth/test_kernel_equivalence.py`` — so
+these tests pin its *policy*: probe shallowly, back off when predictions
+keep failing, grow with fully consumed batches, and stay deterministic.
+"""
+
+import numpy as np
+
+from repro.enumeration.candidates import PipelineCandidate
+from repro.specs import AdcSpec, plan_stages
+from repro.synth import BatchCostFunction, HybridEvaluator, two_stage_space
+from repro.synth.batcheval import _DEPTH_MAX, _DEPTH_MIN, _SKIP_SPAN
+from repro.tech import CMOS025
+
+
+def _batch_fn():
+    plan = plan_stages(AdcSpec(resolution_bits=13), PipelineCandidate((4, 3, 2), 13, 7))
+    mdac = plan.mdacs[2]
+    space = two_stage_space(mdac, CMOS025)
+    return BatchCostFunction(HybridEvaluator(mdac, CMOS025, kernel="compiled"), space)
+
+
+class TestAdviseDepth:
+    def test_zero_limit_passes_through(self):
+        assert _batch_fn().advise_depth(0) == 0
+        assert _batch_fn().advise_depth(-3) == 0
+
+    def test_first_call_is_a_shallow_probe(self):
+        fn = _batch_fn()
+        assert fn.advise_depth(100) == _DEPTH_MIN
+
+    def test_probe_respects_the_limit(self):
+        fn = _batch_fn()
+        assert fn.advise_depth(1) == 1
+
+    def test_mispredictions_trigger_a_back_off_span(self):
+        fn = _batch_fn()
+        fn.advise_depth(100)  # consume the probe
+        # Simulate repeated total mispredictions (nothing consumed).
+        fn._queue = [object()] * 2  # type: ignore[list-item]
+        fn._queue_head = 0
+        fn.evaluator._warm_x = None
+        fn.flush()
+        fn._queue = [object()] * 2  # type: ignore[list-item]
+        fn._queue_head = 0
+        fn.flush()
+        assert fn._runlen < 4.0
+        # The controller now pauses speculation: the call that enters the
+        # back-off returns 0, then a full skip span of zeros follows...
+        zeros = [fn.advise_depth(100) for _ in range(_SKIP_SPAN + 1)]
+        assert zeros == [0] * (_SKIP_SPAN + 1)
+        # ...then probes again instead of staying off forever.
+        assert fn.advise_depth(100) == _DEPTH_MIN
+
+    def test_full_consumption_grows_the_depth(self):
+        fn = _batch_fn()
+        fn.advise_depth(100)  # probe consumed
+        rng = np.random.default_rng(0)
+        proposals = [rng.random(9) for _ in range(6)]
+        fn.speculate(proposals)
+        for u in proposals:  # consume the whole batch: prediction held
+            fn(u)
+        assert fn.discarded == 0
+        depth = fn.advise_depth(100)
+        assert depth >= len(proposals)
+        assert depth <= _DEPTH_MAX
+
+    def test_depth_never_exceeds_cap_or_limit(self):
+        fn = _batch_fn()
+        fn.advise_depth(100)
+        fn._runlen = 1e6
+        assert fn.advise_depth(1000) == _DEPTH_MAX
+        assert fn.advise_depth(5) == 5
+
+    def test_policy_is_deterministic(self):
+        a, b = _batch_fn(), _batch_fn()
+        for limit in (10, 3, 0, 64, 7, 100):
+            assert a.advise_depth(limit) == b.advise_depth(limit)

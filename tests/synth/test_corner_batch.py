@@ -1,0 +1,153 @@
+"""Corner-fused evaluation == standalone per-corner evaluation, bitwise.
+
+The PR 6 tentpole contract: ``CornerSetEvaluator.evaluate_batch`` runs one
+candidates×corners×freq tensor solve, and its per-corner results must be
+*bit-identical* to each corner's own ``HybridEvaluator`` walking the same
+candidate list — same metrics, same costs, same evaluation counters —
+because campaign records are built from these numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.enumeration.candidates import PipelineCandidate
+from repro.errors import SynthesisError
+from repro.specs import AdcSpec, plan_stages
+from repro.synth import HybridEvaluator, two_stage_space
+from repro.synth.batcheval import CornerBatchCostFunction
+from repro.synth.evaluator import CornerSetEvaluator
+from repro.tech import CMOS025
+from repro.tech.process import CMOS025_SLOW
+
+CORNERS = [CMOS025, CMOS025_SLOW]
+
+
+def _mdac():
+    plan = plan_stages(AdcSpec(resolution_bits=13), PipelineCandidate((4, 3, 2), 13, 7))
+    return plan.mdacs[2]
+
+
+def _sizings(count, seed=3):
+    mdac = _mdac()
+    space = two_stage_space(mdac, CMOS025)
+    rng = np.random.default_rng(seed)
+    return mdac, space, [space.decode(rng.random(space.dimension)) for _ in range(count)]
+
+
+def _assert_results_equal(a, b):
+    for field in (
+        "power",
+        "dc_gain",
+        "loop_unity_hz",
+        "phase_margin",
+        "saturation_margin",
+        "settling_error",
+        "dc_ok",
+    ):
+        assert getattr(a, field) == getattr(b, field), field
+    assert a.violations == b.violations
+    assert a.cost() == b.cost()
+
+
+class TestCornerFusedBitIdentity:
+    def test_needs_at_least_one_corner(self):
+        with pytest.raises(SynthesisError):
+            CornerSetEvaluator(_mdac(), [])
+
+    def test_fused_matches_standalone_per_corner_batches(self):
+        mdac, _, sizings = _sizings(8)
+        fused = CornerSetEvaluator(mdac, CORNERS)
+        per_corner = fused.evaluate_batch(sizings)
+        assert len(per_corner) == len(CORNERS)
+        for tech, fused_results in zip(CORNERS, per_corner):
+            solo = HybridEvaluator(mdac, tech, kernel="compiled")
+            for a, b in zip(solo.evaluate_batch(sizings), fused_results):
+                _assert_results_equal(a, b)
+
+    def test_fused_matches_serial_legacy_walk(self):
+        mdac, _, sizings = _sizings(5, seed=11)
+        fused = CornerSetEvaluator(mdac, CORNERS)
+        per_corner = fused.evaluate_batch(sizings)
+        for tech, fused_results in zip(CORNERS, per_corner):
+            legacy = HybridEvaluator(mdac, tech, kernel="legacy")
+            for sizing, b in zip(sizings, fused_results):
+                _assert_results_equal(legacy.evaluate(sizing), b)
+
+    def test_equation_evals_sum_matches_solo_runs(self):
+        mdac, _, sizings = _sizings(6)
+        fused = CornerSetEvaluator(mdac, CORNERS)
+        fused.evaluate_batch(sizings)
+        total = 0
+        for tech in CORNERS:
+            solo = HybridEvaluator(mdac, tech, kernel="compiled")
+            solo.evaluate_batch(sizings)
+            total += solo.equation_evals
+        assert fused.equation_evals == total
+
+    def test_repeated_batches_keep_warm_chains_per_corner(self):
+        # Two consecutive batches must equal one solo evaluator seeing the
+        # concatenated candidate stream: the fused path may never leak one
+        # corner's DC warm start into another corner's chain.
+        mdac, _, sizings = _sizings(6, seed=7)
+        fused = CornerSetEvaluator(mdac, CORNERS)
+        first = fused.evaluate_batch(sizings[:3])
+        second = fused.evaluate_batch(sizings[3:])
+        for tech, head, tail in zip(
+            CORNERS,
+            first,
+            second,
+        ):
+            solo = HybridEvaluator(mdac, tech, kernel="compiled")
+            reference = solo.evaluate_batch(sizings)
+            for a, b in zip(reference, list(head) + list(tail)):
+                _assert_results_equal(a, b)
+
+    def test_legacy_kernel_falls_back_per_corner(self):
+        mdac, _, sizings = _sizings(3, seed=5)
+        fused = CornerSetEvaluator(mdac, CORNERS, kernel="legacy")
+        per_corner = fused.evaluate_batch(sizings)
+        for tech, results in zip(CORNERS, per_corner):
+            reference = HybridEvaluator(mdac, tech, kernel="legacy")
+            for sizing, b in zip(sizings, results):
+                _assert_results_equal(reference.evaluate(sizing), b)
+
+    def test_single_corner_set_degenerates_to_plain_batch(self):
+        mdac, _, sizings = _sizings(4, seed=2)
+        fused = CornerSetEvaluator(mdac, [CMOS025])
+        solo = HybridEvaluator(mdac, CMOS025, kernel="compiled")
+        for a, b in zip(solo.evaluate_batch(sizings), fused.evaluate_batch(sizings)[0]):
+            _assert_results_equal(a, b)
+
+
+class TestCornerBatchCostFunction:
+    def test_worst_corner_cost(self):
+        mdac, space, _ = _sizings(0)
+        rng = np.random.default_rng(1)
+        proposals = [rng.random(space.dimension) for _ in range(5)]
+        cost_fn = CornerBatchCostFunction(
+            CornerSetEvaluator(mdac, CORNERS), space
+        )
+        scores = cost_fn.score_population(proposals)
+        assert len(scores) == len(proposals)
+        # Reference: standalone per-corner evaluators, worst corner wins.
+        sizings = [space.decode(u) for u in proposals]
+        reference = []
+        corner_results = [
+            HybridEvaluator(mdac, tech, kernel="compiled").evaluate_batch(sizings)
+            for tech in CORNERS
+        ]
+        for i in range(len(sizings)):
+            reference.append(max(col[i].cost(1e-3) for col in corner_results))
+        assert scores == reference
+
+    def test_empty_population(self):
+        mdac, space, _ = _sizings(0)
+        cost_fn = CornerBatchCostFunction(CornerSetEvaluator(mdac, CORNERS), space)
+        assert cost_fn.score_population([]) == []
+
+    def test_callable_matches_population_path(self):
+        mdac, space, _ = _sizings(0)
+        u = np.random.default_rng(4).random(space.dimension)
+        single = CornerBatchCostFunction(CornerSetEvaluator(mdac, CORNERS), space)
+        batch = CornerBatchCostFunction(CornerSetEvaluator(mdac, CORNERS), space)
+        assert single(u) == batch.score_population([u])[0]
