@@ -1,4 +1,4 @@
-"""Run the standalone benchmark suite and emit ``BENCH_PR6.json``.
+"""Run the standalone benchmark suite and emit ``BENCH_PR7.json``.
 
 Standalone (no pytest): fixed seeds, deterministic workloads, wall-clock
 measurements of the compiled evaluation kernels against the legacy path,
@@ -16,16 +16,19 @@ The PR 3 stages (``synthesize_mdac`` / ``equation_metric_stage`` /
 ``template_cache`` (compiled stamp programs persisted across workers —
 the warm-rerun compile count must be zero) and ``speculation`` (plain vs
 adaptive-speculative optimizer batching, with the shipped default checked
-against the measurement).
+against the measurement).  PR 7 adds ``behavioral``: the vectorized
+Monte-Carlo pipeline simulation (``repro.behavioral.batch``) against the
+per-draw scalar walk on the same seeded mismatch draws.
 
 ``--check`` is the CI regression guard: it fails the run when the compiled
 kernel is slower than the legacy path on the same workload, when any
 variant's synthesis result diverges (the bit-identity contract), when the
 fused corner tensor misses its speedup floor, when a warm template store
 still compiles, when the shipped speculation default contradicts the
-measurement, or when the service stage breaks its coalescing contract
+measurement, when the service stage breaks its coalescing contract
 (N identical concurrent submissions must perform exactly one cold
-synthesis).
+synthesis), or when the behavioral batch kernel is not bit-identical to
+the scalar walk or misses its 5x floor at 256 draws.
 
 A stage that *raises* is recorded in its JSON slot as ``{"error": ...}``
 and the run exits non-zero after writing the (partial) report — CI fails
@@ -52,10 +55,13 @@ from repro.analysis.template import (
     _TEMPLATE_CACHE,
     reset_template_stats,
 )
+from repro.behavioral.batch import simulate_draws
+from repro.behavioral.signals import full_scale_sine, pick_coherent_cycles
+from repro.behavioral.verify import draw_error_models
 from repro.engine.config import FlowConfig
 from repro.engine.persist import sizing_digest
 from repro.engine.threads import pin_blas_threads
-from repro.enumeration.candidates import PipelineCandidate
+from repro.enumeration.candidates import PipelineCandidate, enumerate_candidates
 from repro.specs import AdcSpec, plan_stages
 from repro.synth import HybridEvaluator, synthesize_mdac, two_stage_space
 from repro.synth.evaluator import _AC_FREQS, CornerSetEvaluator
@@ -308,6 +314,54 @@ def stage_template_cache() -> dict:
     }
 
 
+def stage_behavioral(draws: int, samples: int) -> dict:
+    """Vectorized Monte-Carlo pipeline simulation vs the scalar walk.
+
+    Same seeded mismatch draws and the same coherent stimulus through both
+    behavioral kernels.  ``draw_error_models`` is called once per kernel so
+    each gets identically-seeded fresh generators — the thermal-noise
+    streams, not just the static mismatches, must replay bit-for-bit.
+    The 256-draw speedup floor in ``--check`` is the PR 7 acceptance bar.
+    """
+    spec = AdcSpec(resolution_bits=10)
+    candidate = next(c for c in enumerate_candidates(10) if c.label == "3-2")
+    plan = plan_stages(spec, candidate)
+    cycles = pick_coherent_cycles(samples)
+    stimulus = full_scale_sine(samples, cycles, spec.full_scale)
+
+    def run(kernel):
+        models, rngs = draw_error_models(plan, draws, 101)
+        simulate_draws(  # warm numpy/module caches
+            candidate, spec.full_scale, models[:1], stimulus, rngs=rngs[:1],
+            kernel=kernel,
+        )
+        models, rngs = draw_error_models(plan, draws, 101)
+        start = time.perf_counter()
+        result = simulate_draws(
+            candidate, spec.full_scale, models, stimulus, rngs=rngs,
+            kernel=kernel,
+        )
+        return result, time.perf_counter() - start
+
+    legacy, legacy_wall = run("legacy")
+    batch, batch_wall = run("batch")
+    identical = all(
+        np.array_equal(getattr(legacy, field), getattr(batch, field))
+        for field in ("stage_codes", "residues", "backend_codes", "codes")
+    )
+    conversions = draws * samples
+    return {
+        "workload": f"{draws} mismatch draws x {samples}-sample coherent "
+                    f"capture, 10-bit '3-2' pipeline",
+        "legacy_conversions_per_s": round(conversions / legacy_wall, 1),
+        "batch_conversions_per_s": round(conversions / batch_wall, 1),
+        "wall_legacy_s": round(legacy_wall, 3),
+        "wall_batch_s": round(batch_wall, 3),
+        "speedup": round(legacy_wall / batch_wall, 2),
+        "identical_results": identical,
+    }
+
+
 def stage_speculation(synth: dict) -> dict:
     """Does speculation earn a default?  Receipts for the shipped value.
 
@@ -342,8 +396,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="tiny budgets for CI (seconds, not minutes)")
-    parser.add_argument("--out", default="BENCH_PR6.json",
-                        help="output JSON path (default: BENCH_PR6.json)")
+    parser.add_argument("--out", default="BENCH_PR7.json",
+                        help="output JSON path (default: BENCH_PR7.json)")
     parser.add_argument("--check", action="store_true",
                         help="exit nonzero if compiled is slower than legacy "
                              "or any result diverges")
@@ -359,6 +413,10 @@ def main(argv=None) -> int:
     population = 16 if args.smoke else 48
     identical = 6 if args.smoke else 8
     distinct = 8 if args.smoke else 16
+    # The 256-draw point is the acceptance workload — smoke only trims the
+    # capture length, never the draw count the 5x floor is defined at.
+    behavioral_draws = 256
+    behavioral_samples = 512 if args.smoke else 2048
 
     # Each stage runs in its own guard: a raising benchmark must not
     # silently truncate the JSON.  The error is recorded in the stage's
@@ -373,6 +431,9 @@ def main(argv=None) -> int:
         "evaluate_batch": lambda: stage_batch_api(population),
         "corner_tensor": lambda: stage_corner_tensor(population),
         "template_cache": stage_template_cache,
+        "behavioral": lambda: stage_behavioral(
+            behavioral_draws, behavioral_samples
+        ),
         # Runs after synthesize_mdac (dict order) and reuses its walls.
         "speculation": lambda: stage_speculation(stages["synthesize_mdac"]),
         "service": lambda: run_service_benchmark(identical, distinct),
@@ -387,7 +448,7 @@ def main(argv=None) -> int:
             stage_errors.append(name)
 
     report = {
-        "bench": "PR6 corner-batched evaluation kernels",
+        "bench": "PR7 behavioral Monte-Carlo verification tier",
         "config": {
             "smoke": args.smoke,
             "budget": budget,
@@ -413,6 +474,7 @@ def main(argv=None) -> int:
     eqn = report["stages"]["equation_metric_stage"]
     corner = report["stages"]["corner_tensor"]
     template = report["stages"]["template_cache"]
+    behavioral = report["stages"]["behavioral"]
     speculation = report["stages"]["speculation"]
     service = report["stages"]["service"]
     print(
@@ -420,6 +482,7 @@ def main(argv=None) -> int:
         f"equation-metric stage: {eqn['speedup']}x, "
         f"corner tensor: {corner['speedup_fused_vs_percorner_legacy']}x, "
         f"warm template compiles: {template['warm_compiled']}, "
+        f"behavioral batch: {behavioral['speedup']}x, "
         f"speculation: {speculation['speedup_speculative']}x "
         f"(default={speculation['default_eval_speculation']}), "
         f"service: {service['coalescing']['submissions']} identical submissions "
@@ -455,6 +518,15 @@ def main(argv=None) -> int:
             )
         if not template["identical_results"]:
             failures.append("store-loaded templates diverged from compiled ones")
+        if not behavioral["identical_results"]:
+            failures.append(
+                "behavioral batch kernel diverged from the scalar walk"
+            )
+        if behavioral["speedup"] < 5.0:
+            failures.append(
+                "regression: behavioral batch kernel under its 5x floor "
+                f"at 256 draws ({behavioral['speedup']}x)"
+            )
         if not speculation["default_matches_measurement"]:
             failures.append(
                 "shipped FlowConfig.eval_speculation="

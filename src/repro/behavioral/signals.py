@@ -37,3 +37,30 @@ def full_scale_sine(n_samples: int, cycles: int, full_scale: float, backoff_db: 
     """A near-full-scale coherent sine (backed off to avoid clipping)."""
     amplitude = (full_scale / 2.0) * 10 ** (-backoff_db / 20.0)
     return coherent_sine(n_samples, cycles, amplitude)
+
+
+def pick_coherent_cycles(n_samples: int, fraction: float = 0.234) -> int:
+    """Bin-locked cycle count nearest ``fraction * n_samples``.
+
+    Returns the odd cycle count coprime with ``n_samples`` closest to the
+    requested frequency fraction — the selection rule that keeps every
+    SNDR capture leakage-free (all carrier energy in one FFT bin) while
+    exercising every code (coprimality walks the full phase lattice).
+    Ties prefer the lower frequency.
+    """
+    if n_samples < 8:
+        raise SpecificationError("n_samples too small")
+    if not 0.0 < fraction < 0.5:
+        raise SpecificationError("fraction must be in (0, 0.5)")
+    target = max(1, round(fraction * n_samples))
+    for delta in range(n_samples):
+        for candidate in (target - delta, target + delta):
+            if (
+                0 < candidate < n_samples / 2
+                and candidate % 2 == 1
+                and math.gcd(candidate, n_samples) == 1
+            ):
+                return candidate
+    raise SpecificationError(
+        f"no coherent cycle count exists for n_samples={n_samples}"
+    )

@@ -22,8 +22,11 @@ from repro.errors import SpecificationError
 from repro.specs.adc import AdcSpec
 from repro.tech.process import CMOS025, Technology, resolve_corner
 
-#: Flow modes a scenario may request (see ``optimize_topology``).
-VALID_MODES = ("analytic", "synthesis")
+#: Flow modes a scenario may request: the two ``optimize_topology``
+#: evaluation paths plus 'behavioral' — time-domain Monte-Carlo
+#: verification of the optimized topology (see
+#: :mod:`repro.behavioral.verify`).
+VALID_MODES = ("analytic", "synthesis", "behavioral")
 
 
 def _rate_token(rate_hz: float) -> str:
@@ -42,7 +45,7 @@ class Scenario:
     index: int
     #: The system spec the flow optimizes.
     spec: AdcSpec
-    #: Evaluation path: 'analytic' or 'synthesis'.
+    #: Evaluation path: 'analytic', 'synthesis' or 'behavioral'.
     mode: str
     #: Technology-corner tag ('nom' unless the grid sweeps corners).
     corner: str
@@ -178,7 +181,12 @@ def shard_scenarios(
     exact-hit layers digest the technology into their keys: nothing a
     slow-corner scenario records can influence a nominal-corner scenario.
     A corner sweep therefore splits cleanly across shards — one corner's
-    synthesis chain per unit.  Units are assigned round-robin in
+    synthesis chain per unit.  Behavioral scenarios verify the topology a
+    synthesis scenario of the same corner selected (the runner's winner
+    map), so they ride in that corner's synthesis unit whenever the grid
+    has one; in a grid without synthesis for their corner they fall back
+    to an analytic screen and are as independent as analytic scenarios.
+    Units are assigned round-robin in
     expansion order, so the partition is a pure function of (grid, count):
     every shard of every run agrees on it without coordination.
     """
@@ -188,15 +196,21 @@ def shard_scenarios(
         )
     if count == 1:
         return tuple(scenarios)
+    synthesis_techs = {
+        s.spec.tech.name for s in scenarios if s.mode == "synthesis"
+    }
     units: list[list[Scenario]] = []
     #: One synthesis unit per technology scope, keyed like the ledger's
     #: donor pool; created at first encounter to preserve round-robin order.
     synthesis_units: dict[str, list[Scenario]] = {}
     for scenario in scenarios:
-        if scenario.mode == "synthesis":
-            unit = synthesis_units.get(scenario.spec.tech.name)
+        tech = scenario.spec.tech.name
+        if scenario.mode == "synthesis" or (
+            scenario.mode == "behavioral" and tech in synthesis_techs
+        ):
+            unit = synthesis_units.get(tech)
             if unit is None:
-                unit = synthesis_units[scenario.spec.tech.name] = []
+                unit = synthesis_units[tech] = []
                 units.append(unit)
             unit.append(scenario)
         else:
@@ -215,16 +229,24 @@ def count_shard_units(scenarios: tuple[Scenario, ...]) -> int:
     """Number of ledger-independent units sharding can distribute.
 
     Mirrors the grouping in :func:`shard_scenarios`: one unit per analytic
-    scenario plus one per technology corner that has synthesis scenarios.
-    A shard count above this leaves shards with no work — the CLI refuses
-    such shard specs up front instead of silently running empty shards.
+    scenario plus one per technology corner that has synthesis scenarios
+    (behavioral scenarios join their corner's synthesis unit when one
+    exists, otherwise each is its own unit).  A shard count above this
+    leaves shards with no work — the CLI refuses such shard specs up
+    front instead of silently running empty shards.
     """
+    synthesis_techs = {
+        s.spec.tech.name for s in scenarios if s.mode == "synthesis"
+    }
     units = 0
     synthesis_scopes: set[str] = set()
     for scenario in scenarios:
-        if scenario.mode == "synthesis":
-            if scenario.spec.tech.name not in synthesis_scopes:
-                synthesis_scopes.add(scenario.spec.tech.name)
+        tech = scenario.spec.tech.name
+        if scenario.mode == "synthesis" or (
+            scenario.mode == "behavioral" and tech in synthesis_techs
+        ):
+            if tech not in synthesis_scopes:
+                synthesis_scopes.add(tech)
                 units += 1
         else:
             units += 1

@@ -15,8 +15,10 @@ that sequence this store covers.  Two operations consume it:
   once.
 
 Only *result-relevant* configuration enters the config digest: budgets,
-seeds and the verification flag.  Execution knobs (backend, workers, eval
-kernel, speculation) are excluded for the same reason they are excluded
+seeds (the synthesis seeds *and* the behavioral Monte-Carlo seed/draw
+count — behavioral records are a function of both) and the verification
+flag.  Execution knobs (backend, workers, eval
+kernel, behavioral kernel, speculation) are excluded for the same reason they are excluded
 from block fingerprints — records are byte-identical across them — so a
 campaign may be interrupted under one backend and resumed under another.
 ``cache_dir`` is also excluded, but for a different reason: it is a host
@@ -45,7 +47,7 @@ from repro.errors import SpecificationError
 MANIFEST_FILENAME = "manifest.json"
 
 #: Bump when the manifest schema or digest payloads change shape.
-MANIFEST_VERSION = 1
+MANIFEST_VERSION = 2
 
 
 def grid_digest(grid: CampaignGrid) -> str:
@@ -63,6 +65,8 @@ def config_digest(config: FlowConfig) -> str:
             "seed": config.seed,
             "retarget_seed": config.retarget_seed,
             "verify_transient": bool(config.verify_transient),
+            "behavioral_draws": config.behavioral_draws,
+            "behavioral_seed": config.behavioral_seed,
         }
     )
 
@@ -208,8 +212,8 @@ def require_matching_manifest(
         mismatches.append(
             "config digest "
             f"(store {existing.config_digest[:12]}…, requested "
-            f"{expected.config_digest[:12]}… — different budgets, seeds or "
-            "verification flag)"
+            f"{expected.config_digest[:12]}… — different budgets, seeds, "
+            "behavioral draws or verification flag)"
         )
     if (existing.shard_index, existing.shard_count) != (
         expected.shard_index,

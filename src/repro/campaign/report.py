@@ -73,6 +73,33 @@ def synthesis_summary(records: Iterable[CampaignRecord]) -> str:
     return "\n".join(lines)
 
 
+def behavioral_summary(records: Iterable[CampaignRecord]) -> str:
+    """Simulated-performance table for the behavioral scenarios, if any.
+
+    Empty string when the campaign ran no behavioral scenarios, so purely
+    analytic/synthesis reports keep their exact historical shape.
+    """
+    rows = [r for r in records if r.behavioral is not None]
+    if not rows:
+        return ""
+    lines = [
+        "Behavioral verification — simulated Monte-Carlo performance",
+        f"  {'scenario':<26} {'topology':>10} {'from':>9} {'draws':>5} "
+        f"{'SNDR mean/min [dB]':>18} {'ENOB mean/min':>14} "
+        f"{'FoM_sim [fJ/step]':>17}",
+    ]
+    for record in sorted(rows, key=lambda r: r.index):
+        b = record.behavioral
+        lines.append(
+            f"  {record.label:<26} {record.winner:>10} "
+            f"{b['winner_source']:>9} {b['draws']:>5} "
+            f"{b['sndr_db_mean']:>9.2f}/{b['sndr_db_min']:<8.2f} "
+            f"{b['enob_mean']:>7.2f}/{b['enob_min']:<6.2f} "
+            f"{b['fom_sim_j_per_step'] * _FJ:>17.1f}"
+        )
+    return "\n".join(lines)
+
+
 def grid_header(
     scenario_count: int,
     resolutions: Iterable[int],
@@ -101,11 +128,18 @@ def grid_header(
 
 
 def compose_report(header: str, records: Iterable[CampaignRecord]) -> str:
-    """Assemble the full report text from a header and records."""
+    """Assemble the full report text from a header and records.
+
+    Both the live campaign path and the shard ``merge`` path funnel
+    through this function, which is what keeps merged and single-run
+    reports byte-identical — behavioral sections included.
+    """
     records = list(records)
-    return "\n".join(
-        [header, "", format_records(records), "", synthesis_summary(records)]
-    )
+    parts = [header, "", format_records(records), "", synthesis_summary(records)]
+    behavioral = behavioral_summary(records)
+    if behavioral:
+        parts += ["", behavioral]
+    return "\n".join(parts)
 
 
 def comparison_report(campaign: "CampaignResult") -> str:

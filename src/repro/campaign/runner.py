@@ -21,6 +21,15 @@ Scenarios execute strictly in expansion order (only the work *inside* a
 scenario fans out over the backend), and every scenario's synthesis plan is
 fixed before dispatch, so campaign records and reports are byte-identical
 across backends — the PR 1 determinism guarantee lifted to batches.
+
+Behavioral scenarios (``mode='behavioral'``) close the verification loop:
+they look up the topology the same grid point's *synthesis* scenario
+selected (or run an analytic screen when the grid has none), simulate it
+under seeded Monte-Carlo mismatch (:mod:`repro.behavioral.verify`), and
+record the simulated SNDR/ENOB/FoM next to the analytic numbers.  Their
+draws derive entirely from ``FlowConfig.behavioral_seed``, which sits in
+the manifest's config digest — so behavioral records obey the same
+resume/shard/merge byte-identity contract as every other record.
 """
 
 from __future__ import annotations
@@ -50,7 +59,10 @@ from repro.campaign.store import (
     walden_fom,
     write_records,
 )
+from repro.behavioral.verify import verify_candidate
+from repro.enumeration.candidates import enumerate_candidates
 from repro.errors import CampaignInterrupted, SpecificationError
+from repro.engine.backend import ExecutionBackend
 from repro.engine.cancel import CancelToken
 from repro.engine.config import FlowConfig
 from repro.engine.persist import digest as persist_digest, sizing_digest
@@ -240,7 +252,9 @@ class ScenarioResult:
     scenario: Scenario
     #: The ranked optimization outcome (in memory; not serialized).  ``None``
     #: when the scenario was replayed from a checkpoint on resume — the
-    #: record survives an interruption, the in-memory object does not.
+    #: record survives an interruption, the in-memory object does not —
+    #: and for behavioral scenarios, which verify a topology rather than
+    #: rank one.
     topology: TopologyResult | None
     #: The deterministic JSONL record.
     record: CampaignRecord
@@ -372,6 +386,108 @@ def _make_record(
     )
 
 
+def _winner_key(record_or_scenario: Any) -> tuple[int, float, str]:
+    """Winner-map key: the (K, rate, corner) point a topology was picked for."""
+    if isinstance(record_or_scenario, CampaignRecord):
+        return (
+            record_or_scenario.resolution_bits,
+            record_or_scenario.sample_rate_hz,
+            record_or_scenario.corner,
+        )
+    scenario = record_or_scenario
+    return (
+        scenario.spec.resolution_bits,
+        scenario.spec.sample_rate_hz,
+        scenario.corner,
+    )
+
+
+def _behavioral_record(
+    scenario: Scenario,
+    config: FlowConfig,
+    backend: ExecutionBackend | None,
+    synthesis_winners: dict[tuple[int, float, str], tuple[str, float]],
+) -> CampaignRecord:
+    """Verify one grid point's chosen topology in the time domain.
+
+    The topology under test comes from the campaign's own synthesis
+    scenario for the same (K, rate, corner) point when the grid has one
+    (``winner_source='synthesis'`` — the verification the paper's flow
+    leaves open).  Standalone behavioral scenarios fall back to an
+    analytic screen of the candidate space (``winner_source='analytic'``).
+    Only *synthesis* winners populate the map — analytic screens re-run
+    identically anywhere, so the fallback cannot diverge between sharded
+    and unsharded executions of the same grid.
+    """
+    hit = synthesis_winners.get(_winner_key(scenario))
+    if hit is not None:
+        winner_label, winner_power = hit
+        winner_source = "synthesis"
+    else:
+        screen = optimize_topology(
+            scenario.spec, mode="analytic", config=config, backend=backend
+        )
+        winner_label = screen.best.label
+        winner_power = screen.best.total_power
+        winner_source = "analytic"
+    candidate = next(
+        c
+        for c in enumerate_candidates(scenario.spec.resolution_bits)
+        if c.label == winner_label
+    )
+    verdict = verify_candidate(
+        scenario.spec,
+        candidate,
+        draws=config.behavioral_draws,
+        seed=config.behavioral_seed,
+        kernel=config.behavioral_kernel,
+    )
+    # Walden FoM at the *simulated* effective resolution: same power and
+    # rate as the analytic FoM, but 2^ENOB instead of 2^K — the honest
+    # energy-per-step the behavioral tier exists to report.
+    fom_sim = winner_power / (
+        2.0**verdict.enob_mean * scenario.spec.sample_rate_hz
+    )
+    behavioral = {
+        "draws": verdict.draws,
+        "seed": verdict.seed,
+        "winner_source": winner_source,
+        "samples": verdict.samples,
+        "cycles": verdict.cycles,
+        "sndr_db_mean": float(verdict.sndr_db_mean),
+        "sndr_db_min": float(verdict.sndr_db_min),
+        "enob_mean": float(verdict.enob_mean),
+        "enob_min": float(verdict.enob_min),
+        "fom_sim_j_per_step": float(fom_sim),
+    }
+    return CampaignRecord(
+        label=scenario.label,
+        index=scenario.index,
+        resolution_bits=scenario.spec.resolution_bits,
+        sample_rate_hz=scenario.spec.sample_rate_hz,
+        full_scale=scenario.spec.full_scale,
+        tech=scenario.spec.tech.name,
+        corner=scenario.corner,
+        mode=scenario.mode,
+        winner=winner_label,
+        rankings=((winner_label, winner_power),),
+        fom_j_per_step=walden_fom(
+            winner_power,
+            scenario.spec.resolution_bits,
+            scenario.spec.sample_rate_hz,
+        ),
+        all_feasible=True,
+        unique_blocks=0,
+        cold_runs=0,
+        retargeted_runs=0,
+        shared_hits=0,
+        persistent_hits=0,
+        pool_warm_starts=0,
+        pool_escalations=0,
+        behavioral=behavioral,
+    )
+
+
 def run_campaign(
     grid: CampaignGrid,
     config: FlowConfig | None = None,
@@ -455,9 +571,18 @@ def run_campaign(
             completed = checkpoints.completed_prefix(scenarios)
 
     results: list[ScenarioResult] = []
+    #: (K, rate, corner) -> (winner label, winner power) from this run's
+    #: synthesis scenarios — live or replayed — feeding the behavioral
+    #: tier the topology each synthesis point actually selected.
+    synthesis_winners: dict[tuple[int, float, str], tuple[str, float]] = {}
     campaign_start = time.perf_counter()
     for scenario, record, journal in completed:
         ledger.replay(journal)
+        if record.mode == "synthesis":
+            synthesis_winners[_winner_key(record)] = (
+                record.winner,
+                record.winner_power_w,
+            )
         scenario_result = ScenarioResult(
             scenario=scenario,
             topology=None,
@@ -478,30 +603,41 @@ def run_campaign(
                 ledger.journal = []
             try:
                 cache: LedgerBackedCache | None = None
-                if scenario.mode == "synthesis":
-                    cache = LedgerBackedCache(
-                        tech=scenario.spec.tech,
-                        budget=config.budget,
-                        retarget_budget=config.retarget_budget,
-                        seed=config.seed,
-                        retarget_seed=config.retarget_seed,
-                        verify_transient=config.verify_transient,
-                        eval_kernel=config.eval_kernel,
-                        eval_speculation=config.eval_speculation,
-                        donor_pool=ledger.donors_for(scenario.spec.tech.name),
-                        ledger=ledger,
-                        cache_dir=config.cache_dir,
-                    )
+                topology: TopologyResult | None = None
                 start = time.perf_counter()
-                topology = optimize_topology(
-                    scenario.spec,
-                    mode=scenario.mode,
-                    cache=cache,
-                    config=config,
-                    backend=backend,
-                )
+                if scenario.mode == "behavioral":
+                    record = _behavioral_record(
+                        scenario, config, backend, synthesis_winners
+                    )
+                else:
+                    if scenario.mode == "synthesis":
+                        cache = LedgerBackedCache(
+                            tech=scenario.spec.tech,
+                            budget=config.budget,
+                            retarget_budget=config.retarget_budget,
+                            seed=config.seed,
+                            retarget_seed=config.retarget_seed,
+                            verify_transient=config.verify_transient,
+                            eval_kernel=config.eval_kernel,
+                            eval_speculation=config.eval_speculation,
+                            donor_pool=ledger.donors_for(scenario.spec.tech.name),
+                            ledger=ledger,
+                            cache_dir=config.cache_dir,
+                        )
+                    topology = optimize_topology(
+                        scenario.spec,
+                        mode=scenario.mode,
+                        cache=cache,
+                        config=config,
+                        backend=backend,
+                    )
+                    record = _make_record(scenario, topology, cache)
+                    if scenario.mode == "synthesis":
+                        synthesis_winners[_winner_key(scenario)] = (
+                            record.winner,
+                            record.winner_power_w,
+                        )
                 wall = time.perf_counter() - start
-                record = _make_record(scenario, topology, cache)
                 if checkpoints is not None:
                     checkpoints.write(scenario, record, ledger.journal or [])
             finally:

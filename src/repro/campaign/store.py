@@ -55,7 +55,7 @@ class CampaignRecord:
     #: Technology name and corner tag.
     tech: str
     corner: str
-    #: Evaluation path used: 'analytic' or 'synthesis'.
+    #: Evaluation path used: 'analytic', 'synthesis' or 'behavioral'.
     mode: str
     #: Winning candidate label, e.g. '4-3-2'.
     winner: str
@@ -78,6 +78,11 @@ class CampaignRecord:
     pool_warm_starts: int
     #: Pool warm starts that missed feasibility and re-synthesized cold.
     pool_escalations: int
+    #: Behavioral-verification outcome (``None`` for analytic/synthesis
+    #: records): a flat dict of plain scalars — draws, seed, winner_source,
+    #: samples, cycles, simulated SNDR/ENOB aggregates and the simulated
+    #: Walden FoM — deterministic like every other field.
+    behavioral: dict | None = None
 
     @property
     def winner_power_w(self) -> float:

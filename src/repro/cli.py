@@ -12,6 +12,8 @@ Examples::
     repro-adc explore --bits 12
     repro-adc campaign --bits 10-13 --rates 20,40,60 --out campaign-out
     repro-adc campaign --bits 10-13 --corners nom,slow --out corner-out
+    repro-adc campaign --bits 10-12 --modes analytic,behavioral \
+        --behavioral-draws 1000 --out verified-out
     repro-adc campaign --bits 10-13 --out campaign-out --resume
     repro-adc campaign --bits 10-13 --shard 1/2 --out shard1
     repro-adc merge shard1 shard2 --out merged
@@ -99,7 +101,14 @@ campaigns:
   refused up front.  --backend queue executes through a crash-tolerant
   file-backed work queue (leases/acks under the store, --queue-dir to
   relocate), so interrupted scenarios also resume at task granularity.
-  --corners sweeps registered technology corners (nom, slow).
+  --corners sweeps registered technology corners (nom, slow).  A
+  'behavioral' entry in --modes verifies each grid point's winning
+  topology in the time domain: --behavioral-draws Monte-Carlo mismatch
+  realizations (seeded by --seed, part of the store's identity) are
+  simulated by the vectorized batch kernel (--behavioral-kernel legacy
+  keeps the scalar reference walk; results are bit-identical) and the
+  simulated SNDR/ENOB/FoM land in the same store and report as the
+  analytic numbers.  See docs/behavioral.md.
 
 service:
   repro-adc serve runs the long-lived optimization service: campaign and
@@ -241,6 +250,15 @@ def _flow_config(args: argparse.Namespace) -> FlowConfig:
         verify_transient=not args.no_verify,
         eval_kernel=args.eval_kernel,
         eval_speculation=_resolve_speculation(args),
+        # Behavioral flags only exist on the campaign/submit parsers; the
+        # figure commands fall back to the library defaults.
+        behavioral_draws=getattr(
+            args, "behavioral_draws", FlowConfig.behavioral_draws
+        ),
+        behavioral_seed=getattr(args, "seed", FlowConfig.behavioral_seed),
+        behavioral_kernel=getattr(
+            args, "behavioral_kernel", FlowConfig.behavioral_kernel
+        ),
     )
 
 
@@ -299,7 +317,32 @@ def main(argv: list[str] | None = None) -> int:
     p_camp.add_argument(
         "--modes",
         default="analytic",
-        help="flow-mode axis: comma list of analytic/synthesis (default analytic)",
+        help="flow-mode axis: comma list of analytic/synthesis/behavioral "
+        "(default analytic)",
+    )
+    p_camp.add_argument(
+        "--behavioral-draws",
+        type=int,
+        default=FlowConfig.behavioral_draws,
+        metavar="N",
+        help="Monte-Carlo mismatch draws per behavioral scenario "
+        f"(default {FlowConfig.behavioral_draws})",
+    )
+    p_camp.add_argument(
+        "--seed",
+        type=int,
+        default=FlowConfig.behavioral_seed,
+        help="behavioral Monte-Carlo seed: every mismatch draw and noise "
+        "stream derives from it, and it is part of the store's identity "
+        f"(default {FlowConfig.behavioral_seed})",
+    )
+    p_camp.add_argument(
+        "--behavioral-kernel",
+        choices=("batch", "legacy"),
+        default=FlowConfig.behavioral_kernel,
+        help="behavioral simulation kernel (default: the vectorized "
+        "draws x samples batch program; 'legacy' keeps the scalar "
+        "per-sample walk for A/B timing — results are bit-identical)",
     )
     p_camp.add_argument(
         "--corners",
@@ -406,7 +449,26 @@ def main(argv: list[str] | None = None) -> int:
         "--rates", default="40", help="sample-rate axis in MSPS (campaign)"
     )
     p_submit.add_argument(
-        "--modes", default="analytic", help="flow-mode axis (campaign)"
+        "--modes",
+        default="analytic",
+        help="flow-mode axis, incl. behavioral (campaign)",
+    )
+    p_submit.add_argument(
+        "--behavioral-draws",
+        type=int,
+        default=FlowConfig.behavioral_draws,
+        metavar="N",
+        help="Monte-Carlo draws per behavioral scenario (campaign)",
+    )
+    p_submit.add_argument(
+        "--seed",
+        type=int,
+        default=FlowConfig.behavioral_seed,
+        help="behavioral Monte-Carlo seed (campaign; part of the job's "
+        "coalescing digest)",
+    )
+    p_submit.add_argument(
+        "--behavioral-kernel", choices=("batch", "legacy"), default="batch"
     )
     p_submit.add_argument(
         "--corners", default="nom", help="technology-corner axis (campaign)"
@@ -596,6 +658,9 @@ def _submit_request(args: argparse.Namespace) -> dict:
         "verify_transient": not args.no_verify,
         "eval_kernel": args.eval_kernel,
         "eval_speculation": _resolve_speculation(args),
+        "behavioral_draws": args.behavioral_draws,
+        "behavioral_seed": args.seed,
+        "behavioral_kernel": args.behavioral_kernel,
     }
     if args.kind == "campaign":
         grid = _grid_from_args(args)

@@ -58,6 +58,15 @@ class FlowConfig:
     #: Speculative proposal-batch depth for the optimizers (0 = off).
     #: Bit-identical results at any depth.
     eval_speculation: int = 0
+    #: Monte-Carlo mismatch draws per behavioral scenario.
+    behavioral_draws: int = 32
+    #: Seed for the behavioral draw tree (parameter + noise streams).
+    behavioral_seed: int = 101
+    #: Behavioral simulation kernel: 'batch' (the vectorized draws x
+    #: samples program, the default) or 'legacy' (the reference scalar
+    #: per-sample walk).  Bit-identical results either way — a pure
+    #: speed knob like ``eval_kernel``.
+    behavioral_kernel: str = "batch"
 
     def make_backend(self) -> ExecutionBackend:
         """Instantiate this configuration's execution backend."""

@@ -11,9 +11,10 @@ The key deliberately reuses the PR 4 manifest machinery: a campaign job's
 key hashes :func:`~repro.campaign.manifest.grid_digest` and
 :func:`~repro.campaign.manifest.config_digest`, an optimize job's key
 hashes the spec, the mode and the same config digest.  Because the config
-digest covers only *result-relevant* fields (budgets, seeds, verification),
+digest covers only *result-relevant* fields (budgets, seeds — the
+behavioral Monte-Carlo seed and draw count included — and verification),
 two requests that differ solely in execution knobs — backend, worker
-count, eval kernel — map to the same key and coalesce: the repo-wide
+count, eval kernel, behavioral kernel — map to the same key and coalesce: the repo-wide
 guarantee that results are byte-identical across those knobs is what makes
 that safe.
 
@@ -79,6 +80,9 @@ CONFIG_FIELDS = (
     "verify_transient",
     "eval_kernel",
     "eval_speculation",
+    "behavioral_draws",
+    "behavioral_seed",
+    "behavioral_kernel",
 )
 
 #: Subdirectory names inside the service store root.
@@ -126,6 +130,12 @@ def build_config(
     if kernel not in ("compiled", "legacy"):
         raise SpecificationError(
             f"unknown eval kernel {kernel!r} (valid: compiled, legacy)"
+        )
+    behavioral_kernel = body.get("behavioral_kernel", "batch")
+    if behavioral_kernel not in ("batch", "legacy"):
+        raise SpecificationError(
+            f"unknown behavioral kernel {behavioral_kernel!r} "
+            "(valid: batch, legacy)"
         )
     try:
         return FlowConfig(cache_dir=cache_dir, **body)

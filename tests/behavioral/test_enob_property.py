@@ -1,0 +1,127 @@
+"""ENOB recovery and offset immunity as seeded sweep properties.
+
+Two ground truths the behavioral tier must reproduce before any of its
+Monte-Carlo numbers mean anything:
+
+* an all-ideal pipeline is a pure K-bit quantizer, so a coherent
+  near-full-scale sine must come back at the quantization-limited ENOB of
+  the nominal resolution — across resolutions, stage splits and input
+  frequencies;
+* redundancy + digital correction make the output word *exactly*
+  independent of comparator offsets below the stage's published
+  tolerance (half an MSB of the residue range per side, FS/2^(m+1)).
+"""
+
+import numpy as np
+import pytest
+
+from repro.behavioral.batch import simulate_draws
+from repro.behavioral.metrics import enob
+from repro.behavioral.nonideal import StageErrorModel
+from repro.behavioral.signals import full_scale_sine, pick_coherent_cycles
+from repro.behavioral.verify import MismatchSpec, verify_candidate
+from repro.enumeration.candidates import enumerate_candidates
+from repro.specs.adc import AdcSpec
+
+SAMPLES = 2048
+FULL_SCALE = 2.0
+
+#: The 0.5 dB amplitude backoff costs 0.5/6.02 ~ 0.083 bit; anything past
+#: ~0.35 bit of loss (or ~0.2 bit of gain) is a correction/metric bug.
+ENOB_SLACK_LOW = 0.35
+ENOB_SLACK_HIGH = 0.2
+
+
+def _ideal_models(candidate):
+    return (tuple(StageErrorModel.ideal() for _ in candidate.resolutions),)
+
+
+def _splits(resolution):
+    """First and last enumerated stage splits (coarse-first vs all-2-bit)."""
+    candidates = list(enumerate_candidates(resolution))
+    return candidates if len(candidates) == 1 else [candidates[0], candidates[-1]]
+
+
+class TestIdealEnobRecovery:
+    @pytest.mark.parametrize("resolution", (8, 9, 10, 11, 12))
+    @pytest.mark.parametrize("fraction", (0.11, 0.234, 0.41))
+    def test_all_ideal_pipeline_hits_quantization_bound(
+        self, resolution, fraction
+    ):
+        cycles = pick_coherent_cycles(SAMPLES, fraction)
+        stimulus = full_scale_sine(SAMPLES, cycles, FULL_SCALE)
+        for candidate in _splits(resolution):
+            result = simulate_draws(
+                candidate, FULL_SCALE, _ideal_models(candidate), stimulus
+            )
+            measured = enob(result.codes[0], cycles)
+            assert (
+                resolution - ENOB_SLACK_LOW
+                <= measured
+                <= resolution + ENOB_SLACK_HIGH
+            ), (candidate.label, fraction, measured)
+
+    def test_ideal_mismatch_spec_through_verify_candidate(self):
+        spec = AdcSpec(resolution_bits=10)
+        verdict = verify_candidate(
+            spec,
+            _splits(10)[0],
+            draws=2,
+            seed=3,
+            mismatch=MismatchSpec.ideal(),
+        )
+        for value in verdict.enob:
+            assert 10 - ENOB_SLACK_LOW <= value <= 10 + ENOB_SLACK_HIGH
+        # Ideal draws have no randomness left: every draw is identical.
+        assert len(set(verdict.sndr_db)) == 1
+
+
+class TestOffsetImmunity:
+    @pytest.mark.parametrize("resolution", (10, 11, 12))
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_offsets_below_tolerance_leave_codes_untouched(
+        self, resolution, seed
+    ):
+        cycles = pick_coherent_cycles(SAMPLES)
+        stimulus = full_scale_sine(SAMPLES, cycles, FULL_SCALE)
+        rng = np.random.default_rng(seed)
+        for candidate in _splits(resolution):
+            offset_models = []
+            for m in candidate.resolutions:
+                tolerance = FULL_SCALE / 2 ** (m + 1)
+                offsets = tuple(
+                    float(x)
+                    for x in 0.9 * tolerance * rng.uniform(-1.0, 1.0, 2**m - 2)
+                )
+                offset_models.append(StageErrorModel(comparator_offsets=offsets))
+            reference = simulate_draws(
+                candidate, FULL_SCALE, _ideal_models(candidate), stimulus
+            )
+            perturbed = simulate_draws(
+                candidate, FULL_SCALE, (tuple(offset_models),), stimulus
+            )
+            # Sub-ADC decisions shift, the corrected word must not.
+            assert not np.array_equal(
+                reference.stage_codes, perturbed.stage_codes
+            ), candidate.label
+            assert np.array_equal(reference.codes, perturbed.codes), candidate.label
+
+    def test_offsets_beyond_tolerance_do_corrupt_codes(self):
+        # Control: the invariant above is not vacuous — offsets well past
+        # the redundancy range must change output words.
+        cycles = pick_coherent_cycles(SAMPLES)
+        stimulus = full_scale_sine(SAMPLES, cycles, FULL_SCALE)
+        candidate = _splits(10)[0]
+        models = tuple(
+            StageErrorModel(
+                comparator_offsets=tuple(
+                    3.0 * FULL_SCALE / 2 ** (m + 1) for _ in range(2**m - 2)
+                )
+            )
+            for m in candidate.resolutions
+        )
+        reference = simulate_draws(
+            candidate, FULL_SCALE, _ideal_models(candidate), stimulus
+        )
+        perturbed = simulate_draws(candidate, FULL_SCALE, (models,), stimulus)
+        assert not np.array_equal(reference.codes, perturbed.codes)

@@ -1,0 +1,109 @@
+"""Coherent-sampling audit: cycle selection rules and SNDR ground truth.
+
+The behavioral tier's SNDR numbers are only meaningful if the stimulus is
+truly coherent (all carrier energy in one FFT bin, no window, no leakage)
+and the FFT metric reproduces the textbook quantization-noise result.
+This module pins both: every ``pick_coherent_cycles`` invariant, and the
+SNDR of an ideal B-bit quantizer against the closed-form
+``6.02·B + 1.76 dB``.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.behavioral.metrics import sndr_db
+from repro.behavioral.signals import (
+    coherent_sine,
+    full_scale_sine,
+    pick_coherent_cycles,
+)
+from repro.errors import SpecificationError
+
+FULL_SCALE = 2.0
+
+
+def _quantize(samples, bits, full_scale=FULL_SCALE):
+    """Ideal mid-rise B-bit quantizer over [-FS/2, +FS/2)."""
+    codes = np.floor((samples / full_scale + 0.5) * 2**bits)
+    return np.clip(codes, 0, 2**bits - 1).astype(int)
+
+
+class TestPickCoherentCycles:
+    @pytest.mark.parametrize("n_samples", (8, 64, 500, 1024, 2048, 4096))
+    @pytest.mark.parametrize("fraction", (0.05, 0.11, 0.234, 0.41, 0.49))
+    def test_selection_invariants(self, n_samples, fraction):
+        cycles = pick_coherent_cycles(n_samples, fraction)
+        assert 0 < cycles < n_samples / 2
+        assert cycles % 2 == 1
+        assert math.gcd(cycles, n_samples) == 1
+        # The pick must be accepted by the generator it feeds.
+        coherent_sine(n_samples, cycles, 1.0)
+
+    def test_nearest_valid_count_wins(self):
+        # 0.234 * 2048 = 479.2 -> 479 is already odd and coprime.
+        assert pick_coherent_cycles(2048) == 479
+        # 0.41 * 2048 rounds to 840 (even); 839 is the nearest valid pick.
+        assert pick_coherent_cycles(2048, 0.41) == 839
+
+    def test_ties_prefer_the_lower_frequency(self):
+        # 0.2 * 15 = 3 shares a factor with 15; both neighbours at delta 1
+        # are even, and delta 2 reaches 1 (valid) before 5 (factor of 15).
+        assert pick_coherent_cycles(15, 0.2) == 1
+
+    def test_no_valid_count_below_minimum_record(self):
+        with pytest.raises(SpecificationError, match="too small"):
+            pick_coherent_cycles(4)
+
+    @pytest.mark.parametrize("fraction", (0.0, 0.5, -0.1, 1.0))
+    def test_fraction_bounds(self, fraction):
+        with pytest.raises(SpecificationError, match="fraction"):
+            pick_coherent_cycles(2048, fraction)
+
+
+class TestCoherentSineValidation:
+    def test_non_coprime_cycles_rejected(self):
+        with pytest.raises(SpecificationError, match="coprime"):
+            coherent_sine(2048, 32, 1.0)
+
+    def test_cycles_beyond_nyquist_rejected(self):
+        with pytest.raises(SpecificationError, match="cycles"):
+            coherent_sine(64, 32, 1.0)
+
+    def test_full_scale_sine_backoff(self):
+        signal = full_scale_sine(2048, 479, FULL_SCALE)
+        expected_peak = (FULL_SCALE / 2.0) * 10 ** (-0.5 / 20.0)
+        assert np.max(np.abs(signal)) == pytest.approx(expected_peak, rel=1e-6)
+        assert np.max(np.abs(signal)) < FULL_SCALE / 2.0
+
+
+class TestSndrClosedForm:
+    @pytest.mark.parametrize("bits", (8, 10, 12))
+    @pytest.mark.parametrize("n_samples", (1024, 2048))
+    def test_ideal_quantizer_matches_6p02b_plus_1p76(self, bits, n_samples):
+        cycles = pick_coherent_cycles(n_samples)
+        signal = coherent_sine(n_samples, cycles, FULL_SCALE / 2.0)
+        measured = sndr_db(_quantize(signal, bits), cycles)
+        assert measured == pytest.approx(6.02 * bits + 1.76, abs=0.5)
+
+    @pytest.mark.parametrize("bits", (8, 10, 12))
+    def test_backed_off_stimulus_costs_the_backoff(self, bits):
+        cycles = pick_coherent_cycles(2048)
+        signal = full_scale_sine(2048, cycles, FULL_SCALE)
+        measured = sndr_db(_quantize(signal, bits), cycles)
+        assert measured == pytest.approx(6.02 * bits + 1.76 - 0.5, abs=0.6)
+
+    def test_regression_pin_10_bit_2048_point_capture(self):
+        # Frozen reference: any drift here means the signal chain or the
+        # FFT metric changed, which silently re-baselines every behavioral
+        # SNDR in the store.
+        cycles = pick_coherent_cycles(2048)
+        signal = coherent_sine(2048, cycles, FULL_SCALE / 2.0)
+        measured = sndr_db(_quantize(signal, 10), cycles)
+        assert measured == pytest.approx(61.992895517212034, abs=1e-9)
+
+    def test_pure_sine_without_quantizer_is_noise_free(self):
+        cycles = pick_coherent_cycles(2048)
+        signal = coherent_sine(2048, cycles, 1.0)
+        assert sndr_db(signal, cycles) == float("inf")
