@@ -1,4 +1,4 @@
-"""Run the standalone benchmark suite and emit ``BENCH_PR7.json``.
+"""Run the standalone benchmark suite and emit ``BENCH_PR8.json``.
 
 Standalone (no pytest): fixed seeds, deterministic workloads, wall-clock
 measurements of the compiled evaluation kernels against the legacy path,
@@ -11,24 +11,29 @@ rate, sustained jobs/s — see ``benchmarks/bench_service.py``).
                                                                # regression
 
 The PR 3 stages (``synthesize_mdac`` / ``equation_metric_stage`` /
-``evaluate_batch`` / ``service``) carry forward unchanged; PR 6 adds
-``corner_tensor`` (candidates×corners fused solve vs per-corner loops),
-``template_cache`` (compiled stamp programs persisted across workers —
-the warm-rerun compile count must be zero) and ``speculation`` (plain vs
-adaptive-speculative optimizer batching, with the shipped default checked
-against the measurement).  PR 7 adds ``behavioral``: the vectorized
-Monte-Carlo pipeline simulation (``repro.behavioral.batch``) against the
-per-draw scalar walk on the same seeded mismatch draws.
+``evaluate_batch`` / ``service``) carry forward unchanged, as do PR 6's
+``corner_tensor`` / ``template_cache`` and PR 7's ``behavioral``.  PR 8
+adds ``dc_batch``: the population lockstep DC Newton kernel
+(``repro.analysis.dcbatch``) against the chained warm-start walk on the
+acceptance population, with winner-equivalence (same feasibility set,
+same argmin-cost winner — the kernels are *not* bit-identical, their
+Newton trajectories differ) and the batched pass's convergence telemetry
+embedded.  The ``speculation`` stage now carries the per-kernel receipt
+behind the ``SPECULATION_AUTO`` default: off on the chained kernel where
+speculated proposals cannot batch the DC stage, on under the batched
+kernel where they can.
 
 ``--check`` is the CI regression guard: it fails the run when the compiled
 kernel is slower than the legacy path on the same workload, when any
 variant's synthesis result diverges (the bit-identity contract), when the
 fused corner tensor misses its speedup floor, when a warm template store
-still compiles, when the shipped speculation default contradicts the
-measurement, when the service stage breaks its coalescing contract
-(N identical concurrent submissions must perform exactly one cold
-synthesis), or when the behavioral batch kernel is not bit-identical to
-the scalar walk or misses its 5x floor at 256 draws.
+still compiles, when the behavioral batch kernel is not bit-identical to
+the scalar walk or misses its 5x floor at 256 draws, when the ``dc_batch``
+stage misses its 1.5x floor, breaks winner-equivalence or its telemetry
+stops accounting for every population member, when either side of the
+speculation auto-default contradicts its measurement, or when the service
+stage breaks its coalescing contract (N identical concurrent submissions
+must perform exactly one cold synthesis).
 
 A stage that *raises* is recorded in its JSON slot as ``{"error": ...}``
 and the run exits non-zero after writing the (partial) report — CI fails
@@ -49,6 +54,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.analysis.ac import ac_system_stack, ac_transfer, solve_ac_stack
+from repro.analysis.dcbatch import NEWTON_STATS, reset_newton_stats
 from repro.analysis.mna import layout_cache_disabled
 from repro.analysis.template import (
     TEMPLATE_STATS,
@@ -76,7 +82,7 @@ def _block_spec():
 
 
 def _time_synthesize(kernel: str, budget: int, speculation: int = 0,
-                     seed_baseline: bool = False):
+                     seed_baseline: bool = False, dc_kernel: str = "chained"):
     mdac = _block_spec()
 
     def run():
@@ -89,6 +95,7 @@ def _time_synthesize(kernel: str, budget: int, speculation: int = 0,
             verify_transient=False,
             kernel=kernel,
             speculation=speculation,
+            dc_kernel=dc_kernel,
         )
         return result, time.perf_counter() - start
 
@@ -268,6 +275,101 @@ def stage_corner_tensor(population: int) -> dict:
     }
 
 
+def stage_dc_batch(population: int) -> dict:
+    """Population lockstep DC Newton vs the chained warm-start walk.
+
+    The acceptance workload: ``population`` random candidates through the
+    sequential half of an evaluation (bench build + DC Newton + power
+    read-out + linearization).  The chained side walks them one at a time
+    through ``HybridEvaluator._stage_equation`` with its warm-start chain;
+    the batched side stages the identical list through one
+    ``solve_dc_batch`` lockstep block.  The kernels are *not*
+    bit-identical (cold-start lockstep trajectories differ from the warm
+    chain), so equivalence is checked the way campaigns consume results:
+    both kernels must score the same feasibility set and pick the same
+    argmin-cost winner on full evaluations, with finite costs close in
+    relative terms.  The batched pass's Newton telemetry is embedded so
+    ``--check`` can assert the counters account for every member.
+    """
+    mdac = _block_spec()
+    space = two_stage_space(mdac, CMOS025)
+    rng = np.random.default_rng(17)
+    sizings = [space.decode(rng.random(space.dimension)) for _ in range(population)]
+
+    chained = HybridEvaluator(mdac, CMOS025, kernel="compiled")
+    batched = HybridEvaluator(mdac, CMOS025, kernel="compiled",
+                              dc_kernel="batched")
+
+    def chained_pass():
+        chained._warm_x = None  # each pass walks a fresh population
+        return [chained._stage_equation(s) for s in sizings]
+
+    def batched_pass():
+        return batched._stage_batched(sizings)
+
+    def best_wall(fn, repeats=5):
+        fn()  # warm layout/template caches
+        walls = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            walls.append(time.perf_counter() - start)
+        return min(walls)
+
+    chained_wall = best_wall(chained_pass)
+    reset_newton_stats()
+    batched_wall = best_wall(batched_pass)
+    telemetry = dict(NEWTON_STATS)
+
+    # Winner-equivalence on full evaluations through fresh evaluators.
+    res_chained = HybridEvaluator(mdac, CMOS025).evaluate_batch(sizings)
+    res_batched = HybridEvaluator(
+        mdac, CMOS025, dc_kernel="batched"
+    ).evaluate_batch(sizings)
+    costs_chained = [r.cost() for r in res_chained]
+    costs_batched = [r.cost() for r in res_batched]
+    winner_chained = int(np.argmin(costs_chained))
+    winner_batched = int(np.argmin(costs_batched))
+    feasibility_agrees = all(
+        np.isfinite(a) == np.isfinite(b)
+        for a, b in zip(costs_chained, costs_batched)
+    )
+    finite = [
+        (a, b) for a, b in zip(costs_chained, costs_batched)
+        if np.isfinite(a) and np.isfinite(b)
+    ]
+    max_rel_cost_diff = max(
+        (abs(a - b) / max(abs(a), abs(b)) for a, b in finite), default=0.0
+    )
+    # The lockstep counters must account for every member of every
+    # measured pass (best_wall runs 1 warm + 5 measured passes): a member
+    # either converges in lockstep or takes the scalar fallback
+    # (``failures`` being the subset of fallbacks that also lost the
+    # scalar walk).
+    passes = 6
+    telemetry_accounts = (
+        telemetry["lockstep_members"] == passes * population
+        and telemetry["converged"] + telemetry["fallbacks"]
+        == telemetry["lockstep_members"]
+    )
+    return {
+        "workload": f"{population}-candidate DC staging "
+                    "(bench + Newton + linearize), best of 5",
+        "chained_cands_per_s": round(population / chained_wall, 1),
+        "batched_cands_per_s": round(population / batched_wall, 1),
+        "wall_chained_s": round(chained_wall, 4),
+        "wall_batched_s": round(batched_wall, 4),
+        "speedup_dc_stage": round(chained_wall / batched_wall, 2),
+        "winner_chained": winner_chained,
+        "winner_batched": winner_batched,
+        "winner_equivalent": winner_chained == winner_batched,
+        "feasibility_agrees": feasibility_agrees,
+        "max_rel_cost_diff": float(max_rel_cost_diff),
+        "telemetry": telemetry,
+        "telemetry_accounts_for_members": telemetry_accounts,
+    }
+
+
 def stage_template_cache() -> dict:
     """Persisted stamp programs: a warm worker must not compile at all.
 
@@ -362,33 +464,52 @@ def stage_behavioral(draws: int, samples: int) -> dict:
     }
 
 
-def stage_speculation(synth: dict) -> dict:
+def stage_speculation(synth: dict, budget: int) -> dict:
     """Does speculation earn a default?  Receipts for the shipped value.
 
-    Reuses the ``synthesize_mdac`` walls (same workload, already
-    measured) and compares the shipped ``FlowConfig.eval_speculation``
-    against the measured winner with a ~10% hysteresis band so a noisy
-    tie can't flip the verdict either way.
+    The shipped default is ``SPECULATION_AUTO``: ``synthesize_mdac``
+    resolves it per DC kernel — off under the chained warm-start walk
+    (whose DC stage cannot batch across proposals), depth 8 under the
+    batched lockstep kernel (whose cold-start block solve can).  Both
+    sides are re-measured here: the chained pair reuses the
+    ``synthesize_mdac`` walls, the batched pair runs fresh, and each
+    verdict gets its own ~10% hysteresis band so a noisy tie can't flip
+    it either way.
     """
     if "error" in synth:
         raise RuntimeError("synthesize_mdac stage failed; no walls to compare")
-    speedup = round(synth["wall_compiled_s"] / synth["wall_speculative_s"], 3)
+    chained_speedup = round(
+        synth["wall_compiled_s"] / synth["wall_speculative_s"], 3
+    )
+    plain_b, plain_b_wall = _time_synthesize(
+        "compiled", budget, dc_kernel="batched"
+    )
+    spec_b, spec_b_wall = _time_synthesize(
+        "compiled", budget, speculation=8, dc_kernel="batched"
+    )
+    batched_speedup = round(plain_b_wall / spec_b_wall, 3)
+    batched_identical = (
+        sizing_digest(plain_b) == sizing_digest(spec_b)
+        and plain_b.history == spec_b.history
+    )
     default = FlowConfig.eval_speculation
-    if default == 0:
-        # Shipped off: fine unless speculation decisively wins.
-        consistent = speedup < 1.10
-    else:
-        # Shipped on: fine unless speculation decisively loses.
-        consistent = speedup > 0.95
+    # Auto (< 0) resolves per kernel; each side checks its own band.
+    chained_on = default > 1
+    batched_on = default > 1 or default < 0
+    chained_ok = chained_speedup > 0.95 if chained_on else chained_speedup < 1.10
+    batched_ok = batched_speedup > 0.95 if batched_on else batched_speedup < 1.10
     return {
-        "workload": synth["workload"] + " (walls shared with synthesize_mdac)",
-        "wall_plain_s": synth["wall_compiled_s"],
-        "wall_speculative_s": synth["wall_speculative_s"],
-        "speedup_speculative": speedup,
-        "measured_winner": "speculative" if speedup > 1.0 else "plain",
+        "workload": synth["workload"] + " (chained walls shared with "
+                    "synthesize_mdac; batched pair measured fresh)",
+        "wall_plain_chained_s": synth["wall_compiled_s"],
+        "wall_speculative_chained_s": synth["wall_speculative_s"],
+        "speedup_speculative_chained": chained_speedup,
+        "wall_plain_batched_s": round(plain_b_wall, 3),
+        "wall_speculative_batched_s": round(spec_b_wall, 3),
+        "speedup_speculative_batched": batched_speedup,
         "default_eval_speculation": default,
-        "default_matches_measurement": consistent,
-        "identical_results": synth["identical_results"],
+        "default_matches_measurement": chained_ok and batched_ok,
+        "identical_results": synth["identical_results"] and batched_identical,
     }
 
 
@@ -396,8 +517,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="tiny budgets for CI (seconds, not minutes)")
-    parser.add_argument("--out", default="BENCH_PR7.json",
-                        help="output JSON path (default: BENCH_PR7.json)")
+    parser.add_argument("--out", default="BENCH_PR8.json",
+                        help="output JSON path (default: BENCH_PR8.json)")
     parser.add_argument("--check", action="store_true",
                         help="exit nonzero if compiled is slower than legacy "
                              "or any result diverges")
@@ -417,6 +538,10 @@ def main(argv=None) -> int:
     # capture length, never the draw count the 5x floor is defined at.
     behavioral_draws = 256
     behavioral_samples = 512 if args.smoke else 2048
+    # Same story for the DC lockstep: its 1.5x floor is defined at the
+    # 48-candidate population (amortization shrinks with the block), so
+    # smoke keeps the full population — the stage runs in ~0.5 s anyway.
+    dc_population = 48
 
     # Each stage runs in its own guard: a raising benchmark must not
     # silently truncate the JSON.  The error is recorded in the stage's
@@ -430,12 +555,15 @@ def main(argv=None) -> int:
         "equation_metric_stage": lambda: stage_equation_metrics(repeats),
         "evaluate_batch": lambda: stage_batch_api(population),
         "corner_tensor": lambda: stage_corner_tensor(population),
+        "dc_batch": lambda: stage_dc_batch(dc_population),
         "template_cache": stage_template_cache,
         "behavioral": lambda: stage_behavioral(
             behavioral_draws, behavioral_samples
         ),
         # Runs after synthesize_mdac (dict order) and reuses its walls.
-        "speculation": lambda: stage_speculation(stages["synthesize_mdac"]),
+        "speculation": lambda: stage_speculation(
+            stages["synthesize_mdac"], budget
+        ),
         "service": lambda: run_service_benchmark(identical, distinct),
     }
     stages: dict[str, dict] = {}
@@ -448,7 +576,7 @@ def main(argv=None) -> int:
             stage_errors.append(name)
 
     report = {
-        "bench": "PR7 behavioral Monte-Carlo verification tier",
+        "bench": "PR8 batched DC Newton lockstep tier",
         "config": {
             "smoke": args.smoke,
             "budget": budget,
@@ -473,6 +601,7 @@ def main(argv=None) -> int:
     synth = report["stages"]["synthesize_mdac"]
     eqn = report["stages"]["equation_metric_stage"]
     corner = report["stages"]["corner_tensor"]
+    dc_batch = report["stages"]["dc_batch"]
     template = report["stages"]["template_cache"]
     behavioral = report["stages"]["behavioral"]
     speculation = report["stages"]["speculation"]
@@ -481,9 +610,12 @@ def main(argv=None) -> int:
         f"\nfull-candidate speedup: {synth['speedup_full_candidate']}x, "
         f"equation-metric stage: {eqn['speedup']}x, "
         f"corner tensor: {corner['speedup_fused_vs_percorner_legacy']}x, "
+        f"dc batch: {dc_batch['speedup_dc_stage']}x "
+        f"(winner-equivalent={dc_batch['winner_equivalent']}), "
         f"warm template compiles: {template['warm_compiled']}, "
         f"behavioral batch: {behavioral['speedup']}x, "
-        f"speculation: {speculation['speedup_speculative']}x "
+        f"speculation: {speculation['speedup_speculative_chained']}x chained / "
+        f"{speculation['speedup_speculative_batched']}x batched "
         f"(default={speculation['default_eval_speculation']}), "
         f"service: {service['coalescing']['submissions']} identical submissions "
         f"-> {service['coalescing']['cold_synthesis_runs']} cold synthesis, "
@@ -511,6 +643,26 @@ def main(argv=None) -> int:
                 "1.5x floor vs per-corner legacy loops "
                 f"({corner['speedup_fused_vs_percorner_legacy']}x)"
             )
+        if dc_batch["speedup_dc_stage"] < 1.5:
+            failures.append(
+                "regression: batched DC lockstep under its 1.5x floor vs "
+                f"the chained warm-start walk ({dc_batch['speedup_dc_stage']}x)"
+            )
+        if not dc_batch["winner_equivalent"]:
+            failures.append(
+                "batched DC kernel picked a different population winner "
+                f"(chained #{dc_batch['winner_chained']} vs batched "
+                f"#{dc_batch['winner_batched']})"
+            )
+        if not dc_batch["feasibility_agrees"]:
+            failures.append(
+                "batched DC kernel disagrees with chained on feasibility"
+            )
+        if not dc_batch["telemetry_accounts_for_members"]:
+            failures.append(
+                "Newton telemetry does not account for every lockstep "
+                f"member ({dc_batch['telemetry']})"
+            )
         if template["warm_compiled"] != 0:
             failures.append(
                 "template store miss: a warm worker still compiled "
@@ -527,12 +679,15 @@ def main(argv=None) -> int:
                 "regression: behavioral batch kernel under its 5x floor "
                 f"at 256 draws ({behavioral['speedup']}x)"
             )
+        if not speculation["identical_results"]:
+            failures.append("speculation diverged from the plain walk")
         if not speculation["default_matches_measurement"]:
             failures.append(
                 "shipped FlowConfig.eval_speculation="
                 f"{speculation['default_eval_speculation']} contradicts the "
-                f"measurement ({speculation['speedup_speculative']}x "
-                f"speculative vs plain)"
+                f"measurement ({speculation['speedup_speculative_chained']}x "
+                f"chained / {speculation['speedup_speculative_batched']}x "
+                "batched, speculative vs plain)"
             )
         failures.extend(check_service_report(service))
         if failures:

@@ -1,0 +1,584 @@
+"""Batched DC Newton: population lockstep solves with masked convergence.
+
+The chained DC path (:class:`repro.synth.evaluator.HybridEvaluator` with
+``dc_kernel="chained"``) walks a population one candidate at a time, each
+solve warm-started from the previous candidate's operating point.  That
+chain is the last strictly serial stage of the sizing loop — and the warm
+starts make every candidate's *cost* depend on evaluation order, which is
+what kept speculative batching from paying off.
+
+This module solves a whole population of same-topology circuits as **one
+lockstep Newton iteration**:
+
+* every member binds the shared :class:`~repro.analysis.template.MnaTemplate`
+  (a :class:`~repro.analysis.template.BoundMna` each), and
+  :class:`_Population` stacks the value slots into ``(M, n_slots)``
+  buffers;
+* each iteration assembles every *active* member's Jacobian/residual with
+  the template's vectorized scatters (one ``np.add.reduceat`` per matrix —
+  stable-sorted, so repeated stamps accumulate in emission order), and one
+  stacked ``np.linalg.solve`` advances all of them at once;
+* **masked updates**: a member whose residual meets :data:`~repro.analysis.dc._ABS_TOL`
+  is *frozen bitwise* — it leaves the active set and its state vector is
+  never touched again — while stragglers keep iterating.
+
+Every member starts cold (the caller's initial guess, no warm chain), and
+assembly/solve/step-limit are pure per-member functions, so a member's
+Newton trajectory is independent of which other members share the block:
+the same candidate always produces the same solution regardless of
+population composition or order.  That determinism is why
+``FlowConfig.dc_kernel`` is *result identity* (the trajectories differ
+from the chained warm starts) yet campaign records stay reproducible.
+
+Members the lockstep cannot finish — singular systems, divergence to
+non-finite values, or no convergence within the iteration cap — **fall
+back per member** to the scalar :func:`repro.analysis.dc.solve_dc` walk
+with its full gmin/source-stepping homotopy chain; members that still fail
+are reported in :attr:`BatchDcResult.failures` instead of aborting the
+whole batch.  :data:`NEWTON_STATS` counts iterations, mask occupancy and
+the failure taxonomy (mirroring ``TEMPLATE_STATS``) for benchmarks and
+``repro-adc --verbose``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.dc import (
+    _ABS_TOL,
+    _VSTEP_LIMIT,
+    DcSolution,
+    _package,
+    solve_dc,
+)
+from repro.analysis.mna import GROUND
+from repro.analysis.template import BoundMna
+from repro.errors import AnalysisError, ReproError
+from repro.tech.mosfet import _GDS_MIN, _VEFF_DELTA
+
+#: Supported DC solver kernels (`FlowConfig.dc_kernel` values).
+DC_KERNELS = ("chained", "batched")
+
+#: Lockstep iteration cap — deliberately tighter than the scalar walk's
+#: ``_MAX_ITER`` (120).  Cold-start plain Newton on these benches either
+#: converges quickly (observed max 24 iterations across seeds and corners,
+#: p99 = 9) or oscillates without ever passing the tolerance; a straggler
+#: kept active to 120 would run the whole lockstep loop near-empty.  The
+#: cap never changes a member's final solution: a capped member falls back
+#: to :func:`~repro.analysis.dc.solve_dc`, whose own plain-Newton strategy
+#: *is* the member's solo lockstep trajectory (bitwise) with the full
+#: iteration budget, followed by the homotopy chain.  Only wall time and
+#: the fallback counter move.
+_LOCKSTEP_MAX_ITER = 48
+
+#: Strategy tag recorded on lockstep-converged :class:`DcSolution`\ s.
+BATCHED_STRATEGY = "batched"
+
+#: Newton convergence telemetry, mirroring ``TEMPLATE_STATS``:
+#:
+#: * ``lockstep_calls`` / ``lockstep_members`` — :func:`solve_dc_batch`
+#:   invocations and total members across them;
+#: * ``lockstep_iterations`` — lockstep iterations executed (each runs one
+#:   stacked assemble + solve over the active set);
+#: * ``mask_occupancy`` — sum of active-member counts over those
+#:   iterations (``mask_occupancy / (lockstep_iterations * members)`` is
+#:   the mean fraction of the block still iterating);
+#: * ``member_iterations`` — sum of per-member Newton iterations to
+#:   convergence (lockstep-converged members only);
+#: * ``converged`` — members the lockstep finished;
+#: * ``divergences`` — members cut for non-finite residuals/updates or a
+#:   singular member system;
+#: * ``fallbacks`` — members resolved by the scalar chained walk (full
+#:   homotopy) after the lockstep gave up on them;
+#: * ``failures`` — members that failed even the scalar fallback.
+NEWTON_STATS = {
+    "lockstep_calls": 0,
+    "lockstep_members": 0,
+    "lockstep_iterations": 0,
+    "mask_occupancy": 0,
+    "member_iterations": 0,
+    "converged": 0,
+    "divergences": 0,
+    "fallbacks": 0,
+    "failures": 0,
+}
+
+
+def reset_newton_stats() -> None:
+    """Zero :data:`NEWTON_STATS` (benchmark/test hook)."""
+    for key in NEWTON_STATS:
+        NEWTON_STATS[key] = 0
+
+
+# ---------------------------------------------------------------------------
+# Vectorized compact model: repro.tech.mosfet.dc_current over (M, n_dev)
+# arrays.  Same expressions, evaluated by numpy ufuncs; the batched kernel
+# is accepted on residual tolerance, not bit-identity, so the (sub-ulp)
+# libm-vs-numpy differences in tanh/sqrt are inside the contract.
+# ---------------------------------------------------------------------------
+
+
+def _forward_current_array(phi, vth0, gamma, beta, esat_l, lam_over_l, vgs, vds, vbs):
+    """Array form of ``mosfet._forward_current`` (normalized, vds >= 0)."""
+    vsb = -vbs
+    floor = -phi + 0.05
+    vsb_clamped = np.maximum(vsb, floor)
+    sq = np.sqrt(phi + vsb_clamped)
+    vth = vth0 + gamma * (sq - np.sqrt(phi))
+    dvth_dvsb = np.where(vsb > floor, gamma / (2.0 * sq), 0.0)
+    vov = vgs - vth
+    root = np.sqrt(vov * vov + 4.0 * _VEFF_DELTA * _VEFF_DELTA)
+    veff = 0.5 * (vov + root)
+    dveff_dvov = 0.5 * (1.0 + vov / root)
+
+    sat_factor = 1.0 / (1.0 + veff / esat_l)
+    dsat_dveff = -sat_factor * sat_factor / esat_l
+
+    t = np.tanh(vds / veff)
+    sech2 = 1.0 - t * t
+    vdse = veff * t
+    dvdse_dveff = t - (vds / veff) * sech2
+
+    core = (veff - 0.5 * vdse) * vdse
+    dcore_dveff = vdse + (veff - vdse) * dvdse_dveff
+    dcore_dvds = (veff - vdse) * sech2
+
+    clm = 1.0 + lam_over_l * vds
+    ids = beta * core * clm * sat_factor
+
+    dids_dveff = beta * clm * (dcore_dveff * sat_factor + core * dsat_dveff)
+    gm = dids_dveff * dveff_dvov
+    gds = beta * (dcore_dvds * clm * sat_factor + core * lam_over_l * sat_factor)
+    gmb = dids_dveff * dveff_dvov * dvth_dvsb
+    gds = np.maximum(gds, _GDS_MIN)
+    return ids, gm, gds, gmb
+
+
+def _dc_current_array(pol, phi, vth0, gamma, beta, esat_l, lam_over_l, vgs, vds, vbs):
+    """Array form of :func:`repro.tech.mosfet.dc_current`.
+
+    Polarity normalization and the reverse-mode (drain/source swap)
+    transformation are applied element-wise with ``np.where``, exactly
+    mirroring the scalar branches.
+    """
+    nvgs, nvds, nvbs = pol * vgs, pol * vds, pol * vbs
+    rev = nvds < 0.0
+    fvgs = np.where(rev, nvgs - nvds, nvgs)
+    fvds = np.where(rev, -nvds, nvds)
+    fvbs = np.where(rev, nvbs - nvds, nvbs)
+    ids, gm, gds, gmb = _forward_current_array(
+        phi, vth0, gamma, beta, esat_l, lam_over_l, fvgs, fvds, fvbs
+    )
+    ids_t = np.where(rev, -ids, ids)
+    gm_t = np.where(rev, -gm, gm)
+    gds_t = np.where(rev, gm + gds + gmb, gds)
+    gmb_t = np.where(rev, -gmb, gmb)
+    return pol * ids_t, gm_t, gds_t, gmb_t
+
+
+# ---------------------------------------------------------------------------
+# Population binding: M same-template BoundMna value sets stacked into
+# (M, n_slots) buffers, plus a grouped-scatter program for the batched
+# Jacobian/residual assembly.
+# ---------------------------------------------------------------------------
+
+
+def _grouped_scatter(indices: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Precompute a reduceat program for an ordered COO scatter.
+
+    Returns ``(order, cells, starts)`` such that
+    ``out[:, cells] = np.add.reduceat(values[:, order], starts, axis=1)``
+    equals a sequential ``+=`` replay of the scatter: the stable sort keeps
+    duplicate-cell stamps in emission order, and ``reduceat`` accumulates
+    each segment left to right.
+    """
+    order = np.argsort(indices, kind="stable")
+    sorted_idx = indices[order]
+    cells, starts = np.unique(sorted_idx, return_index=True)
+    return order, cells, starts
+
+
+class _Population:
+    """One template's value slots stacked over a population of bindings."""
+
+    def __init__(self, bounds: "list[BoundMna]"):
+        if not bounds:
+            raise AnalysisError("population DC solve needs at least one member")
+        template = bounds[0].template
+        key = template.key
+        if any(b.template.key != key for b in bounds[1:]):
+            raise AnalysisError(
+                "population DC solve requires one shared topology "
+                "(mixed-template members must be grouped by the caller)"
+            )
+        self.bounds = bounds
+        self.template = t = template
+        m = self.m = len(bounds)
+        self.n = t.size
+        self.n_nodes = t.n_nodes
+
+        self._jv = np.stack([b._jv for b in bounds])
+        self._pair_coeff = np.stack([b._pair_coeff for b in bounds])
+        self._vc_dc = np.stack([b._vc_dc for b in bounds])
+        self._vg_gain = np.stack([b._vg_gain for b in bounds])
+        self._inj_dc = np.stack([b._inj_dc for b in bounds])
+
+        ndev = self.ndev = len(t.mos_names)
+        if ndev:
+            shape = (m, ndev)
+            pol = np.empty(shape)
+            phi = np.empty(shape)
+            vth0 = np.empty(shape)
+            gamma = np.empty(shape)
+            beta = np.empty(shape)
+            esat_l = np.empty(shape)
+            lam_over_l = np.empty(shape)
+            mult = np.empty(shape)
+            for mi, bound in enumerate(bounds):
+                for di, (params, w, l, mu, *_rest) in enumerate(bound._mos_args):
+                    pol[mi, di] = params.polarity
+                    phi[mi, di] = params.phi
+                    vth0[mi, di] = params.vth0
+                    gamma[mi, di] = params.gamma
+                    beta[mi, di] = params.kp * (w / l)
+                    esat_l[mi, di] = params.esat * l
+                    lam_over_l[mi, di] = params.lambda_l / l
+                    mult[mi, di] = mu
+            self._pol, self._phi, self._vth0, self._gamma = pol, phi, vth0, gamma
+            self._beta, self._esat_l, self._lam_over_l = beta, esat_l, lam_over_l
+            self._mult = mult
+            xe_idx = np.asarray(t._mos_xe, dtype=np.intp)
+            self._xd = xe_idx[:, 0]
+            self._xg = xe_idx[:, 1]
+            self._xs = xe_idx[:, 2]
+            self._xb = xe_idx[:, 3]
+
+        n = self.n
+        self._j_order, self._j_cells, self._j_starts = _grouped_scatter(
+            t._jr * n + t._jc
+        )
+        self._r_order, self._r_cells, self._r_starts = _grouped_scatter(t._rr)
+
+    def assemble(
+        self,
+        x: np.ndarray,
+        members: np.ndarray,
+        gmin: float = 0.0,
+        source_scale: float = 1.0,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Jacobians and residuals of ``members`` at their states ``x``.
+
+        ``x`` is ``(len(members), n)``; each member's system equals what its
+        own :meth:`BoundMna.assemble` would build from the array compact
+        model — a pure per-member function, so the active-set composition
+        never changes any member's system.
+        """
+        t = self.template
+        n = self.n
+        ma = len(members)
+        xe = np.empty((ma, n + 1))
+        xe[:, :n] = x
+        xe[:, n] = 0.0
+
+        jv = self._jv[members]
+        if self.ndev:
+            xs = xe[:, self._xs]
+            ids, gm, gds, gmb = _dc_current_array(
+                self._pol[members],
+                self._phi[members],
+                self._vth0[members],
+                self._gamma[members],
+                self._beta[members],
+                self._esat_l[members],
+                self._lam_over_l[members],
+                xe[:, self._xg] - xs,
+                xe[:, self._xd] - xs,
+                xe[:, self._xb] - xs,
+            )
+            mult = self._mult[members]
+            ids = ids * mult
+            gm = gm * mult
+            gds = gds * mult
+            gmb = gmb * mult
+            kindvals = np.stack([gm, gds, gmb, gm + gds + gmb], axis=1)
+            if len(t._j_mos_pos):
+                jv[:, t._j_mos_pos] = (
+                    t._j_mos_sign * kindvals[:, t._j_mos_kind, t._j_mos_dev]
+                )
+        else:
+            ids = np.zeros((ma, 0))
+
+        jac = np.zeros((ma, n, n))
+        if len(self._j_cells):
+            jac.reshape(ma, n * n)[:, self._j_cells] = np.add.reduceat(
+                jv[:, self._j_order], self._j_starts, axis=1
+            )
+
+        rv = np.zeros((ma, len(t._rr)))
+        if len(t._r_pair_pos):
+            cur = self._pair_coeff[members] * (xe[:, t._pair_a] - xe[:, t._pair_b])
+            rv[:, t._r_pair_pos] = t._r_pair_sign * cur[:, t._r_pair_src]
+        if len(t._r_br_pos):
+            rv[:, t._r_br_pos] = t._r_br_sign * x[:, t._r_br_k]
+        if len(t._r_vc_pos):
+            rv[:, t._r_vc_pos] = (
+                xe[:, t._vc_p] - xe[:, t._vc_n]
+            ) - self._vc_dc[members] * source_scale
+        if len(t._r_vg_pos):
+            rv[:, t._r_vg_pos] = (xe[:, t._vg_op] - xe[:, t._vg_on]) - self._vg_gain[
+                members
+            ] * (xe[:, t._vg_cp] - xe[:, t._vg_cn])
+        if len(t._r_inj_pos):
+            rv[:, t._r_inj_pos] = self._inj_dc[members] * source_scale
+        if len(t._r_mos_pos):
+            rv[:, t._r_mos_pos] = t._r_mos_sign * ids[:, t._r_mos_dev]
+
+        resid = np.zeros((ma, n))
+        if len(self._r_cells):
+            resid[:, self._r_cells] = np.add.reduceat(
+                rv[:, self._r_order], self._r_starts, axis=1
+            )
+
+        if gmin > 0.0:
+            diag = np.arange(self.n_nodes)
+            jac[:, diag, diag] += gmin
+            resid[:, : self.n_nodes] += gmin * x[:, : self.n_nodes]
+        return jac, resid
+
+
+def _solve_block(jac: np.ndarray, resid: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """One stacked Newton solve; returns ``(dx, ok_mask)``.
+
+    The stacked ``np.linalg.solve`` applies LAPACK per slice, so each
+    member's update equals its solo solve.  A singular member raises for
+    the whole stack — resolve per member (with the scalar path's 1e-12
+    diagonal retry) and mark only the singular ones bad; non-finite
+    updates (near-singular overflow) are flagged the same way.
+    """
+    n = jac.shape[-1]
+    try:
+        dx = np.linalg.solve(jac, -resid[..., None])[..., 0]
+    except np.linalg.LinAlgError:
+        dx = np.zeros_like(resid)
+        ok = np.ones(len(jac), dtype=bool)
+        eye = np.eye(n) * 1e-12
+        for i in range(len(jac)):
+            try:
+                dx[i] = np.linalg.solve(jac[i], -resid[i])
+            except np.linalg.LinAlgError:
+                try:
+                    dx[i] = np.linalg.solve(jac[i] + eye, -resid[i])
+                except np.linalg.LinAlgError:
+                    ok[i] = False
+        return dx, ok & np.isfinite(dx).all(axis=1)
+    return dx, np.isfinite(dx).all(axis=1)
+
+
+#: Member status codes during/after the lockstep iteration.
+_ACTIVE, _CONVERGED, _DIVERGED = 0, 1, 2
+
+
+def lockstep_newton(
+    population: _Population,
+    x0: np.ndarray,
+    gmin: float = 0.0,
+    source_scale: float = 1.0,
+    max_iter: int = _LOCKSTEP_MAX_ITER,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Masked-update Newton over the whole population.
+
+    Returns ``(x, status, iterations, residuals)`` — all ``(M, ...)``
+    arrays.  ``status`` is per member: converged, diverged (singular or
+    non-finite), or still active (hit ``max_iter``).  Converged members are
+    frozen *bitwise*: once a member's residual passes the tolerance its
+    rows of ``x`` are never written again, and since every per-iteration
+    quantity is computed per member, each trajectory is identical to
+    running that member alone.
+    """
+    m = population.m
+    x = np.array(x0, dtype=float, copy=True)
+    status = np.zeros(m, dtype=np.int8)
+    iterations = np.zeros(m, dtype=np.intp)
+    residuals = np.full(m, np.inf)
+    active = np.arange(m)
+    n_nodes = population.n_nodes
+
+    for iteration in range(1, max_iter + 1):
+        if not len(active):
+            break
+        NEWTON_STATS["lockstep_iterations"] += 1
+        NEWTON_STATS["mask_occupancy"] += len(active)
+        jac, resid = population.assemble(x[active], active, gmin, source_scale)
+        rnorm = (
+            np.max(np.abs(resid), axis=1) if resid.shape[1] else np.zeros(len(active))
+        )
+        residuals[active] = rnorm
+        finite = np.isfinite(rnorm)
+        conv = finite & (rnorm < _ABS_TOL)
+        newly = active[conv]
+        status[newly] = _CONVERGED
+        iterations[newly] = iteration
+        status[active[~finite]] = _DIVERGED
+        keep = finite & ~conv
+        active = active[keep]
+        if not len(active):
+            break
+        dx, ok = _solve_block(jac[keep], resid[keep])
+        if not ok.all():
+            status[active[~ok]] = _DIVERGED
+            active = active[ok]
+            dx = dx[ok]
+            if not len(active):
+                break
+        if n_nodes:
+            step = np.max(np.abs(dx[:, :n_nodes]), axis=1)
+            over = step > _VSTEP_LIMIT
+            if over.any():
+                dx[over] *= (_VSTEP_LIMIT / step[over])[:, None]
+        x[active] = x[active] + dx
+        bad = ~np.isfinite(x[active]).all(axis=1)
+        if bad.any():
+            status[active[bad]] = _DIVERGED
+            active = active[~bad]
+    iterations[status == _ACTIVE] = max_iter
+    return x, status, iterations, residuals
+
+
+@dataclass
+class BatchDcResult:
+    """Per-member outcome of a population DC solve.
+
+    ``solutions[i]`` is the member's :class:`~repro.analysis.dc.DcSolution`
+    or ``None`` when it failed; ``failures`` names every failed member with
+    the reason, so callers degrade those members individually instead of
+    aborting the batch on the first bad candidate.
+    """
+
+    solutions: "list[DcSolution | None]"
+    #: Member index -> failure reason, for members with no solution.
+    failures: dict[int, str] = field(default_factory=dict)
+    #: Members resolved by the scalar chained walk (full homotopy) after
+    #: the lockstep could not finish them.
+    fallback_members: tuple[int, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """True when every member produced a solution."""
+        return not self.failures
+
+
+def _start_vector(bound: BoundMna, guess: "dict[str, float] | None") -> np.ndarray:
+    """A member's cold-start state from a net-name voltage guess."""
+    start = np.zeros(bound.template.size)
+    if guess:
+        layout = bound.layout
+        for net, value in guess.items():
+            idx = layout.index(net)
+            if idx != GROUND:
+                start[idx] = value
+    return start
+
+
+def solve_dc_batch(
+    bounds: "list[BoundMna]",
+    initial_guess: "dict[str, float] | list[dict[str, float] | None] | None" = None,
+    x0: np.ndarray | None = None,
+) -> BatchDcResult:
+    """Solve every member's DC operating point in lockstep.
+
+    ``bounds`` are per-member template bindings (mixed topologies are
+    grouped internally; one shared topology runs as a single block).
+    ``initial_guess`` seeds node voltages by net name — one dict for the
+    whole population or a per-member list (a corner set's members carry
+    per-corner supplies/common modes).  ``x0`` (``(M, n)``) wins over the
+    guesses.  Members the lockstep cannot converge fall back one by one to
+    the scalar :func:`~repro.analysis.dc.solve_dc` homotopy walk; members
+    that still fail are reported in :attr:`BatchDcResult.failures` rather
+    than raised.
+    """
+    m = len(bounds)
+    if isinstance(initial_guess, dict) or initial_guess is None:
+        guesses: "list[dict[str, float] | None]" = [initial_guess] * m
+    else:
+        if len(initial_guess) != m:
+            raise AnalysisError(
+                f"got {len(initial_guess)} initial guesses for {m} members"
+            )
+        guesses = list(initial_guess)
+
+    NEWTON_STATS["lockstep_calls"] += 1
+    NEWTON_STATS["lockstep_members"] += m
+
+    solutions: "list[DcSolution | None]" = [None] * m
+    failures: dict[int, str] = {}
+    fallback_members: list[int] = []
+
+    # Group members by topology so each lockstep block shares one template.
+    groups: dict[tuple, list[int]] = {}
+    for i, bound in enumerate(bounds):
+        groups.setdefault(bound.template.key, []).append(i)
+
+    for indices in groups.values():
+        group_bounds = [bounds[i] for i in indices]
+        population = _Population(group_bounds)
+        n = population.n
+        start = np.zeros((len(indices), n))
+        if x0 is not None:
+            x0_arr = np.asarray(x0, dtype=float)
+            if x0_arr.shape != (m, n):
+                raise AnalysisError(
+                    f"x0 has shape {x0_arr.shape}, expected ({m}, {n})"
+                )
+            start[:] = x0_arr[indices]
+        else:
+            for row, i in enumerate(indices):
+                start[row] = _start_vector(bounds[i], guesses[i])
+
+        x, status, iterations, residuals = lockstep_newton(population, start)
+
+        converged = status == _CONVERGED
+        NEWTON_STATS["converged"] += int(converged.sum())
+        NEWTON_STATS["member_iterations"] += int(iterations[converged].sum())
+        NEWTON_STATS["divergences"] += int((status == _DIVERGED).sum())
+
+        for row, i in enumerate(indices):
+            bound = bounds[i]
+            if converged[row]:
+                solutions[i] = _package(
+                    bound.layout,
+                    x[row],
+                    int(iterations[row]),
+                    BATCHED_STRATEGY,
+                    float(residuals[row]),
+                )
+                continue
+            # Degradation path: the scalar walk with its full homotopy
+            # chain, from this member's own cold guess.
+            NEWTON_STATS["fallbacks"] += 1
+            fallback_members.append(i)
+            try:
+                solutions[i] = solve_dc(
+                    bound.circuit, initial_guess=guesses[i], assembly=bound
+                )
+            except ReproError as exc:
+                NEWTON_STATS["failures"] += 1
+                failures[i] = str(exc)
+
+    return BatchDcResult(
+        solutions=solutions,
+        failures=failures,
+        fallback_members=tuple(fallback_members),
+    )
+
+
+__all__ = [
+    "BATCHED_STRATEGY",
+    "DC_KERNELS",
+    "BatchDcResult",
+    "NEWTON_STATS",
+    "lockstep_newton",
+    "reset_newton_stats",
+    "solve_dc_batch",
+]

@@ -16,9 +16,12 @@ that sequence this store covers.  Two operations consume it:
 
 Only *result-relevant* configuration enters the config digest: budgets,
 seeds (the synthesis seeds *and* the behavioral Monte-Carlo seed/draw
-count — behavioral records are a function of both) and the verification
-flag.  Execution knobs (backend, workers, eval
-kernel, behavioral kernel, speculation) are excluded for the same reason they are excluded
+count — behavioral records are a function of both), the verification
+flag, and the DC Newton kernel (``dc_kernel`` — the batched lockstep
+kernel's cold-start trajectories differ from the chained warm walk, so
+records are *not* interchangeable across it).  Execution knobs (backend,
+workers, eval kernel, behavioral kernel, speculation) are excluded for
+the same reason they are excluded
 from block fingerprints — records are byte-identical across them — so a
 campaign may be interrupted under one backend and resumed under another.
 ``cache_dir`` is also excluded, but for a different reason: it is a host
@@ -47,7 +50,8 @@ from repro.errors import SpecificationError
 MANIFEST_FILENAME = "manifest.json"
 
 #: Bump when the manifest schema or digest payloads change shape.
-MANIFEST_VERSION = 2
+#: v3: ``dc_kernel`` joined the config digest (result identity).
+MANIFEST_VERSION = 3
 
 
 def grid_digest(grid: CampaignGrid) -> str:
@@ -67,6 +71,7 @@ def config_digest(config: FlowConfig) -> str:
             "verify_transient": bool(config.verify_transient),
             "behavioral_draws": config.behavioral_draws,
             "behavioral_seed": config.behavioral_seed,
+            "dc_kernel": config.dc_kernel,
         }
     )
 
@@ -213,7 +218,7 @@ def require_matching_manifest(
             "config digest "
             f"(store {existing.config_digest[:12]}…, requested "
             f"{expected.config_digest[:12]}… — different budgets, seeds, "
-            "behavioral draws or verification flag)"
+            "behavioral draws, DC kernel or verification flag)"
         )
     if (existing.shard_index, existing.shard_count) != (
         expected.shard_index,

@@ -620,6 +620,7 @@ def run_campaign(
                             verify_transient=config.verify_transient,
                             eval_kernel=config.eval_kernel,
                             eval_speculation=config.eval_speculation,
+                            dc_kernel=config.dc_kernel,
                             donor_pool=ledger.donors_for(scenario.spec.tech.name),
                             ledger=ledger,
                             cache_dir=config.cache_dir,

@@ -81,8 +81,11 @@ execution engine (every flow command):
   templates + batched AC solves by default; 'legacy' is the reference
   walk — results are bit-identical, see docs/performance.md) and
   --speculation caps the optimizers' speculative proposal batches
-  (default off — the measured break-even; --no-speculation forces it
-  off).  The same knobs form FlowConfig in the Python API.
+  (default auto: on under --dc-kernel batched, off under chained — the
+  measured break-evens; --no-speculation forces it off).  --dc-kernel
+  picks the DC Newton kernel (chained warm-start walk by default;
+  'batched' solves whole populations in lockstep — NOT result-identical).
+  The same knobs form FlowConfig in the Python API.
 
 campaigns:
   repro-adc campaign expands --bits x --rates x --modes into a scenario
@@ -168,8 +171,9 @@ def _engine_parent() -> argparse.ArgumentParser:
         default=None,
         metavar="DEPTH",
         help="speculative proposal-batch depth cap for the optimizers "
-        f"(default: {FlowConfig.eval_speculation} = off — measured "
-        "break-even, see docs/performance.md; the adaptive controller "
+        "(default: auto — depth 8 under --dc-kernel batched, where the "
+        "lockstep solve batches DC across proposals, off under chained "
+        "where it loses; see docs/performance.md; the adaptive controller "
         "sizes batches below DEPTH; results are bit-identical either way)",
     )
     group.add_argument(
@@ -179,11 +183,29 @@ def _engine_parent() -> argparse.ArgumentParser:
         "config default (escape hatch if a future default flips it on)",
     )
     group.add_argument(
+        "--dc-kernel",
+        choices=("chained", "batched"),
+        default="chained",
+        help="DC Newton kernel (default: chained per-candidate warm-start "
+        "walk; 'batched' iterates the whole population in lockstep with "
+        "masked convergence — NOT result-identical: cold-start "
+        "trajectories differ from the warm chain, so caches, queue acks "
+        "and campaign manifests keyed under one kernel never serve the "
+        "other; see docs/performance.md)",
+    )
+    group.add_argument(
         "--queue-dir",
         default=None,
         metavar="DIR",
         help="lease/ack directory for --backend queue (default: inside the "
         "campaign --out store, or a temporary directory)",
+    )
+    group.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print kernel telemetry (compiled-template and batched-Newton "
+        "counters) to stderr after the command; meaningful for in-process "
+        "backends (serial/thread) — pool workers keep their own counters",
     )
     return parent
 
@@ -250,6 +272,7 @@ def _flow_config(args: argparse.Namespace) -> FlowConfig:
         verify_transient=not args.no_verify,
         eval_kernel=args.eval_kernel,
         eval_speculation=_resolve_speculation(args),
+        dc_kernel=getattr(args, "dc_kernel", "chained"),
         # Behavioral flags only exist on the campaign/submit parsers; the
         # figure commands fall back to the library defaults.
         behavioral_draws=getattr(
@@ -493,6 +516,13 @@ def main(argv: list[str] | None = None) -> int:
     p_submit.add_argument("--speculation", type=int, default=None)
     p_submit.add_argument("--no-speculation", action="store_true")
     p_submit.add_argument(
+        "--dc-kernel",
+        choices=("chained", "batched"),
+        default="chained",
+        help="DC Newton kernel (part of the job's coalescing digest — "
+        "batched and chained jobs never coalesce)",
+    )
+    p_submit.add_argument(
         "--priority",
         type=int,
         default=0,
@@ -529,10 +559,46 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     try:
-        return _dispatch(args, parser)
+        code = _dispatch(args, parser)
     except (SpecificationError, ServiceError) as exc:
         print(f"repro-adc: error: {exc}", file=sys.stderr)
         return 2
+    if getattr(args, "verbose", False):
+        _print_kernel_telemetry()
+    return code
+
+
+def _print_kernel_telemetry() -> None:
+    """Dump the in-process kernel counters to stderr (``--verbose``).
+
+    Counters are module-global and per process: under the pool/queue
+    backends the workers' counters stay in the workers, so this reflects
+    only work done in the CLI process itself.
+    """
+    from repro.analysis.dcbatch import NEWTON_STATS
+    from repro.analysis.template import TEMPLATE_STATS
+
+    print("kernel telemetry (this process):", file=sys.stderr)
+    print(
+        "  templates: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(TEMPLATE_STATS.items())),
+        file=sys.stderr,
+    )
+    print(
+        "  newton:    "
+        + ", ".join(f"{k}={v}" for k, v in sorted(NEWTON_STATS.items())),
+        file=sys.stderr,
+    )
+    iters = NEWTON_STATS["lockstep_iterations"]
+    members = NEWTON_STATS["converged"]
+    if iters and members:
+        occupancy = NEWTON_STATS["mask_occupancy"] / iters
+        mean_iters = NEWTON_STATS["member_iterations"] / members
+        print(
+            f"  lockstep:  mean active members/iteration {occupancy:.1f}, "
+            f"mean iterations/converged member {mean_iters:.1f}",
+            file=sys.stderr,
+        )
 
 
 def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
@@ -658,6 +724,7 @@ def _submit_request(args: argparse.Namespace) -> dict:
         "verify_transient": not args.no_verify,
         "eval_kernel": args.eval_kernel,
         "eval_speculation": _resolve_speculation(args),
+        "dc_kernel": args.dc_kernel,
         "behavioral_draws": args.behavioral_draws,
         "behavioral_seed": args.seed,
         "behavioral_kernel": args.behavioral_kernel,

@@ -127,16 +127,22 @@ class SynthesisJob:
     retarget_budget: int = 80
     retarget_seed: int = 7
     #: Equation-evaluation kernel ('compiled'/'legacy') and speculative
-    #: batch depth.  Pure performance knobs: results (and therefore block
-    #: fingerprints) are identical across them.
+    #: batch depth (negative = auto: resolved from ``dc_kernel`` inside
+    #: ``synthesize_mdac``).  Pure performance knobs: results (and
+    #: therefore block fingerprints) are identical across them.
     eval_kernel: str = "compiled"
-    eval_speculation: int = 0
+    eval_speculation: int = -1
     #: On-disk compiled-template store directory (see
     #: :class:`repro.analysis.template.TemplateStore`) so pool/queue
     #: workers load stamp programs instead of recompiling them.  A pure
     #: performance knob, excluded from :meth:`queue_payload` like the
     #: kernel selectors above.
     template_dir: str | None = None
+    #: DC Newton kernel ('chained'/'batched').  *Not* a pure performance
+    #: knob: the lockstep kernel's cold-start trajectories differ from the
+    #: warm chain, so it enters :meth:`queue_payload` (and the block
+    #: fingerprint) whenever it departs from the default.
+    dc_kernel: str = "chained"
 
     def queue_payload(self) -> dict[str, Any]:
         """Stable identity for the work-queue backend's ack files.
@@ -146,9 +152,12 @@ class SynthesisJob:
         to its :func:`sizing_digest`, mirroring :func:`block_fingerprint`),
         and the kernel/speculation knobs are excluded because results are
         bit-identical across them — an ack written under one kernel serves
-        the other, exactly like the persistent block cache.
+        the other, exactly like the persistent block cache.  ``dc_kernel``
+        *does* change results, so it joins the payload — but only when
+        non-default, keeping every ack written before the knob existed
+        valid for default runs.
         """
-        return {
+        payload = {
             "kind": "synthesis_job",
             "spec": self.spec,
             "tech": self.tech,
@@ -159,6 +168,9 @@ class SynthesisJob:
             "retarget_budget": self.retarget_budget,
             "retarget_seed": self.retarget_seed,
         }
+        if self.dc_kernel != "chained":
+            payload["dc_kernel"] = self.dc_kernel
+        return payload
 
 
 def run_synthesis_job(job: SynthesisJob) -> SynthesisResult:
@@ -177,6 +189,7 @@ def run_synthesis_job(job: SynthesisJob) -> SynthesisResult:
             kernel=job.eval_kernel,
             speculation=job.eval_speculation,
             template_store=job.template_dir,
+            dc_kernel=job.dc_kernel,
         )
     return retarget_mdac(
         job.donor,
@@ -188,6 +201,7 @@ def run_synthesis_job(job: SynthesisJob) -> SynthesisResult:
         kernel=job.eval_kernel,
         speculation=job.eval_speculation,
         template_store=job.template_dir,
+        dc_kernel=job.dc_kernel,
     )
 
 
@@ -314,6 +328,7 @@ def execute_plan(
             budget=cache.budget,
             seed=cache.seed,
             verify_transient=cache.verify_transient,
+            dc_kernel=getattr(cache, "dc_kernel", "chained"),
         )
 
     def cold_job(node: PlanNode) -> SynthesisJob:
@@ -326,6 +341,7 @@ def execute_plan(
             eval_kernel=cache.eval_kernel,
             eval_speculation=cache.eval_speculation,
             template_dir=getattr(cache, "template_dir", None),
+            dc_kernel=getattr(cache, "dc_kernel", "chained"),
         )
 
     for wave in plan.waves:
@@ -350,6 +366,7 @@ def execute_plan(
                 donor=donor,
                 retarget_budget=cache.retarget_budget,
                 retarget_seed=cache.retarget_seed,
+                dc_kernel=getattr(cache, "dc_kernel", "chained"),
             )
             fingerprints[index] = fingerprint
             hit = cache.load_persistent(fingerprint, spec=node.spec)
@@ -393,6 +410,7 @@ def execute_plan(
                     eval_kernel=cache.eval_kernel,
                     eval_speculation=cache.eval_speculation,
                     template_dir=getattr(cache, "template_dir", None),
+                    dc_kernel=getattr(cache, "dc_kernel", "chained"),
                 )
             )
         if jobs:

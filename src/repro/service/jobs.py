@@ -80,6 +80,7 @@ CONFIG_FIELDS = (
     "verify_transient",
     "eval_kernel",
     "eval_speculation",
+    "dc_kernel",
     "behavioral_draws",
     "behavioral_seed",
     "behavioral_kernel",
@@ -130,6 +131,11 @@ def build_config(
     if kernel not in ("compiled", "legacy"):
         raise SpecificationError(
             f"unknown eval kernel {kernel!r} (valid: compiled, legacy)"
+        )
+    dc_kernel = body.get("dc_kernel", "chained")
+    if dc_kernel not in ("chained", "batched"):
+        raise SpecificationError(
+            f"unknown DC kernel {dc_kernel!r} (valid: chained, batched)"
         )
     behavioral_kernel = body.get("behavioral_kernel", "batch")
     if behavioral_kernel not in ("batch", "legacy"):

@@ -31,6 +31,15 @@ Costs, optimizer trajectories and the evaluator's reported
 ``equation_evals`` are exactly those of the unbatched run; the only trace
 of speculation is wall time and the :attr:`BatchCostFunction.discarded`
 counter.  ``tests/synth/test_kernel_equivalence.py`` locks this down.
+
+Under the batched DC kernel (``HybridEvaluator(dc_kernel="batched")``)
+the warm-state snapshots in the queue are trivially ``None`` — cold-start
+lockstep trajectories do not depend on evaluation order — and a
+speculated batch genuinely batches the DC Newton stage too (one lockstep
+solve for the whole proposal block instead of one per proposal).  That is
+where speculation earns its auto-on default; on the chained kernel the
+DC walk stays serial and speculation only ties it (see
+``benchmarks/bench_evaluator_kernel.py`` for both receipts).
 """
 
 from __future__ import annotations

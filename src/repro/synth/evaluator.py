@@ -32,6 +32,19 @@ The equation half runs on one of two *kernels*:
 solves run candidate-by-candidate (preserving the warm-start chain, hence
 bit-identical costs), then every candidate's AC sweep joins one stacked
 linear solve.
+
+The DC stage itself has two *kernels* (``dc_kernel``):
+
+* ``"chained"`` (default) — the warm-start chain above: candidates solve
+  one at a time, each seeded from the previous operating point.  Fast per
+  solve, but strictly serial and order-dependent.
+* ``"batched"`` — the whole population iterates as one lockstep Newton
+  block (:mod:`repro.analysis.dcbatch`): every candidate starts cold from
+  the shared bias guess, converged members freeze bitwise while stragglers
+  keep iterating, and one stacked ``np.linalg.solve`` advances the block
+  per iteration.  Trajectories are deterministic and order-independent —
+  *different* from the chained results (no warm starts), which is why
+  ``FlowConfig.dc_kernel`` is part of campaign result identity.
 """
 
 from __future__ import annotations
@@ -48,6 +61,7 @@ from repro.analysis.ac import (
     solve_ac_stack,
 )
 from repro.analysis.dc import DcSolution, solve_dc
+from repro.analysis.dcbatch import DC_KERNELS, solve_dc_batch
 from repro.analysis.smallsignal import LinearizedCircuit, linearize
 from repro.analysis.template import BoundMnaStack, TemplateStore, bind_template
 from repro.analysis.transient import simulate_transient
@@ -231,10 +245,20 @@ class HybridEvaluator:
         transient_points: int = 500,
         kernel: str = "compiled",
         template_store: TemplateStore | str | None = None,
+        dc_kernel: str = "chained",
     ):
         if kernel not in EVAL_KERNELS:
             raise SynthesisError(
                 f"unknown evaluation kernel {kernel!r} (known: {EVAL_KERNELS})"
+            )
+        if dc_kernel not in DC_KERNELS:
+            raise SynthesisError(
+                f"unknown DC kernel {dc_kernel!r} (known: {DC_KERNELS})"
+            )
+        if dc_kernel == "batched" and kernel != "compiled":
+            raise SynthesisError(
+                "dc_kernel='batched' requires the compiled evaluation kernel "
+                "(the lockstep solver stacks compiled stamp programs)"
             )
         self.mdac = mdac
         self.tech = tech
@@ -242,6 +266,7 @@ class HybridEvaluator:
         self.common_mode = common_mode if common_mode is not None else 0.45 * tech.vdd
         self.transient_points = transient_points
         self.kernel = kernel
+        self.dc_kernel = dc_kernel
         #: Optional on-disk store of compiled stamp templates — workers
         #: point this at ``<cache_dir>/templates`` so they load compiled
         #: programs instead of recompiling per job.
@@ -265,6 +290,9 @@ class HybridEvaluator:
         self._batch_scratch = _AcScratch()
         #: Bound stamp template, reused (rebound) across candidates.
         self._bound = None
+        #: Grow-once pool of per-candidate bindings for the batched DC
+        #: kernel (the lockstep block needs every member bound at once).
+        self._bound_pool: "list[object | None]" = []
 
     def _bind(self, bench: Circuit):
         """Bind (or rebind) the compiled stamp template onto ``bench``.
@@ -278,6 +306,23 @@ class HybridEvaluator:
             return bound.rebind(bench)
         bound = bind_template(bench, store=self.template_store)
         self._bound = bound
+        return bound
+
+    def _bind_pool(self, slot: int, bench: Circuit):
+        """Bind ``bench`` onto the pooled per-candidate binding ``slot``.
+
+        The batched DC kernel needs every population member bound
+        simultaneously; the pool grows to the largest population seen and
+        slots rebind (value refresh only) on subsequent batches.
+        """
+        pool = self._bound_pool
+        while len(pool) <= slot:
+            pool.append(None)
+        bound = pool[slot]
+        if bound is not None and bound.template.key == bench.topology_key():
+            return bound.rebind(bench)
+        bound = bind_template(bench, store=self.template_store)
+        pool[slot] = bound
         return bound
 
     def _ac_scratch(self, size: int) -> np.ndarray:
@@ -313,6 +358,10 @@ class HybridEvaluator:
         self, sizing: TwoStageSizing, run_transient: bool = False
     ) -> EvalResult:
         """Hybrid evaluation; set ``run_transient`` for the simulation half."""
+        if self.dc_kernel == "batched":
+            # Single-candidate case of the lockstep path: cold starts make
+            # a population of one identical to the member's batch result.
+            return self.evaluate_batch([sizing], run_transient)[0]
         staged = self._stage_equation(sizing)
         if staged.failed:
             return self._infeasible(sizing)
@@ -358,6 +407,21 @@ class HybridEvaluator:
                 )
             return results
 
+        if self.dc_kernel == "batched":
+            staged = self._stage_batched(sizings)
+            # Cold starts leave no warm chain to rewind: speculative
+            # replays (synth/batcheval.py) are trivially exact.
+            self._batch_warm_trace = [None] * len(sizings)
+            pending = [s for s in staged if s.lin is not None]
+            if pending:
+                _solve_staged_ac(pending, self._batch_scratch)
+            return [
+                self._infeasible(s.sizing)
+                if s.failed
+                else self._finish(s, run_transient)
+                for s in staged
+            ]
+
         staged: list[_StagedEvaluation] = []
         self._batch_warm_trace = []
         for sizing in sizings:
@@ -374,6 +438,42 @@ class HybridEvaluator:
             self._infeasible(s.sizing) if s.failed else self._finish(s, run_transient)
             for s in staged
         ]
+
+    def _stage_batched(
+        self, sizings: "list[TwoStageSizing]"
+    ) -> "list[_StagedEvaluation]":
+        """Cold-start lockstep DC staging for the batched kernel.
+
+        Every candidate binds its own pooled template slot, one population
+        solve (:func:`repro.analysis.dcbatch.solve_dc_batch`) replaces the
+        chained walk, and per-member failures degrade that member alone.
+        Like the chained path's cold restart, a candidate whose cold-start
+        solution is degenerate is infeasible — there is no further guess to
+        fall back to.
+        """
+        staged: "list[_StagedEvaluation]" = []
+        bounds = []
+        for i, sizing in enumerate(sizings):
+            self.equation_evals += 1
+            staged.append(_StagedEvaluation(sizing=sizing))
+            bench = self._ac_bench(sizing)
+            bounds.append(self._bind_pool(i, bench))
+        batch = solve_dc_batch(bounds, initial_guess=self._dc_guess())
+        for st, bound, op in zip(staged, bounds, batch.solutions):
+            if op is None or self._degenerate(op):
+                st.failed = True
+                continue
+            st.power = (
+                self.tech.vdd
+                * abs(op.supply_current("vdd_src"))
+                * DIFFERENTIAL_FACTOR
+            )
+            st.saturation = self._saturation_margin(op)
+            try:
+                st.lin = bound.linearize(op)
+            except (AnalysisError, ReproError):
+                st.failed = True
+        return staged
 
     def _stage_equation(self, sizing: TwoStageSizing) -> "_StagedEvaluation":
         """DC solve + linearization — the sequential half of an evaluation."""
@@ -611,6 +711,7 @@ class CornerSetEvaluator:
         transient_points: int = 500,
         kernel: str = "compiled",
         template_store: TemplateStore | str | None = None,
+        dc_kernel: str = "chained",
     ):
         if not techs:
             raise SynthesisError("CornerSetEvaluator needs at least one corner")
@@ -622,10 +723,12 @@ class CornerSetEvaluator:
                 transient_points=transient_points,
                 kernel=kernel,
                 template_store=template_store,
+                dc_kernel=dc_kernel,
             )
             for tech in techs
         ]
         self.kernel = kernel
+        self.dc_kernel = dc_kernel
         self._stack: BoundMnaStack | None = None
         self._tensor_scratch = _AcScratch()
 
@@ -661,6 +764,8 @@ class CornerSetEvaluator:
         """
         if self.kernel != "compiled":
             return [ev.evaluate_batch(sizings, run_transient) for ev in self.corners]
+        if self.dc_kernel == "batched":
+            return self._evaluate_batch_lockstep(sizings, run_transient)
 
         n_corners = len(self.corners)
         staged: list[list[_StagedEvaluation]] = [[] for _ in range(n_corners)]
@@ -705,6 +810,64 @@ class CornerSetEvaluator:
             # The candidates×corners×freq tensor: one chunked fused solve.
             _solve_staged_ac(pending, self._tensor_scratch)
 
+        return [
+            [
+                ev._infeasible(st.sizing)
+                if st.failed or st.a_all is None
+                else ev._finish(st, run_transient)
+                for st in staged[c]
+            ]
+            for c, ev in enumerate(self.corners)
+        ]
+
+    def _evaluate_batch_lockstep(
+        self, sizings: "list[TwoStageSizing]", run_transient: bool
+    ) -> "list[list[EvalResult]]":
+        """The candidates×corners block as one lockstep DC solve.
+
+        Every (candidate, corner) member joins a single
+        :func:`~repro.analysis.dcbatch.solve_dc_batch` population — corners
+        share the testbench topology, so the whole block iterates as one
+        masked Newton stack — and the surviving members' AC sweeps fuse
+        into the usual candidates×corners×freq tensor solve.  Each member
+        cold-starts from *its corner's* bias guess (supplies and common
+        modes differ per corner), so results are order-independent across
+        both axes.
+        """
+        staged: "list[list[_StagedEvaluation]]" = [[] for _ in self.corners]
+        bounds = []
+        guesses = []
+        entries: "list[tuple[int, _StagedEvaluation]]" = []
+        for i, sizing in enumerate(sizings):
+            for c, ev in enumerate(self.corners):
+                ev.equation_evals += 1
+                st = _StagedEvaluation(sizing=sizing)
+                staged[c].append(st)
+                bench = ev._ac_bench(sizing)
+                bounds.append(ev._bind_pool(i, bench))
+                guesses.append(ev._dc_guess())
+                entries.append((c, st))
+        batch = solve_dc_batch(bounds, initial_guess=guesses)
+        pending: "list[_StagedEvaluation]" = []
+        for (c, st), bound, op in zip(entries, bounds, batch.solutions):
+            ev = self.corners[c]
+            if op is None or ev._degenerate(op):
+                st.failed = True
+                continue
+            st.power = (
+                ev.tech.vdd
+                * abs(op.supply_current("vdd_src"))
+                * DIFFERENTIAL_FACTOR
+            )
+            st.saturation = ev._saturation_margin(op)
+            try:
+                st.lin = bound.linearize(op)
+            except (AnalysisError, ReproError):
+                st.failed = True
+                continue
+            pending.append(st)
+        if pending:
+            _solve_staged_ac(pending, self._tensor_scratch)
         return [
             [
                 ev._infeasible(st.sizing)

@@ -27,8 +27,9 @@ def retarget_mdac(
     seed: int = 7,
     verify_transient: bool = True,
     kernel: str = "compiled",
-    speculation: int = 0,
+    speculation: int = -1,
     template_store: str | None = None,
+    dc_kernel: str = "chained",
 ) -> SynthesisResult:
     """Warm-started synthesis of ``new_spec`` from a previously sized block.
 
@@ -64,4 +65,5 @@ def retarget_mdac(
         kernel=kernel,
         speculation=speculation,
         template_store=template_store,
+        dc_kernel=dc_kernel,
     )

@@ -29,6 +29,13 @@ from repro.tech.process import Technology
 _REPAIR_FACTOR = 1.30
 _MAX_REPAIRS = 3
 
+#: Depth a negative ("auto") ``speculation`` resolves to under the batched
+#: DC kernel.  The chained kernel resolves auto to 0: its warm-start walk
+#: cannot batch the DC stage, so speculated proposals only tie the serial
+#: loop and discards are pure loss (the BENCH_PR8.json receipt measures
+#: ~0.8x chained vs ~1.2x batched at this depth).
+_AUTO_SPECULATION_DEPTH = 8
+
 
 def synthesize_mdac(
     mdac: MdacSpec,
@@ -40,8 +47,9 @@ def synthesize_mdac(
     verify_transient: bool = True,
     retargeted: bool = False,
     kernel: str = "compiled",
-    speculation: int = 0,
+    speculation: int = -1,
     template_store: str | None = None,
+    dc_kernel: str = "chained",
 ) -> SynthesisResult:
     """Synthesize one MDAC opamp; returns the verified result.
 
@@ -52,17 +60,25 @@ def synthesize_mdac(
     template+batched-solve default, or ``"legacy"``, the reference walk);
     ``speculation`` > 1 additionally batches optimizer proposals through
     :class:`~repro.synth.batcheval.BatchCostFunction`, with the batch
-    depth adapting to the proposal stream's acceptance behaviour.
-    ``template_store`` points at an on-disk compiled-template store
+    depth adapting to the proposal stream's acceptance behaviour; a
+    negative depth means "auto" — :data:`_AUTO_SPECULATION_DEPTH` under
+    the batched DC kernel, off under the chained one.  ``template_store``
+    points at an on-disk compiled-template store
     (:class:`~repro.analysis.template.TemplateStore` directory) so worker
     processes load the stamp program instead of recompiling it.  All three
     knobs are pure performance choices: results are bit-identical across
-    them.
+    them.  ``dc_kernel`` is *not*: ``"batched"`` replaces the chained
+    warm-start DC walk with cold-start population lockstep solves
+    (:mod:`repro.analysis.dcbatch`), which changes the Newton trajectories
+    and therefore the synthesized result's identity.
     """
     start = time.perf_counter()
+    if speculation < 0:
+        speculation = _AUTO_SPECULATION_DEPTH if dc_kernel == "batched" else 0
     space = two_stage_space(mdac, tech)
     evaluator = HybridEvaluator(
-        mdac, tech, kernel=kernel, template_store=template_store
+        mdac, tech, kernel=kernel, template_store=template_store,
+        dc_kernel=dc_kernel,
     )
 
     if speculation > 1 and kernel == "compiled":

@@ -1,0 +1,321 @@
+"""Batched lockstep DC Newton: equivalence, masking, and degradation.
+
+The batched kernel's contract is weaker than the template kernel's
+bit-identity story — lockstep trajectories are *cold-start*, so they match
+the scalar solver's cold-start walk, not the chained warm results — but it
+is exact where it matters:
+
+* every member's solution satisfies KCL to the scalar solver's own
+  residual tolerance, and agrees with the scalar cold-start solve;
+* masked updates freeze converged members bitwise: a member's trajectory
+  is identical whether it iterates alone or inside any population;
+* members the lockstep cannot finish degrade individually (scalar-homotopy
+  fallback, then a per-member failure report) instead of aborting the
+  batch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.dc import _ABS_TOL, _assemble, solve_dc
+from repro.analysis.dcbatch import (
+    NEWTON_STATS,
+    _Population,
+    lockstep_newton,
+    reset_newton_stats,
+    solve_dc_batch,
+)
+from repro.analysis.mna import layout_for
+from repro.analysis.template import bind_template
+from repro.circuit.elements import CurrentSource, Resistor, VoltageSource
+from repro.circuit.netlist import Circuit
+from repro.enumeration.candidates import PipelineCandidate
+from repro.errors import AnalysisError, ConvergenceError, SynthesisError
+from repro.specs import AdcSpec, plan_stages
+from repro.synth import HybridEvaluator, two_stage_space
+from repro.synth.evaluator import CornerSetEvaluator
+from repro.tech import CMOS025
+from repro.tech.process import CMOS025_SLOW
+
+
+def _bench_population(count, seed=0):
+    """Random opamp testbench sizings sharing one topology."""
+    plan = plan_stages(
+        AdcSpec(resolution_bits=13), PipelineCandidate((4, 3, 2), 13, 7)
+    )
+    mdac = plan.mdacs[2]
+    space = two_stage_space(mdac, CMOS025)
+    evaluator = HybridEvaluator(mdac, CMOS025)
+    rng = np.random.default_rng(seed)
+    benches = [
+        evaluator._ac_bench(space.decode(rng.random(space.dimension)))
+        for _ in range(count)
+    ]
+    return benches, evaluator
+
+
+def _linear_circuit(r_load: float) -> Circuit:
+    c = Circuit(f"lin_{r_load:g}")
+    c.add(VoltageSource("v1", positive="a", negative="gnd", dc=1.0))
+    c.add(Resistor("r1", "a", "b", 1e3))
+    c.add(Resistor("r2", "b", "gnd", r_load))
+    c.add(CurrentSource("i1", positive="b", negative="gnd", dc=1e-4))
+    return c
+
+
+class TestBatchedMatchesChainedColdStart:
+    """Property: lockstep members equal the scalar cold-start solve."""
+
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_random_population_within_residual_tolerance(self, seed):
+        benches, evaluator = _bench_population(10, seed=seed)
+        guess = evaluator._dc_guess()
+        bounds = [bind_template(b) for b in benches]
+        result = solve_dc_batch(bounds, initial_guess=guess)
+        assert result.ok, result.failures
+        for bench, sol in zip(benches, result.solutions):
+            # The member's own residual claim holds against the *scalar*
+            # assembly — the KCL tolerance, not a self-consistency check.
+            layout = layout_for(bench)
+            _, resid = _assemble(layout, sol.x, 0.0, 1.0)
+            assert float(np.max(np.abs(resid))) < _ABS_TOL
+            # And the solution agrees with the chained kernel's cold start.
+            ref = solve_dc(bench, initial_guess=guess)
+            for net, v in ref.voltages.items():
+                assert sol.voltages[net] == pytest.approx(v, abs=1e-9), net
+
+    def test_iterations_match_scalar_cold_walk(self):
+        benches, evaluator = _bench_population(6, seed=5)
+        guess = evaluator._dc_guess()
+        result = solve_dc_batch(
+            [bind_template(b) for b in benches], initial_guess=guess
+        )
+        for bench, sol in zip(benches, result.solutions):
+            ref = solve_dc(bench, initial_guess=guess)
+            if ref.strategy == "newton":  # plain-Newton members only
+                assert sol.iterations == ref.iterations
+
+
+class TestMaskedUpdates:
+    """Converged members freeze bitwise while stragglers keep iterating."""
+
+    def test_mixed_convergence_speeds_freeze_independently(self):
+        benches, evaluator = _bench_population(12, seed=7)
+        guess = evaluator._dc_guess()
+        bounds = [bind_template(b) for b in benches]
+        population = _Population(bounds)
+        # Seed from the shared guess (not zeros) so speeds genuinely mix.
+        from repro.analysis.dcbatch import _start_vector
+
+        start = np.stack([_start_vector(b, guess) for b in bounds])
+        x, status, iterations, residuals = lockstep_newton(population, start)
+        assert (status == 1).all()
+        assert len(set(iterations.tolist())) > 1, (
+            "population converges in lockstep — pick sizings with mixed "
+            "convergence speeds for this test"
+        )
+        # Bitwise freezing: each member alone reproduces its block result.
+        for i, bound in enumerate(bounds):
+            solo = _Population([bound])
+            sx, sstatus, siters, _ = lockstep_newton(solo, start[i : i + 1])
+            assert sstatus[0] == 1
+            assert siters[0] == iterations[i]
+            assert np.array_equal(sx[0], x[i])
+
+    def test_population_composition_is_irrelevant(self):
+        benches, evaluator = _bench_population(8, seed=2)
+        guess = evaluator._dc_guess()
+        bounds = [bind_template(b) for b in benches]
+        full = solve_dc_batch(bounds, initial_guess=guess)
+        half = solve_dc_batch(bounds[::2], initial_guess=guess)
+        reversed_ = solve_dc_batch(list(reversed(bounds)), initial_guess=guess)
+        for i, sol in enumerate(half.solutions):
+            assert np.array_equal(sol.x, full.solutions[2 * i].x)
+        for i, sol in enumerate(reversed_.solutions):
+            assert np.array_equal(sol.x, full.solutions[len(bounds) - 1 - i].x)
+
+
+class TestDegradationPaths:
+    """Per-member fallback and failure reporting, never batch-wide raises."""
+
+    def test_unconverged_members_fall_back_to_scalar_homotopy(self, monkeypatch):
+        benches, evaluator = _bench_population(4, seed=1)
+        guess = evaluator._dc_guess()
+        bounds = [bind_template(b) for b in benches]
+        import repro.analysis.dcbatch as dcbatch
+
+        real = dcbatch.lockstep_newton
+
+        def sabotaged(population, x0, **kwargs):
+            x, status, iterations, residuals = real(population, x0, **kwargs)
+            status[::2] = 2  # report half the members diverged
+            return x, status, iterations, residuals
+
+        monkeypatch.setattr(dcbatch, "lockstep_newton", sabotaged)
+        reset_newton_stats()
+        result = solve_dc_batch(bounds, initial_guess=guess)
+        assert result.ok
+        assert result.fallback_members == (0, 2)
+        assert NEWTON_STATS["fallbacks"] == 2
+        assert NEWTON_STATS["failures"] == 0
+        for i in (0, 2):
+            ref = solve_dc(benches[i], initial_guess=guess)
+            assert np.array_equal(result.solutions[i].x, ref.x)
+
+    def test_failures_name_members_instead_of_raising(self, monkeypatch):
+        benches, evaluator = _bench_population(3, seed=1)
+        guess = evaluator._dc_guess()
+        bounds = [bind_template(b) for b in benches]
+        import repro.analysis.dcbatch as dcbatch
+
+        real = dcbatch.lockstep_newton
+
+        def sabotaged(population, x0, **kwargs):
+            x, status, iterations, residuals = real(population, x0, **kwargs)
+            status[1] = 2
+            return x, status, iterations, residuals
+
+        def failing_solve(circuit, initial_guess=None, x0=None, assembly=None):
+            raise ConvergenceError("no dice")
+
+        monkeypatch.setattr(dcbatch, "lockstep_newton", sabotaged)
+        monkeypatch.setattr(dcbatch, "solve_dc", failing_solve)
+        reset_newton_stats()
+        result = solve_dc_batch(bounds, initial_guess=guess)
+        assert not result.ok
+        assert set(result.failures) == {1}
+        assert "no dice" in result.failures[1]
+        assert result.solutions[1] is None
+        assert result.solutions[0] is not None and result.solutions[2] is not None
+        assert NEWTON_STATS["failures"] == 1
+
+    def test_mixed_topologies_group_internally(self):
+        benches, evaluator = _bench_population(2, seed=4)
+        guess = evaluator._dc_guess()
+        linear = [_linear_circuit(2e3), _linear_circuit(5e3)]
+        bounds = [
+            bind_template(benches[0]),
+            bind_template(linear[0]),
+            bind_template(benches[1]),
+            bind_template(linear[1]),
+        ]
+        guesses = [guess, None, guess, None]
+        result = solve_dc_batch(bounds, initial_guess=guesses)
+        assert result.ok
+        for circuit, sol in zip(
+            (benches[0], linear[0], benches[1], linear[1]), result.solutions
+        ):
+            ref = solve_dc(circuit, initial_guess=guess if "acbench" in circuit.name else None)
+            for net, v in ref.voltages.items():
+                assert sol.voltages[net] == pytest.approx(v, abs=1e-9)
+
+    def test_guess_list_length_mismatch_raises(self):
+        benches, _ = _bench_population(2, seed=4)
+        with pytest.raises(AnalysisError):
+            solve_dc_batch([bind_template(b) for b in benches], initial_guess=[None])
+
+
+class TestTelemetry:
+    def test_counters_account_for_every_member(self):
+        benches, evaluator = _bench_population(9, seed=6)
+        guess = evaluator._dc_guess()
+        reset_newton_stats()
+        result = solve_dc_batch(
+            [bind_template(b) for b in benches], initial_guess=guess
+        )
+        assert result.ok
+        assert NEWTON_STATS["lockstep_calls"] == 1
+        assert NEWTON_STATS["lockstep_members"] == 9
+        assert NEWTON_STATS["converged"] + NEWTON_STATS["fallbacks"] == 9
+        assert NEWTON_STATS["lockstep_iterations"] >= max(
+            s.iterations for s in result.solutions
+        )
+        # Occupancy sums the active count per iteration: bounded by a full
+        # block every iteration, and at least one member per iteration.
+        assert (
+            NEWTON_STATS["lockstep_iterations"]
+            <= NEWTON_STATS["mask_occupancy"]
+            <= NEWTON_STATS["lockstep_iterations"] * 9
+        )
+        assert NEWTON_STATS["member_iterations"] == sum(
+            s.iterations for s in result.solutions
+        )
+
+    def test_reset_zeroes_all_counters(self):
+        reset_newton_stats()
+        assert all(v == 0 for v in NEWTON_STATS.values())
+
+
+class TestEvaluatorIntegration:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        plan = plan_stages(
+            AdcSpec(resolution_bits=13), PipelineCandidate((4, 3, 2), 13, 7)
+        )
+        mdac = plan.mdacs[2]
+        space = two_stage_space(mdac, CMOS025)
+        rng = np.random.default_rng(9)
+        sizings = [space.decode(rng.random(space.dimension)) for _ in range(16)]
+        return mdac, sizings
+
+    def test_batched_requires_compiled_kernel(self, setup):
+        mdac, _ = setup
+        with pytest.raises(SynthesisError):
+            HybridEvaluator(mdac, CMOS025, kernel="legacy", dc_kernel="batched")
+        with pytest.raises(SynthesisError):
+            HybridEvaluator(mdac, CMOS025, dc_kernel="warp")
+
+    def test_single_evaluate_equals_batch_member(self, setup):
+        mdac, sizings = setup
+        ev = HybridEvaluator(mdac, CMOS025, dc_kernel="batched")
+        batch = ev.evaluate_batch(sizings[:6])
+        ev2 = HybridEvaluator(mdac, CMOS025, dc_kernel="batched")
+        for sizing, expected in zip(sizings[:6], batch):
+            got = ev2.evaluate(sizing)
+            assert got.cost() == expected.cost()
+            assert got.feasible == expected.feasible
+
+    def test_batch_results_are_order_independent(self, setup):
+        mdac, sizings = setup
+        ev = HybridEvaluator(mdac, CMOS025, dc_kernel="batched")
+        forward = ev.evaluate_batch(sizings)
+        backward = ev.evaluate_batch(list(reversed(sizings)))
+        for a, b in zip(forward, reversed(backward)):
+            assert a.cost() == b.cost()
+
+    def test_batched_agrees_with_chained_on_feasibility(self, setup):
+        mdac, sizings = setup
+        chained = HybridEvaluator(mdac, CMOS025).evaluate_batch(sizings)
+        batched = HybridEvaluator(
+            mdac, CMOS025, dc_kernel="batched"
+        ).evaluate_batch(sizings)
+        agree = sum(
+            1 for a, b in zip(chained, batched) if a.feasible == b.feasible
+        )
+        # Warm starts vs cold starts may legitimately disagree on members
+        # whose chained solve landed on a warm-chain-dependent operating
+        # point; the population must agree on the overwhelming majority.
+        assert agree >= len(sizings) - 1
+        for a, b in zip(chained, batched):
+            if np.isfinite(a.cost()) and np.isfinite(b.cost()):
+                assert b.cost() == pytest.approx(a.cost(), rel=1e-3)
+
+    def test_corner_lockstep_matches_per_corner_batched(self, setup):
+        mdac, sizings = setup
+        corner_ev = CornerSetEvaluator(
+            mdac, [CMOS025, CMOS025_SLOW], dc_kernel="batched"
+        )
+        fused = corner_ev.evaluate_batch(sizings[:8])
+        for c, tech in enumerate((CMOS025, CMOS025_SLOW)):
+            solo = HybridEvaluator(mdac, tech, dc_kernel="batched")
+            standalone = solo.evaluate_batch(sizings[:8])
+            for a, b in zip(fused[c], standalone):
+                assert a.cost() == b.cost()
+                assert a.feasible == b.feasible
+
+    def test_speculation_rewind_is_trivial_under_cold_starts(self, setup):
+        mdac, sizings = setup
+        ev = HybridEvaluator(mdac, CMOS025, dc_kernel="batched")
+        ev.evaluate_batch(sizings[:5])
+        assert ev._batch_warm_trace == [None] * 5
+        assert ev._warm_x is None

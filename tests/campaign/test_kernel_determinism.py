@@ -9,7 +9,7 @@ PR 1/PR 2 determinism guarantees to the kernel layer.
 import pytest
 
 from repro.campaign import CampaignGrid, run_campaign
-from repro.engine.config import FlowConfig
+from repro.engine.config import SPECULATION_AUTO, FlowConfig
 
 
 def _store_bytes(tmp_path, label, **config_kwargs):
@@ -67,4 +67,6 @@ def test_speculative_matches_legacy_bytes(stores):
 def test_default_config_uses_compiled_kernel():
     config = FlowConfig()
     assert config.eval_kernel == "compiled"
-    assert config.eval_speculation == 0
+    # Auto: synthesize_mdac resolves the depth from the DC kernel — 0 on
+    # the default chained walk, 8 on the batched lockstep kernel.
+    assert config.eval_speculation == SPECULATION_AUTO
