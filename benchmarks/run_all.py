@@ -1,4 +1,4 @@
-"""Run the standalone benchmark suite and emit ``BENCH_PR8.json``.
+"""Run the standalone benchmark suite and emit ``BENCH_PR9.json``.
 
 Standalone (no pytest): fixed seeds, deterministic workloads, wall-clock
 measurements of the compiled evaluation kernels against the legacy path,
@@ -12,16 +12,16 @@ rate, sustained jobs/s — see ``benchmarks/bench_service.py``).
 
 The PR 3 stages (``synthesize_mdac`` / ``equation_metric_stage`` /
 ``evaluate_batch`` / ``service``) carry forward unchanged, as do PR 6's
-``corner_tensor`` / ``template_cache`` and PR 7's ``behavioral``.  PR 8
-adds ``dc_batch``: the population lockstep DC Newton kernel
-(``repro.analysis.dcbatch``) against the chained warm-start walk on the
-acceptance population, with winner-equivalence (same feasibility set,
-same argmin-cost winner — the kernels are *not* bit-identical, their
-Newton trajectories differ) and the batched pass's convergence telemetry
-embedded.  The ``speculation`` stage now carries the per-kernel receipt
-behind the ``SPECULATION_AUTO`` default: off on the chained kernel where
-speculated proposals cannot batch the DC stage, on under the batched
-kernel where they can.
+``corner_tensor`` / ``template_cache``, PR 7's ``behavioral``, and PR 8's
+``dc_batch`` with its convergence telemetry and ``speculation`` receipts.
+PR 9 adds ``fabric``: the distributed execution fabric measured against a
+live HTTP broker and real ``repro-adc worker`` subprocesses — per-task
+lease overhead (submit/lease/heartbeat/ack round trip in milliseconds),
+fleet throughput at 1 vs 2 workers on fixed-service-time probe tasks
+(isolating dispatch concurrency from the runner's core count), sizing
+digests of a 2-worker synthesis batch against a local serial run, and
+the time for a SIGKILLed worker's lease to be reclaimed
+(see ``benchmarks/bench_fabric.py``).
 
 ``--check`` is the CI regression guard: it fails the run when the compiled
 kernel is slower than the legacy path on the same workload, when any
@@ -31,9 +31,12 @@ still compiles, when the behavioral batch kernel is not bit-identical to
 the scalar walk or misses its 5x floor at 256 draws, when the ``dc_batch``
 stage misses its 1.5x floor, breaks winner-equivalence or its telemetry
 stops accounting for every population member, when either side of the
-speculation auto-default contradicts its measurement, or when the service
+speculation auto-default contradicts its measurement, when the service
 stage breaks its coalescing contract (N identical concurrent submissions
-must perform exactly one cold synthesis).
+must perform exactly one cold synthesis), or when the ``fabric`` stage
+misses its 1.5x two-worker throughput floor, diverges from the local
+serial run, or fails to reclaim a SIGKILLed worker's lease within 3x the
+lease TTL.
 
 A stage that *raises* is recorded in its JSON slot as ``{"error": ...}``
 and the run exits non-zero after writing the (partial) report — CI fails
@@ -517,8 +520,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="tiny budgets for CI (seconds, not minutes)")
-    parser.add_argument("--out", default="BENCH_PR8.json",
-                        help="output JSON path (default: BENCH_PR8.json)")
+    parser.add_argument("--out", default="BENCH_PR9.json",
+                        help="output JSON path (default: BENCH_PR9.json)")
     parser.add_argument("--check", action="store_true",
                         help="exit nonzero if compiled is slower than legacy "
                              "or any result diverges")
@@ -547,8 +550,19 @@ def main(argv=None) -> int:
     # silently truncate the JSON.  The error is recorded in the stage's
     # slot (so CI artifacts show *which* stage died and why) and the run
     # exits non-zero after writing the partial report.
-    # bench_service sits next to this script; script-dir imports resolve it.
+    # bench_service/bench_fabric sit next to this script; script-dir
+    # imports resolve them.
+    from bench_fabric import check_fabric_report, run_fabric_benchmark
     from bench_service import check_service_report, run_service_benchmark
+
+    # Fabric probes measure dispatch concurrency (off-CPU service time),
+    # so smoke only trims the probe count and service time — the 1.5x
+    # two-worker floor holds at either scale.
+    fabric_kwargs = (
+        dict(tasks=6, busy_s=0.2, identity_jobs=3, budget=60)
+        if args.smoke
+        else dict(tasks=10, busy_s=0.3, identity_jobs=4, budget=120)
+    )
 
     stage_fns = {
         "synthesize_mdac": lambda: stage_synthesize(budget),
@@ -565,6 +579,7 @@ def main(argv=None) -> int:
             stages["synthesize_mdac"], budget
         ),
         "service": lambda: run_service_benchmark(identical, distinct),
+        "fabric": lambda: run_fabric_benchmark(**fabric_kwargs),
     }
     stages: dict[str, dict] = {}
     stage_errors: list[str] = []
@@ -576,7 +591,7 @@ def main(argv=None) -> int:
             stage_errors.append(name)
 
     report = {
-        "bench": "PR8 batched DC Newton lockstep tier",
+        "bench": "PR9 distributed execution fabric tier",
         "config": {
             "smoke": args.smoke,
             "budget": budget,
@@ -606,6 +621,7 @@ def main(argv=None) -> int:
     behavioral = report["stages"]["behavioral"]
     speculation = report["stages"]["speculation"]
     service = report["stages"]["service"]
+    fabric = report["stages"]["fabric"]
     print(
         f"\nfull-candidate speedup: {synth['speedup_full_candidate']}x, "
         f"equation-metric stage: {eqn['speedup']}x, "
@@ -619,7 +635,10 @@ def main(argv=None) -> int:
         f"(default={speculation['default_eval_speculation']}), "
         f"service: {service['coalescing']['submissions']} identical submissions "
         f"-> {service['coalescing']['cold_synthesis_runs']} cold synthesis, "
-        f"{service['throughput']['jobs_per_s']} jobs/s -> {out_path}"
+        f"{service['throughput']['jobs_per_s']} jobs/s, "
+        f"fabric: {fabric['throughput']['speedup_two_vs_one']}x at 2 workers "
+        f"({fabric['lease_overhead']['median_ms']}ms lease overhead, "
+        f"reclaim in {fabric['reclaim']['seconds_to_reclaim']}s) -> {out_path}"
     )
 
     if args.check:
@@ -690,6 +709,7 @@ def main(argv=None) -> int:
                 "batched, speculative vs plain)"
             )
         failures.extend(check_service_report(service))
+        failures.extend(check_fabric_report(fabric))
         if failures:
             for failure in failures:
                 print(f"CHECK FAILED: {failure}", file=sys.stderr)

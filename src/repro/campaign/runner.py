@@ -563,7 +563,15 @@ def run_campaign(
             checkpoints.clear()
             shutil.rmtree(store_path / QUEUE_DIRNAME, ignore_errors=True)
         write_manifest(manifest, store_path)
-        if config.backend == "queue" and config.queue_dir is None:
+        if (
+            config.backend in ("queue", "broker")
+            and config.queue_dir is None
+            and config.broker_url is None
+        ):
+            # Default the task directory into the store: queue acks (and a
+            # directory broker's task files) then live and die with the
+            # campaign they belong to.  A broker run pointed at a remote
+            # HTTP broker (broker_url set) manages no local directory.
             config = dataclasses.replace(
                 config, queue_dir=str(store_path / QUEUE_DIRNAME)
             )

@@ -18,7 +18,8 @@ Examples::
     repro-adc campaign --bits 10-13 --shard 1/2 --out shard1
     repro-adc merge shard1 shard2 --out merged
     repro-adc serve --store svc-store --port 8765
-    repro-adc submit --bits 10-13 --watch --fetch results/
+    repro-adc worker --broker http://127.0.0.1:8765
+    repro-adc submit --bits 10-13 --backend broker --watch --fetch results/
     repro-adc jobs
 
 Every flow command accepts the execution-engine flags (``--backend``,
@@ -70,7 +71,7 @@ DEFAULT_SERVICE_URL = os.environ.get("REPRO_ADC_SERVICE", "http://127.0.0.1:8765
 #: :class:`repro.engine.config.FlowConfig` (see tests/campaign/test_cli.py).
 EPILOG = """\
 execution engine (every flow command):
-  --backend {serial,thread,process} maps the flow's fan-out points
+  --backend {serial,thread,process,queue,broker} maps the flow's fan-out points
   (candidate evaluation, synthesis waves, resolution sweeps) over the
   chosen executor; --workers bounds the pool.  --cache-dir enables the
   content-fingerprinted persistent block cache (default: the
@@ -121,7 +122,19 @@ service:
   resumes its queue without recomputing completed jobs.  repro-adc submit
   sends a job (--watch streams progress; --fetch downloads the result
   store, byte-identical to a direct campaign run) and repro-adc jobs
-  lists the queue.  See docs/service.md.
+  lists the queue.  All routes live under /v1/; unversioned paths still
+  answer but carry a Deprecation header.  See docs/service.md.
+
+distributed fabric:
+  --backend broker hands the flow's fan-out tasks to a task broker
+  instead of a local pool: repro-adc worker processes lease tasks
+  (pinned by TTL'd heartbeat leases), execute them, and ack results
+  back, so a campaign fans out across processes or machines and a
+  SIGKILLed worker's tasks are reclaimed by the survivors.  Point
+  workers and flows at a serve instance (worker --broker URL, flows
+  --broker-url URL, submit --backend broker) or at a shared directory
+  (--queue-dir).  Results stay byte-identical to a serial run.  See
+  docs/engine.md.
 
 docs: docs/architecture.md (layer map), docs/engine.md (backends, waves,
 fingerprints), docs/service.md (job API).
@@ -197,8 +210,15 @@ def _engine_parent() -> argparse.ArgumentParser:
         "--queue-dir",
         default=None,
         metavar="DIR",
-        help="lease/ack directory for --backend queue (default: inside the "
-        "campaign --out store, or a temporary directory)",
+        help="lease/ack directory for --backend queue or broker (default: "
+        "inside the campaign --out store, or a temporary directory)",
+    )
+    group.add_argument(
+        "--broker-url",
+        default=None,
+        metavar="URL",
+        help="task-broker endpoint for --backend broker (a repro-adc serve "
+        "instance; tasks execute on attached repro-adc worker processes)",
     )
     group.add_argument(
         "--verbose",
@@ -254,9 +274,16 @@ def _resolve_speculation(args: argparse.Namespace) -> int:
 
 def _flow_config(args: argparse.Namespace) -> FlowConfig:
     """Assemble the FlowConfig from parsed engine flags."""
-    if args.queue_dir is not None and args.backend != "queue":
+    if args.queue_dir is not None and args.backend not in ("queue", "broker"):
         raise SpecificationError(
-            f"--queue-dir only applies to --backend queue "
+            f"--queue-dir only applies to --backend queue or broker "
+            f"(got --backend {args.backend}; valid backends: "
+            f"{', '.join(sorted(BACKENDS))})"
+        )
+    broker_url = getattr(args, "broker_url", None)
+    if broker_url is not None and args.backend != "broker":
+        raise SpecificationError(
+            f"--broker-url only applies to --backend broker "
             f"(got --backend {args.backend}; valid backends: "
             f"{', '.join(sorted(BACKENDS))})"
         )
@@ -267,6 +294,7 @@ def _flow_config(args: argparse.Namespace) -> FlowConfig:
         max_workers=args.workers,
         cache_dir=args.cache_dir,
         queue_dir=args.queue_dir,
+        broker_url=broker_url,
         budget=args.budget,
         retarget_budget=args.retarget_budget,
         verify_transient=not args.no_verify,
@@ -447,6 +475,77 @@ def main(argv: list[str] | None = None) -> int:
         default=os.environ.get("REPRO_ADC_CACHE"),
         help="persistent block-cache directory shared by all jobs "
         "(env REPRO_ADC_CACHE)",
+    )
+    p_serve.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="broker task-lease time-to-live: a leased task whose worker "
+        "stops heartbeating is reclaimed after SECONDS (default 60)",
+    )
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="run a task-executing worker attached to a broker",
+        description=(
+            "Pull tasks from a broker (a repro-adc serve instance via "
+            "--broker, or a shared --queue-dir directly), execute them in "
+            "this process, and acknowledge results back.  Start N workers "
+            "against one broker to fan a campaign out across processes or "
+            "machines; leases + heartbeats make a killed worker's tasks "
+            "reclaimable by the survivors."
+        ),
+    )
+    p_worker.add_argument(
+        "--broker",
+        default=None,
+        metavar="URL",
+        help="broker endpoint (a repro-adc serve instance, e.g. "
+        f"{DEFAULT_SERVICE_URL})",
+    )
+    p_worker.add_argument(
+        "--queue-dir",
+        default=None,
+        metavar="DIR",
+        help="serve a directory broker in-place instead of an HTTP one "
+        "(shared filesystem deployments)",
+    )
+    p_worker.add_argument(
+        "--worker-id",
+        default=None,
+        metavar="ID",
+        help="stable identity recorded on leases (default: hostname-pid)",
+    )
+    p_worker.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="idle polling interval between lease attempts (default 0.2)",
+    )
+    p_worker.add_argument(
+        "--ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="lease time-to-live assumed for heartbeat pacing, and stamped "
+        "on leases when serving a --queue-dir directly (default 60)",
+    )
+    p_worker.add_argument(
+        "--max-tasks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after executing N tasks (default: run until signalled)",
+    )
+    p_worker.add_argument(
+        "--idle-exit",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit after SECONDS without finding any task "
+        "(default: keep polling)",
     )
 
     p_submit = sub.add_parser(
@@ -673,6 +772,8 @@ def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
             print(f"\nmerged store: {args.out}/results.jsonl", file=sys.stderr)
     elif args.command == "serve":
         return _cmd_serve(args)
+    elif args.command == "worker":
+        return _cmd_worker(args)
     elif args.command == "submit":
         return _cmd_submit(args)
     elif args.command == "jobs":
@@ -686,12 +787,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     _require_store_dir(args.store, "--store")
     _require_store_dir(args.cache_dir, "--cache-dir")
+    extra = {} if args.lease_ttl is None else {"lease_ttl": args.lease_ttl}
     service = OptimizationService(
         args.store,
         host=args.host,
         port=args.port,
         job_workers=args.job_workers,
         cache_dir=args.cache_dir,
+        **extra,
     )
 
     def _ready() -> None:
@@ -709,6 +812,63 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     print("stopped", flush=True)
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Run a broker worker until signalled (or --max-tasks/--idle-exit)."""
+    import signal
+    import threading
+
+    from repro.engine.broker import (
+        DEFAULT_LEASE_TTL,
+        DirectoryBroker,
+        HttpBroker,
+    )
+    from repro.engine.worker import WorkerLoop, default_worker_id
+
+    if (args.broker is None) == (args.queue_dir is None):
+        raise SpecificationError(
+            "pick exactly one task source: --broker URL (a repro-adc serve "
+            "instance) or --queue-dir DIR (a shared queue directory)"
+        )
+    ttl = DEFAULT_LEASE_TTL if args.ttl is None else args.ttl
+    if args.broker is not None:
+        broker = HttpBroker(args.broker)
+        source = args.broker
+    else:
+        _require_store_dir(args.queue_dir, "--queue-dir")
+        broker = DirectoryBroker(args.queue_dir, lease_ttl=ttl)
+        source = args.queue_dir
+    worker_id = args.worker_id or default_worker_id()
+    loop = WorkerLoop(
+        broker,
+        worker_id=worker_id,
+        poll_interval=args.poll,
+        lease_ttl=ttl,
+        max_tasks=args.max_tasks,
+        idle_exit=args.idle_exit,
+    )
+    print(f"repro-adc worker {worker_id} on {source}", flush=True)
+
+    stop = threading.Event()
+
+    def _signalled(signum: int, frame: object) -> None:
+        stop.set()
+
+    # Graceful stop: finish (and ack) the in-flight task, then exit.  A
+    # SIGKILLed worker instead leaves a lease that the broker reclaims
+    # after the TTL, so either way no task is lost.
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(sig, _signalled)
+    counters = loop.run(stop=stop)
+    print(
+        "worker {}: {}".format(
+            worker_id,
+            ", ".join(f"{k}={v}" for k, v in sorted(counters.items())),
+        ),
+        flush=True,
+    )
     return 0
 
 

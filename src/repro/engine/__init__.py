@@ -5,6 +5,9 @@ The engine layer is the orchestration spine introduced between the flow
 
 * :mod:`repro.engine.backend` — the :class:`ExecutionBackend` contract with
   serial and process-pool implementations;
+* :mod:`repro.engine.broker` — the :class:`Broker` task-distribution
+  protocol (directory and HTTP implementations) behind the work queue and
+  the ``repro-adc worker`` fleet;
 * :mod:`repro.engine.scheduler` — deduplicated, wave-ordered synthesis
   scheduling that preserves nearest-donor warm starts under parallelism;
 * :mod:`repro.engine.persist` — content-fingerprinted on-disk persistence
@@ -22,6 +25,7 @@ from repro.engine.backend import (
     ProcessPoolBackend,
     SerialBackend,
     ThreadPoolBackend,
+    create_backend,
     make_backend,
 )
 from repro.engine.config import DEFAULT_FLOW_CONFIG, FlowConfig
@@ -47,6 +51,7 @@ __all__ = [
     "SynthesisPlan",
     "ThreadPoolBackend",
     "block_fingerprint",
+    "create_backend",
     "execute_plan",
     "load_result",
     "make_backend",

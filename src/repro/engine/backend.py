@@ -168,15 +168,31 @@ def _make_queue_backend(max_workers=None, chunksize=1, queue_dir=None):
     )
 
 
+def _make_broker_backend(
+    max_workers=None, chunksize=1, queue_dir=None, broker_url=None
+):
+    """Factory for the distributed broker backend (lazy import)."""
+    from repro.engine.broker import BrokerBackend
+
+    return BrokerBackend(
+        broker_url=broker_url,
+        queue_dir=queue_dir,
+        max_workers=max_workers,
+        chunksize=chunksize,
+    )
+
+
 #: Registered backend names -> factories.  Extension point: register a new
 #: name here (or assign ``BACKENDS['myname'] = factory`` at import time) and
 #: every FlowConfig / CLI ``--backend`` choice picks it up.  Factories that
-#: accept a ``queue_dir`` keyword receive :attr:`FlowConfig.queue_dir`.
+#: accept a ``queue_dir`` / ``broker_url`` keyword receive the matching
+#: :class:`FlowConfig` field.
 BACKENDS: dict[str, Callable[..., ExecutionBackend]] = {
     "serial": lambda max_workers=None, chunksize=1: SerialBackend(),
     "thread": ThreadPoolBackend,
     "process": ProcessPoolBackend,
     "queue": _make_queue_backend,
+    "broker": _make_broker_backend,
 }
 
 
@@ -185,11 +201,13 @@ def make_backend(
     max_workers: int | None = None,
     chunksize: int = 1,
     queue_dir: str | None = None,
+    broker_url: str | None = None,
 ) -> ExecutionBackend:
     """Instantiate a backend by registered name.
 
-    ``queue_dir`` is forwarded only to factories whose signature accepts it
-    (the work-queue backend); other backends ignore it.
+    ``queue_dir`` and ``broker_url`` are forwarded only to factories whose
+    signature accepts them (the work-queue and broker backends); other
+    backends ignore them.
     """
     try:
         factory = BACKENDS[name]
@@ -200,9 +218,32 @@ def make_backend(
         ) from None
     kwargs: dict[str, Any] = {"max_workers": max_workers, "chunksize": chunksize}
     try:
-        accepts_queue_dir = "queue_dir" in inspect.signature(factory).parameters
+        params = inspect.signature(factory).parameters
     except (TypeError, ValueError):
-        accepts_queue_dir = False
-    if accepts_queue_dir:
+        params = {}
+    if "queue_dir" in params:
         kwargs["queue_dir"] = queue_dir
+    if "broker_url" in params:
+        kwargs["broker_url"] = broker_url
     return factory(**kwargs)
+
+
+def create_backend(name: str, config: Any = None) -> ExecutionBackend:
+    """The one construction path for execution backends.
+
+    ``config`` is anything shaped like :class:`~repro.engine.config.FlowConfig`
+    (only the execution knobs are read); ``None`` builds the backend with
+    registry defaults.  The CLI, the campaign runner, and the service
+    scheduler all come through here, so an unknown name fails identically
+    everywhere — one :class:`~repro.errors.SpecificationError` the CLI
+    renders as its single-line ``repro-adc: error:`` form.
+    """
+    if config is None:
+        return make_backend(name)
+    return make_backend(
+        name,
+        max_workers=getattr(config, "max_workers", None),
+        chunksize=getattr(config, "chunksize", 1),
+        queue_dir=getattr(config, "queue_dir", None),
+        broker_url=getattr(config, "broker_url", None),
+    )

@@ -1,0 +1,707 @@
+"""The distributed execution fabric: brokers, and the backend that uses them.
+
+The file-backed work queue (:mod:`repro.engine.workqueue`) proved the
+protocol — content-addressed tasks, exclusive leases, atomic acks — but its
+lease/ack plumbing was welded to one process's thread pool.  This module
+promotes that plumbing into a pluggable :class:`Broker` with two
+implementations and a backend that dispatches through either one:
+
+* :class:`DirectoryBroker` — the PR 4 on-disk layout behind the protocol.
+  ``<key>.ack.pkl`` and ``<key>.lease`` files are byte-compatible both ways
+  (old acks replay, old leases parse; new leases add worker/host/deadline
+  fields the old reader ignores).  Two new file kinds appear only when the
+  fabric is used: ``<key>.task.json`` (a pending task envelope a remote
+  worker can pick up) and ``<key>.nack.json`` (a failure record with a
+  retry count).
+* :class:`HttpBroker` — the same protocol spoken over the optimization
+  service's versioned ``/v1/broker/*`` routes, so workers on other hosts
+  need nothing but a URL.
+* :class:`BrokerBackend` — ``BACKENDS['broker']``: publishes each ``map``'s
+  tasks to a broker and polls for acks, instead of executing on local
+  executor threads.  Whoever runs ``repro-adc worker`` against the same
+  broker does the executing.
+
+Leases carry a TTL.  A worker extends its lease by heartbeating; a lease
+whose deadline passed — or whose recorded pid is dead on this host — is
+reclaimed and the task re-leased, so a SIGKILLed worker costs one TTL at
+worst and usually nothing.  Determinism is inherited wholesale: tasks are
+pure, results are assembled in task order, and an ack is byte-for-byte the
+result the executing worker produced, so a fleet run replays into a store
+byte-identical to the serial reference (the fabric tests and the CI
+``fabric-e2e`` job enforce this).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import socket
+import time
+from pathlib import Path
+from typing import Any, Callable, Iterable, Protocol, TypeVar, runtime_checkable
+
+from repro.engine.persist import atomic_write_bytes
+from repro.errors import ServiceError, SpecificationError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Pending-task envelope files (JSON, see :func:`repro.service.wire.encode_task`).
+TASK_SUFFIX = ".task.json"
+
+#: Failure records: ``{"retries": N, "error": "..."}``.
+NACK_SUFFIX = ".nack.json"
+
+#: How many failed executions a task survives before the broker stops
+#: re-leasing it and ``BrokerBackend`` surfaces the recorded error.
+MAX_RETRIES = 3
+
+#: Default lease time-to-live.  Matches the work queue's historic
+#: ``lease_timeout``: synthesis tasks run seconds to low minutes, and a
+#: worker heartbeats at TTL/3, so 60 s tolerates slow tasks while keeping
+#: reclaim-after-SIGKILL prompt.
+DEFAULT_LEASE_TTL = 60.0
+
+#: Task keys are hex digests (sha256 via :func:`repro.engine.persist.digest`).
+#: Everything the brokers touch on disk or serve over HTTP is validated
+#: against this, so a key can never become a path traversal.
+_KEY_RE = re.compile(r"^[0-9a-f]{8,128}$")
+
+
+def check_key(key: str) -> str:
+    """Validate a task key; returns it, raises ``ValueError`` otherwise."""
+    if not isinstance(key, str) or not _KEY_RE.fullmatch(key):
+        raise ValueError(f"malformed task key {key!r}")
+    return key
+
+
+@runtime_checkable
+class Broker(Protocol):
+    """What the fabric needs from a task broker.
+
+    One task's lifecycle: ``submit`` publishes an envelope under its
+    content-address key; a worker ``lease``s it (exclusively, with a TTL),
+    ``heartbeat``s while executing, and finishes with ``ack`` (result bytes)
+    or ``nack`` (failure + retry count).  ``result``/``failure`` are the
+    submitter's view; ``reclaim`` breaks expired or dead leases so crashed
+    workers never strand a task.
+    """
+
+    def submit(self, key: str, envelope: dict) -> bool:
+        """Publish a task envelope; False if already known (ack or pending)."""
+        ...
+
+    def lease(self, worker: str) -> tuple[str, dict] | None:
+        """Claim one pending task: ``(key, envelope)``, or None if drained."""
+        ...
+
+    def ack(self, key: str, payload: bytes, worker: str | None = None) -> None:
+        """Record a completed task's result bytes; releases the lease."""
+        ...
+
+    def nack(self, key: str, worker: str | None = None, error: str | None = None) -> int:
+        """Record a failed execution; returns the task's retry count."""
+        ...
+
+    def heartbeat(self, key: str, worker: str) -> bool:
+        """Extend the worker's lease; False if the lease is gone or foreign."""
+        ...
+
+    def result(self, key: str) -> bytes | None:
+        """Ack payload bytes, or None if the task has not completed."""
+        ...
+
+    def failure(self, key: str) -> dict | None:
+        """``{"retries": N, "error": str}`` for a nacked task, else None."""
+        ...
+
+    def discard(self, key: str) -> None:
+        """Drop a stored (e.g. corrupt) ack so the task can re-execute."""
+        ...
+
+    def reclaim(self) -> int:
+        """Break stale leases (expired TTL / dead local pid); returns count."""
+        ...
+
+    def stats(self) -> dict:
+        """Counters and live queue depths, for monitoring and tests."""
+        ...
+
+
+class DirectoryBroker:
+    """The PR 4 on-disk queue layout, behind the :class:`Broker` protocol.
+
+    One directory, four file kinds per task key: ``.task.json`` (pending
+    envelope), ``.lease`` (exclusive claim, JSON with pid/worker/host/
+    deadline), ``.ack.pkl`` (raw pickled result, written atomically), and
+    ``.nack.json`` (retry count + last error).  Ack and lease files are the
+    exact PR 4 formats, so stores written by the old ``QueueBackend`` replay
+    under the broker and vice versa.
+
+    Reclaim policy, per lease: an acked task's lease is simply swept; a
+    lease with an expired ``deadline`` is broken; a lease *without* a
+    deadline (a legacy claim, or mid-crash garbage) is broken unless its
+    recorded pid is alive on this host.  A live pid with an unexpired
+    deadline is always kept — that covers the recycled-pid case, where a
+    SIGKILLed worker's pid was reused by an unrelated process: the impostor
+    pid looks alive, but the lease still dies when its TTL runs out.
+    """
+
+    def __init__(self, root: str | Path, lease_ttl: float = DEFAULT_LEASE_TTL):
+        self.root = Path(root)
+        self.lease_ttl = lease_ttl
+        self.host = socket.gethostname()
+        self.counters = {
+            "submitted": 0,
+            "leased": 0,
+            "acked": 0,
+            "nacked": 0,
+            "reclaimed": 0,
+        }
+
+    # -- paths ----------------------------------------------------------------
+
+    def _task_path(self, key: str) -> Path:
+        return self.root / f"{check_key(key)}{TASK_SUFFIX}"
+
+    def _lease_path(self, key: str) -> Path:
+        from repro.engine.workqueue import LEASE_SUFFIX
+
+        return self.root / f"{check_key(key)}{LEASE_SUFFIX}"
+
+    def _ack_path(self, key: str) -> Path:
+        from repro.engine.workqueue import ACK_SUFFIX
+
+        return self.root / f"{check_key(key)}{ACK_SUFFIX}"
+
+    def _nack_path(self, key: str) -> Path:
+        return self.root / f"{check_key(key)}{NACK_SUFFIX}"
+
+    # -- submit / results ------------------------------------------------------
+
+    def submit(self, key: str, envelope: dict) -> bool:
+        """Publish ``envelope`` under ``key`` unless already acked/pending."""
+        check_key(key)
+        if self._ack_path(key).exists() or self._task_path(key).exists():
+            return False
+        self.root.mkdir(parents=True, exist_ok=True)
+        from repro.service import wire
+
+        atomic_write_bytes(self._task_path(key), wire.canonical_json(envelope))
+        self.counters["submitted"] += 1
+        return True
+
+    def result(self, key: str) -> bytes | None:
+        try:
+            return self._ack_path(key).read_bytes()
+        except OSError:
+            return None
+
+    def failure(self, key: str) -> dict | None:
+        try:
+            payload = json.loads(self._nack_path(key).read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        try:
+            retries = int(payload.get("retries", 0))
+        except (TypeError, ValueError):
+            retries = 0
+        return {"retries": retries, "error": str(payload.get("error", ""))}
+
+    def discard(self, key: str) -> None:
+        try:
+            self._ack_path(key).unlink()
+        except OSError:
+            pass
+
+    # -- leases ----------------------------------------------------------------
+
+    def claim(self, key: str, worker: str | None = None) -> bool:
+        """Atomically create the lease file, body and all.
+
+        A hard-link of a pre-written temp file gives ``O_CREAT | O_EXCL``
+        exclusivity *and* makes the body appear atomically — a concurrent
+        ``reclaim`` can never observe a half-written (empty) lease and
+        mistake a live claim for crash garbage.
+        """
+        import tempfile
+
+        from repro.service import wire
+
+        self.root.mkdir(parents=True, exist_ok=True)
+        body = wire.lease_body(
+            pid=os.getpid(),
+            worker=worker,
+            host=self.host,
+            deadline=time.time() + self.lease_ttl,
+        ).encode("utf-8")
+        fd, tmp_name = tempfile.mkstemp(prefix=".claim-", dir=self.root)
+        try:
+            os.write(fd, body)
+        finally:
+            os.close(fd)
+        try:
+            os.link(tmp_name, self._lease_path(key))
+        except FileExistsError:
+            return False
+        finally:
+            os.unlink(tmp_name)
+        return True
+
+    def release(self, key: str) -> None:
+        """Drop the lease file; tolerant of it already being gone."""
+        try:
+            self._lease_path(key).unlink()
+        except OSError:
+            pass
+
+    def heartbeat(self, key: str, worker: str) -> bool:
+        """Extend ``worker``'s lease on ``key``; False if lost or foreign."""
+        from repro.service import wire
+
+        lease = self._lease_path(key)
+        try:
+            parsed = wire.parse_lease(lease.read_text(errors="replace"))
+        except OSError:
+            return False
+        if parsed["worker"] is not None and parsed["worker"] != worker:
+            return False
+        # Rewrite-in-place (atomic replace) keeps the O_EXCL claim intact
+        # for everyone else while pushing the deadline out.
+        atomic_write_bytes(
+            lease,
+            wire.lease_body(
+                pid=parsed["pid"] or os.getpid(),
+                worker=worker,
+                host=parsed["host"] or self.host,
+                deadline=time.time() + self.lease_ttl,
+            ).encode("utf-8"),
+        )
+        return True
+
+    def _lease_is_stale(self, key: str) -> bool | None:
+        """None: no lease. False: a live claim. True: break it."""
+        from repro.engine.workqueue import _pid_alive
+        from repro.service import wire
+
+        lease = self._lease_path(key)
+        try:
+            parsed = wire.parse_lease(lease.read_text(errors="replace"))
+        except FileNotFoundError:
+            return None
+        except OSError:
+            return True
+        if parsed["deadline"] is not None:
+            if parsed["deadline"] <= time.time():
+                return True
+            # Unexpired TTL: trust it even when the pid check is available —
+            # a recycled pid must not make a dead worker look alive forever,
+            # and a live worker heartbeats before the deadline anyway.  But a
+            # *local, dead* pid is conclusive: break early, don't wait out
+            # the TTL.
+            if (
+                parsed["host"] in (None, self.host)
+                and parsed["pid"] > 0
+                and not _pid_alive(parsed["pid"])
+            ):
+                return True
+            return False
+        # Legacy lease (no deadline): the PR 4 rule — keep iff pid is alive.
+        if parsed["host"] not in (None, self.host):
+            return False  # foreign host, no TTL: unknowable, keep it
+        return not (parsed["pid"] > 0 and _pid_alive(parsed["pid"]))
+
+    def break_if_stale(self, key: str) -> bool:
+        """Apply the reclaim policy to one key; True if a lease was broken."""
+        if self._ack_path(key).exists():
+            self.release(key)
+            return False
+        if self._lease_is_stale(key):
+            self.release(key)
+            self.counters["reclaimed"] += 1
+            return True
+        return False
+
+    def reclaim(self) -> int:
+        """Sweep every lease in the directory; returns how many broke."""
+        from repro.engine.workqueue import LEASE_SUFFIX
+
+        broken = 0
+        try:
+            leases = sorted(self.root.glob(f"*{LEASE_SUFFIX}"))
+        except OSError:
+            return 0
+        for lease in leases:
+            key = lease.name[: -len(LEASE_SUFFIX)]
+            if _KEY_RE.fullmatch(key) and self.break_if_stale(key):
+                broken += 1
+        return broken
+
+    # -- the worker's pull loop --------------------------------------------------
+
+    def lease(self, worker: str) -> tuple[str, dict] | None:
+        """Reclaim, then claim the first leasable pending task."""
+        self.reclaim()
+        try:
+            pending = sorted(self.root.glob(f"*{TASK_SUFFIX}"))
+        except OSError:
+            return None
+        for path in pending:
+            key = path.name[: -len(TASK_SUFFIX)]
+            if not _KEY_RE.fullmatch(key):
+                continue
+            if self._ack_path(key).exists():
+                # Completed while still listed: sweep the stale envelope.
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                continue
+            record = self.failure(key)
+            if record is not None and record["retries"] >= MAX_RETRIES:
+                continue  # poisoned task: leave the evidence, stop re-leasing
+            if self._lease_path(key).exists() or not self.claim(key, worker):
+                continue
+            try:
+                envelope = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                self.release(key)
+                continue
+            self.counters["leased"] += 1
+            return key, envelope
+        return None
+
+    # -- completion --------------------------------------------------------------
+
+    def ack(self, key: str, payload: bytes, worker: str | None = None) -> None:
+        """Atomically store the result, then clear lease/envelope/failure."""
+        atomic_write_bytes(self._ack_path(key), payload)
+        self.counters["acked"] += 1
+        for path in (self._lease_path(key), self._task_path(key), self._nack_path(key)):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def nack(self, key: str, worker: str | None = None, error: str | None = None) -> int:
+        """Record one failed execution and release the lease."""
+        record = self.failure(key) or {"retries": 0, "error": ""}
+        retries = record["retries"] + 1
+        atomic_write_bytes(
+            self._nack_path(key),
+            json.dumps(
+                {"retries": retries, "error": error or record["error"]},
+                sort_keys=True,
+            ).encode("utf-8"),
+        )
+        self.counters["nacked"] += 1
+        self.release(key)
+        return retries
+
+    def stats(self) -> dict:
+        """Counters plus a live census of the directory."""
+        from repro.engine.workqueue import ACK_SUFFIX, LEASE_SUFFIX
+
+        def count(suffix: str) -> int:
+            try:
+                return sum(1 for _ in self.root.glob(f"*{suffix}"))
+            except OSError:
+                return 0
+
+        return {
+            **self.counters,
+            "pending": count(TASK_SUFFIX),
+            "leases": count(LEASE_SUFFIX),
+            "acks": count(ACK_SUFFIX),
+            "lease_ttl": self.lease_ttl,
+        }
+
+
+class HttpBroker:
+    """The :class:`Broker` protocol over ``/v1/broker/*`` (stdlib only).
+
+    Thin and stateless: one short-lived connection per call (the service
+    closes connections after each response anyway).  Transport failures
+    raise :class:`~repro.errors.ServiceError`; the server's single-line
+    error bodies pass through verbatim.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        from urllib.parse import urlsplit
+
+        split = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+        if split.scheme not in ("", "http"):
+            raise ServiceError(
+                f"unsupported broker URL scheme {split.scheme!r} (use http://)"
+            )
+        if not split.hostname:
+            raise ServiceError(f"cannot parse broker URL {base_url!r}")
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.timeout = timeout
+        self.base_url = f"http://{self.host}:{self.port}"
+
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, bytes]:
+        from http.client import HTTPConnection, HTTPException
+
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            return response.status, response.read()
+        except (OSError, HTTPException) as exc:
+            raise ServiceError(
+                f"cannot reach broker at {self.base_url} ({exc})"
+            ) from exc
+        finally:
+            connection.close()
+
+    def _json(self, method: str, path: str, body: dict | None = None) -> dict:
+        status, data = self._request(method, path, body)
+        if status >= 400:
+            try:
+                message = str(json.loads(data)["error"])
+            except (json.JSONDecodeError, KeyError, TypeError, UnicodeDecodeError):
+                message = f"broker returned HTTP {status}"
+            raise ServiceError(message)
+        try:
+            return json.loads(data) if data else {}
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                f"malformed response from broker at {self.base_url} ({exc})"
+            ) from exc
+
+    def submit(self, key: str, envelope: dict) -> bool:
+        reply = self._json(
+            "POST", "/v1/broker/tasks", {"key": check_key(key), "envelope": envelope}
+        )
+        return bool(reply.get("submitted"))
+
+    def lease(self, worker: str) -> tuple[str, dict] | None:
+        reply = self._json("POST", "/v1/broker/lease", {"worker": worker})
+        task = reply.get("task")
+        if not task:
+            return None
+        return check_key(task["key"]), task["envelope"]
+
+    def ack(self, key: str, payload: bytes, worker: str | None = None) -> None:
+        from repro.service import wire
+
+        self._json(
+            "POST",
+            "/v1/broker/ack",
+            {
+                "key": check_key(key),
+                "worker": worker,
+                "result_b64": wire.encode_result_b64(payload),
+            },
+        )
+
+    def nack(self, key: str, worker: str | None = None, error: str | None = None) -> int:
+        reply = self._json(
+            "POST",
+            "/v1/broker/nack",
+            {"key": check_key(key), "worker": worker, "error": error},
+        )
+        return int(reply.get("retries", 0))
+
+    def heartbeat(self, key: str, worker: str) -> bool:
+        reply = self._json(
+            "POST", "/v1/broker/heartbeat", {"key": check_key(key), "worker": worker}
+        )
+        return bool(reply.get("ok"))
+
+    def result(self, key: str) -> bytes | None:
+        status, data = self._request("GET", f"/v1/broker/results/{check_key(key)}")
+        if status == 404:
+            return None
+        if status >= 400:
+            raise ServiceError(f"broker returned HTTP {status} for result {key}")
+        return data
+
+    def failure(self, key: str) -> dict | None:
+        reply = self._json("GET", f"/v1/broker/tasks/{check_key(key)}")
+        failure = reply.get("failure")
+        if not failure:
+            return None
+        return {
+            "retries": int(failure.get("retries", 0)),
+            "error": str(failure.get("error", "")),
+        }
+
+    def discard(self, key: str) -> None:
+        self._json("POST", "/v1/broker/discard", {"key": check_key(key)})
+
+    def reclaim(self) -> int:
+        return int(self._json("POST", "/v1/broker/reclaim").get("reclaimed", 0))
+
+    def stats(self) -> dict:
+        return self._json("GET", "/v1/broker/stats")
+
+
+class BrokerBackend:
+    """``BACKENDS['broker']``: dispatch ``map`` through a task broker.
+
+    The inversion of every other backend: instead of *executing* tasks, it
+    *publishes* them (content-addressed envelopes via
+    :func:`repro.service.wire.encode_task`) and polls the broker for acks,
+    while ``repro-adc worker`` processes — anywhere that can reach the
+    broker — do the executing.  Acked results replay exactly like the work
+    queue's, so a resumed or re-sharded campaign only ships the unfinished
+    tail.  Tasks with no stable key (their digest raised) cannot ship and
+    run locally, preserving the backend contract.
+
+    Construct with ``broker_url=`` (an :class:`HttpBroker`) or ``queue_dir=``
+    (a :class:`DirectoryBroker` — the in-server dispatch path, where workers
+    ack over HTTP into the same directory the backend polls).
+    """
+
+    name = "broker"
+
+    def __init__(
+        self,
+        broker: Broker | None = None,
+        *,
+        broker_url: str | None = None,
+        queue_dir: str | Path | None = None,
+        max_workers: int | None = None,  # registry parity; workers are remote
+        chunksize: int = 1,  # registry parity; the broker doesn't batch
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        poll_interval: float = 0.05,
+        wait_timeout: float | None = None,
+    ):
+        if broker is None:
+            if broker_url is not None:
+                broker = HttpBroker(broker_url)
+            elif queue_dir is not None:
+                broker = DirectoryBroker(queue_dir, lease_ttl=lease_ttl)
+            else:
+                raise SpecificationError(
+                    "the broker backend needs a broker URL (--broker-url) "
+                    "or a queue directory (--queue-dir)"
+                )
+        self.broker = broker
+        self.poll_interval = poll_interval
+        #: Give up if no task completes for this many seconds (None: wait
+        #: forever).  Guards against a fleet of zero workers.
+        self.wait_timeout = wait_timeout
+        #: Tasks served from an existing ack instead of dispatching.
+        self.replayed = 0
+        #: Tasks published to the broker by this backend.
+        self.dispatched = 0
+
+    def _take_result(self, key: str) -> tuple[bool, Any]:
+        """(done, value) for one key; discards + leaves pending if corrupt."""
+        from repro.service import wire
+
+        payload = self.broker.result(key)
+        if payload is None:
+            return False, None
+        try:
+            return True, wire.decode_result(payload)
+        except Exception:
+            # An unreadable ack degrades to a retry, exactly like the work
+            # queue: drop it and let a worker re-execute the task.
+            self.broker.discard(key)
+            return False, None
+
+    def map(self, fn: Callable[[T], R], tasks: Iterable[T]) -> list[R]:
+        """Publish every task, poll for acks, return results in task order."""
+        from repro.engine.workqueue import task_key
+        from repro.service import wire
+
+        task_list = list(tasks)
+        if not task_list:
+            return []
+        keys = [task_key(fn, task) for task in task_list]
+
+        results: dict[str, Any] = {}
+        outstanding: dict[str, T] = {}
+        unkeyed: list[int] = []
+        for i, (key, task) in enumerate(zip(keys, task_list)):
+            if key is None:
+                unkeyed.append(i)
+                continue
+            if key in results or key in outstanding:
+                continue
+            done, value = self._take_result(key)
+            if done:
+                self.replayed += 1
+                results[key] = value
+            else:
+                outstanding[key] = task
+
+        for key, task in outstanding.items():
+            if self.broker.submit(key, wire.encode_task(fn, task)):
+                self.dispatched += 1
+
+        last_progress = time.monotonic()
+        while outstanding:
+            completed = []
+            for key in outstanding:
+                done, value = self._take_result(key)
+                if done:
+                    results[key] = value
+                    completed.append(key)
+                    continue
+                record = self.broker.failure(key)
+                if record is not None and record["retries"] >= MAX_RETRIES:
+                    raise RuntimeError(
+                        f"broker task {key[:12]} failed {record['retries']} "
+                        f"time(s): {record['error']}"
+                    )
+            for key in completed:
+                del outstanding[key]
+            if completed:
+                last_progress = time.monotonic()
+            elif (
+                self.wait_timeout is not None
+                and time.monotonic() - last_progress > self.wait_timeout
+            ):
+                raise RuntimeError(
+                    f"no broker progress for {self.wait_timeout:.0f}s with "
+                    f"{len(outstanding)} task(s) outstanding — are any "
+                    "repro-adc workers attached?"
+                )
+            if outstanding:
+                time.sleep(self.poll_interval)
+
+        # Unkeyed tasks cannot ship (no stable identity): run them here.
+        unkeyed_results = {i: fn(task_list[i]) for i in unkeyed}
+        return [
+            unkeyed_results[i] if key is None else results[key]
+            for i, key in enumerate(keys)
+        ]
+
+    def close(self) -> None:
+        """Nothing pooled locally; the broker's state is its own."""
+        return None
+
+    def __enter__(self) -> "BrokerBackend":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+__all__ = [
+    "Broker",
+    "BrokerBackend",
+    "DEFAULT_LEASE_TTL",
+    "DirectoryBroker",
+    "HttpBroker",
+    "MAX_RETRIES",
+    "NACK_SUFFIX",
+    "TASK_SUFFIX",
+    "check_key",
+]

@@ -13,7 +13,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.engine.backend import ExecutionBackend, make_backend
+from repro.engine.backend import ExecutionBackend, create_backend
 
 if TYPE_CHECKING:
     from repro.flow.cache import BlockCache
@@ -39,8 +39,15 @@ class FlowConfig:
     #: the backend use an ephemeral temporary directory (functional, but
     #: task acks do not survive the process).  The campaign runner points
     #: this inside the results store so interrupted runs resume at task
-    #: granularity.  Ignored by the other backends.
+    #: granularity.  The 'broker' backend accepts it too (a directory
+    #: broker shared with remote workers).  Ignored by the other backends.
     queue_dir: str | None = None
+    #: Base URL of a running service's HTTP broker (``http://host:port``)
+    #: for the 'broker' backend: tasks are published to ``/v1/broker/*``
+    #: and executed by ``repro-adc worker`` processes.  A pure execution
+    #: knob — like ``backend`` itself it never enters result identity
+    #: (campaign manifests exclude it).  Ignored by the other backends.
+    broker_url: str | None = None
     #: Directory for the persistent block cache; ``None`` keeps synthesis
     #: results in-memory only.
     cache_dir: str | None = None
@@ -64,7 +71,7 @@ class FlowConfig:
     #: :data:`SPECULATION_AUTO` resolves per DC kernel at synthesis time:
     #: depth 8 under ``dc_kernel='batched'``, where the lockstep solve
     #: batches the DC stage across speculated proposals (~1.2x, the
-    #: BENCH_PR8.json ``speculation`` receipt), and 0 under ``'chained'``,
+    #: BENCH_PR9.json ``speculation`` receipt), and 0 under ``'chained'``,
     #: whose warm-start walk cannot batch DC (~0.8x).  Explicit
     #: non-negative values override the auto choice.
     eval_speculation: int = SPECULATION_AUTO
@@ -86,12 +93,7 @@ class FlowConfig:
 
     def make_backend(self) -> ExecutionBackend:
         """Instantiate this configuration's execution backend."""
-        return make_backend(
-            self.backend,
-            max_workers=self.max_workers,
-            chunksize=self.chunksize,
-            queue_dir=self.queue_dir,
-        )
+        return create_backend(self.backend, self)
 
     def make_cache(self, tech: "Technology") -> "BlockCache":
         """Build the block cache: persistent when ``cache_dir`` is set."""

@@ -145,32 +145,17 @@ class SynthesisJob:
     dc_kernel: str = "chained"
 
     def queue_payload(self) -> dict[str, Any]:
-        """Stable identity for the work-queue backend's ack files.
+        """Stable identity for the work-queue/broker ack files.
 
-        Two fields of the raw dataclass cannot enter a content address: the
-        donor's ``wall_seconds`` is nondeterministic (so the donor collapses
-        to its :func:`sizing_digest`, mirroring :func:`block_fingerprint`),
-        and the kernel/speculation knobs are excluded because results are
-        bit-identical across them — an ack written under one kernel serves
-        the other, exactly like the persistent block cache.  ``dc_kernel``
-        *does* change results, so it joins the payload — but only when
-        non-default, keeping every ack written before the knob existed
-        valid for default runs.
+        Delegates to :func:`repro.service.wire.synthesis_task_payload`, the
+        one wire module — see its docstring for the byte-stability contract
+        (which fields are excluded and why).  Imported lazily because this
+        module loads with the ``repro`` package and wire is a service-layer
+        leaf.
         """
-        payload = {
-            "kind": "synthesis_job",
-            "spec": self.spec,
-            "tech": self.tech,
-            "budget": self.budget,
-            "seed": self.seed,
-            "verify_transient": bool(self.verify_transient),
-            "donor": None if self.donor is None else sizing_digest(self.donor),
-            "retarget_budget": self.retarget_budget,
-            "retarget_seed": self.retarget_seed,
-        }
-        if self.dc_kernel != "chained":
-            payload["dc_kernel"] = self.dc_kernel
-        return payload
+        from repro.service.wire import synthesis_task_payload
+
+        return synthesis_task_payload(self)
 
 
 def run_synthesis_job(job: SynthesisJob) -> SynthesisResult:

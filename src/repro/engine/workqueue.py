@@ -18,6 +18,13 @@ protocol under ``queue_dir``:
   complete result.  A re-dispatched task whose ack already exists replays
   the stored result instead of executing.
 
+The file plumbing itself lives in :class:`repro.engine.broker.DirectoryBroker`
+— this backend is one of two clients of that protocol (the other is the
+distributed :class:`~repro.engine.broker.BrokerBackend` / ``repro-adc
+worker`` fleet), which is why a campaign interrupted under ``--backend
+queue`` can be finished by remote workers and vice versa: they share one
+directory layout, byte-for-byte.
+
 The protocol is what makes a killed campaign cheap to resume: a rerun of
 the same scenario replays every completed synthesis from its ack and only
 executes the tail that never finished.  Determinism is unaffected — tasks
@@ -34,7 +41,6 @@ ack appears, then stolen after ``lease_timeout``.
 
 from __future__ import annotations
 
-import json
 import os
 import pickle
 import shutil
@@ -44,7 +50,8 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Callable, Iterable, TypeVar
 
-from repro.engine.persist import atomic_write_bytes, digest
+from repro.engine.broker import DirectoryBroker
+from repro.engine.persist import digest
 from repro.engine.threads import pin_blas_threads
 
 T = TypeVar("T")
@@ -58,31 +65,6 @@ LEASE_SUFFIX = ".lease"
 
 #: Sentinel distinguishing "no ack" from a legitimately-``None`` result.
 _MISS = object()
-
-
-def _lease_pid(text: str) -> int:
-    """Claimant pid recorded in a lease file, 0 when unparseable.
-
-    Leases are JSON (``{"pid": N}``); bare-integer bodies from older runs
-    still parse.  Anything else — truncated JSON, binary garbage, an empty
-    file from a crash mid-write — yields 0, which the sweep treats as a
-    dead claim and breaks.
-    """
-    try:
-        payload = json.loads(text)
-    except (json.JSONDecodeError, UnicodeDecodeError):
-        try:
-            return int(text.strip() or "0")
-        except ValueError:
-            return 0
-    if isinstance(payload, dict):
-        pid = payload.get("pid", 0)
-    else:
-        pid = payload
-    try:
-        return int(pid)
-    except (TypeError, ValueError):
-        return 0
 
 
 def _pid_alive(pid: int) -> bool:
@@ -138,6 +120,9 @@ class QueueBackend:
         self.queue_dir = Path(
             tempfile.mkdtemp(prefix="repro-queue-") if queue_dir is None else queue_dir
         )
+        #: All file plumbing goes through the broker protocol; the lease
+        #: TTL doubles as the wait-then-steal timeout for foreign claims.
+        self.broker = DirectoryBroker(self.queue_dir, lease_ttl=lease_timeout)
         self._executor: ThreadPoolExecutor | None = None
         #: Tasks served from a pre-existing ack instead of executing.
         self.replayed = 0
@@ -146,22 +131,15 @@ class QueueBackend:
         #: Stale leases broken at dispatch time (evidence of a killed run).
         self.broken_leases = 0
 
-    # -- queue file plumbing -------------------------------------------------
-
-    def _ack_path(self, key: str) -> Path:
-        return self.queue_dir / f"{key}{ACK_SUFFIX}"
-
-    def _lease_path(self, key: str) -> Path:
-        return self.queue_dir / f"{key}{LEASE_SUFFIX}"
+    # -- queue file plumbing (delegated to the directory broker) --------------
 
     def _load_ack(self, key: str):
-        try:
-            with open(self._ack_path(key), "rb") as handle:
-                return pickle.load(handle)
-        except FileNotFoundError:
+        payload = self.broker.result(key)
+        if payload is None:
             return _MISS
+        try:
+            return pickle.loads(payload)
         except (
-            OSError,
             pickle.UnpicklingError,
             EOFError,
             AttributeError,
@@ -170,50 +148,31 @@ class QueueBackend:
         ):
             # An unreadable ack degrades to a miss; the task re-executes and
             # the entry is rewritten atomically.
-            try:
-                os.unlink(self._ack_path(key))
-            except OSError:
-                pass
+            self.broker.discard(key)
             return _MISS
 
     def _store_ack(self, key: str, result: object) -> None:
-        atomic_write_bytes(
-            self._ack_path(key),
-            pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL),
+        self.broker.ack(
+            key, pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
         )
 
     def _break_stale_lease(self, key: str) -> None:
         """Remove a lease left by a dead run (a lease without an ack).
 
         Called before dispatch, when no worker of this ``map`` call can hold
-        the lease yet.  The lease records its claimant's pid: if that pid is
-        still alive on this host the lease is left in place (a live foreign
-        process is working the key — ``_run_one`` will wait for its ack);
-        anything else is an interrupted claim and is broken immediately, so
-        resuming right after a kill never waits out the lease timeout.
+        the lease yet.  The broker's reclaim policy decides: a lease whose
+        recorded pid is dead on this host (or whose TTL deadline passed) is
+        an interrupted claim and is broken immediately, so resuming right
+        after a kill never waits out the lease timeout; a live claim is left
+        in place — ``_run_one`` will wait for its ack.
         """
-        lease = self._lease_path(key)
-        try:
-            pid = _lease_pid(lease.read_text(errors="replace"))
-        except FileNotFoundError:
-            return
-        except OSError:
-            pid = 0
-        if pid > 0 and _pid_alive(pid):
-            return
-        try:
-            lease.unlink()
+        if self.broker.break_if_stale(key):
             self.broken_leases += 1
-        except OSError:
-            pass
 
     def _run_one(self, fn: Callable[[T], R], key: str | None, task: T) -> R:
         if key is None:  # undigestable task: execute without the protocol
             return fn(task)
-        lease = self._lease_path(key)
-        try:
-            fd = os.open(lease, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-        except FileExistsError:
+        if not self.broker.claim(key):
             # A foreign process claimed the key after our stale-lease sweep:
             # wait for its ack, steal the lease once it looks dead.
             deadline = time.monotonic() + self.lease_timeout
@@ -223,23 +182,15 @@ class QueueBackend:
                     self.replayed += 1
                     return hit
                 time.sleep(0.05)
-            try:
-                lease.unlink()
-            except OSError:
-                pass
+            self.broker.release(key)
             return self._run_one(fn, key, task)
-        with os.fdopen(fd, "w") as handle:
-            handle.write(json.dumps({"pid": os.getpid()}))
         try:
             result = fn(task)
             self._store_ack(key, result)
             self.executed += 1
             return result
         finally:
-            try:
-                lease.unlink()
-            except OSError:
-                pass
+            self.broker.release(key)
 
     # -- the backend contract ------------------------------------------------
 

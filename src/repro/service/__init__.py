@@ -53,8 +53,10 @@ __all__ = [
     "JobStore",
     "OptimizationService",
     "ServiceClient",
+    "campaign_payload",
     "parse_request",
     "topology_payload",
+    "wire",
 ]
 
 #: Public name -> defining submodule.  Resolved lazily (PEP 562) so
@@ -70,20 +72,23 @@ _EXPORTS = {
     "JobRequest": "repro.service.jobs",
     "JobStore": "repro.service.jobs",
     "parse_request": "repro.service.jobs",
-    "topology_payload": "repro.service.jobs",
+    "campaign_payload": "repro.service.wire",
+    "topology_payload": "repro.service.wire",
     "ServiceClient": "repro.service.client",
 }
 
 
 def __getattr__(name: str) -> Any:
+    import importlib
+
+    if name == "wire":  # the wire module itself is part of the API
+        return importlib.import_module("repro.service.wire")
     try:
         module_name = _EXPORTS[name]
     except KeyError:
         raise AttributeError(
             f"module 'repro.service' has no attribute {name!r}"
         ) from None
-    import importlib
-
     return getattr(importlib.import_module(module_name), name)
 
 

@@ -96,35 +96,35 @@ class ServiceClient:
 
     def submit(self, request: dict) -> dict:
         """Submit a job body; returns ``{"job": ..., "coalesced": ...}``."""
-        return self._request("POST", "/jobs", body=request)
+        return self._request("POST", "/v1/jobs", body=request)
 
     def jobs(self) -> list[dict]:
         """All jobs known to the server, in submission order."""
-        return self._request("GET", "/jobs")["jobs"]
+        return self._request("GET", "/v1/jobs")["jobs"]
 
     def job(self, job_id: str) -> dict:
         """One job's current state."""
-        return self._request("GET", f"/jobs/{job_id}")["job"]
+        return self._request("GET", f"/v1/jobs/{job_id}")["job"]
 
     def cancel(self, job_id: str) -> dict:
         """Cancel a queued job."""
-        return self._request("POST", f"/jobs/{job_id}/cancel")
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel")
 
     def result(self, job_id: str) -> dict:
         """The canonical result summary of a done job."""
-        status, data = self._request_bytes("GET", f"/jobs/{job_id}/result")
+        status, data = self._request_bytes("GET", f"/v1/jobs/{job_id}/result")
         if status >= 400:
             raise ServiceError(self._error_message(status, data))
         return json.loads(data)
 
     def artifacts(self, job_id: str) -> list[str]:
         """Names of the job's servable artifacts."""
-        return self._request("GET", f"/jobs/{job_id}/artifacts")["artifacts"]
+        return self._request("GET", f"/v1/jobs/{job_id}/artifacts")["artifacts"]
 
     def artifact(self, job_id: str, name: str) -> bytes:
         """Raw artifact bytes (e.g. ``results.jsonl`` — byte-identical to a
         direct ``run_campaign`` store)."""
-        status, data = self._request_bytes("GET", f"/jobs/{job_id}/artifacts/{name}")
+        status, data = self._request_bytes("GET", f"/v1/jobs/{job_id}/artifacts/{name}")
         if status >= 400:
             raise ServiceError(self._error_message(status, data))
         return data
@@ -142,15 +142,15 @@ class ServiceClient:
 
     def stats(self) -> dict:
         """Scheduler counters (queue depth, coalescing, executions)."""
-        return self._request("GET", "/stats")
+        return self._request("GET", "/v1/stats")
 
     def health(self) -> dict:
         """Liveness summary."""
-        return self._request("GET", "/healthz")
+        return self._request("GET", "/v1/healthz")
 
     def drain(self) -> dict:
         """Ask the server to drain gracefully (it exits afterwards)."""
-        return self._request("POST", "/drain")
+        return self._request("POST", "/v1/drain")
 
     # -- streaming -----------------------------------------------------------
 
@@ -171,7 +171,7 @@ class ServiceClient:
         )
         try:
             try:
-                connection.request("GET", f"/jobs/{job_id}/events")
+                connection.request("GET", f"/v1/jobs/{job_id}/events")
                 response = connection.getresponse()
             except (OSError, HTTPException) as exc:
                 raise ServiceError(
@@ -224,7 +224,7 @@ class ServiceClient:
                 # server must not hold this call for the full client
                 # timeout.
                 job = self._request(
-                    "GET", f"/jobs/{job_id}", timeout=remaining
+                    "GET", f"/v1/jobs/{job_id}", timeout=remaining
                 )["job"]
             except ServiceError:
                 now = time.monotonic()

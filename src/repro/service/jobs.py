@@ -38,7 +38,7 @@ import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any
 
 from repro.campaign.grid import CampaignGrid
 from repro.campaign.manifest import MANIFEST_FILENAME, config_digest, grid_digest
@@ -46,12 +46,12 @@ from repro.campaign.store import (
     META_FILENAME,
     REPORT_FILENAME,
     RESULTS_FILENAME,
-    CampaignRecord,
 )
 from repro.engine.backend import BACKENDS
 from repro.engine.config import FlowConfig
 from repro.engine.persist import atomic_write_bytes, digest
 from repro.errors import SpecificationError
+from repro.service.wire import campaign_payload, topology_payload
 from repro.specs.adc import AdcSpec
 from repro.tech.process import resolve_corner
 
@@ -69,7 +69,9 @@ JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
 TERMINAL_STATES = ("done", "failed", "cancelled")
 
 #: FlowConfig fields a request may set.  ``cache_dir`` and ``queue_dir``
-#: are host paths and therefore server policy, never client input.
+#: are host paths and ``broker_url`` is deployment topology — all three are
+#: server policy, never client input (a ``backend: broker`` job is pointed
+#: at the server's own directory broker by the scheduler).
 CONFIG_FIELDS = (
     "backend",
     "max_workers",
@@ -95,13 +97,6 @@ RESULT_FILENAME = "result.json"
 
 #: Characters of the key exposed as the short job id.
 JOB_ID_LENGTH = 12
-
-
-def _canonical_json(payload: Any) -> bytes:
-    """Sorted-key, whitespace-free JSON + newline — the artifact format."""
-    return (json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n").encode(
-        "utf-8"
-    )
 
 
 def build_config(
@@ -391,50 +386,9 @@ class JobRecord:
         return cls(**payload)
 
 
-def topology_payload(result: Any) -> bytes:
-    """Canonical JSON bytes for one :class:`TopologyResult`.
-
-    Shared by the service (optimize-job ``result.json``) and by anyone
-    serializing a direct :func:`~repro.flow.topology.optimize_topology`
-    call — byte-identity between the two paths follows from sharing this
-    serializer plus the flow's own determinism guarantees.
-    """
-    spec = result.spec
-    return _canonical_json(
-        {
-            "kind": "optimize",
-            "spec": {
-                "resolution_bits": spec.resolution_bits,
-                "sample_rate_hz": spec.sample_rate_hz,
-                "full_scale": spec.full_scale,
-                "tech": spec.tech.name,
-            },
-            "winner": result.best.label,
-            "rankings": [
-                [e.label, e.total_power] for e in result.evaluations
-            ],
-            "all_feasible": all(e.all_feasible for e in result.evaluations),
-            "unique_blocks": result.unique_blocks,
-        }
-    )
-
-
-def campaign_payload(records: Iterable[CampaignRecord]) -> bytes:
-    """Canonical JSON summary for a finished campaign job."""
-    return _canonical_json(
-        {
-            "kind": "campaign",
-            "scenarios": [
-                {
-                    "label": r.label,
-                    "winner": r.winner,
-                    "winner_power_w": r.winner_power_w,
-                    "fom_j_per_step": r.fom_j_per_step,
-                }
-                for r in records
-            ],
-        }
-    )
+# ``topology_payload`` / ``campaign_payload`` live in
+# :mod:`repro.service.wire` (one wire module for every canonical
+# serializer) and are re-exported here for compatibility.
 
 
 class JobStore:

@@ -29,6 +29,7 @@ plane and the *blocking* optimization flow:
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
@@ -66,6 +67,7 @@ class JobScheduler:
         *,
         job_workers: int = 1,
         cache_dir: str | None = None,
+        broker_dir: str | None = None,
     ):
         if job_workers < 1:
             raise SpecificationError("job_workers must be >= 1")
@@ -73,6 +75,11 @@ class JobScheduler:
         self.job_workers = job_workers
         #: Server-side persistent block-cache directory for every job.
         self.cache_dir = cache_dir
+        #: Directory of the server's task broker: a ``backend: broker`` job
+        #: is pointed here, so its tasks appear on the same broker the
+        #: ``/v1/broker/*`` routes serve and any attached ``repro-adc
+        #: worker`` executes them.  Clients never choose the path.
+        self.broker_dir = broker_dir
         self.jobs: dict[str, JobRecord] = {}
         self._buckets: dict[int, dict[str, deque[str]]] = {}
         self._rr: dict[int, deque[str]] = {}
@@ -412,6 +419,16 @@ class JobScheduler:
             client=record.client,
         )
         config = request.config(cache_dir=self.cache_dir)
+        if config.backend == "broker":
+            if self.broker_dir is None:
+                raise SpecificationError(
+                    "this server has no task broker; submit with a local "
+                    "backend (serial, thread, process, queue)"
+                )
+            # Dispatch through the server's own directory broker — the same
+            # state the HTTP broker routes serve — so remote workers execute
+            # the tasks while this thread assembles results.
+            config = dataclasses.replace(config, queue_dir=self.broker_dir)
         if record.kind == "campaign":
             grid = request.grid()
 

@@ -3,28 +3,44 @@
 Stdlib-only: a hand-rolled HTTP/1.1 layer over ``asyncio.start_server``
 (one request per connection, ``Connection: close``), which is exactly
 enough for a JSON control API plus **streaming** job-event responses —
-``GET /jobs/<id>/events`` holds the connection open and writes one JSON
+``GET /v1/jobs/<id>/events`` holds the connection open and writes one JSON
 line per event until the job reaches a terminal state, so clients follow a
 campaign scenario-by-scenario without polling.
 
+The API is versioned: every route lives under ``/v1/``.  The original
+unversioned paths still answer (identical payloads) but carry a
+``Deprecation: true`` response header; new clients must speak ``/v1/``.
+The broker routes are ``/v1``-only — they postdate the versioning, so no
+deprecated alias exists.
+
 Routes (see ``docs/service.md`` for payloads):
 
-=======  ==============================  ========================================
-POST     ``/jobs``                       submit (returns the job + coalesced flag)
-GET      ``/jobs``                       list all jobs
-GET      ``/jobs/<id>``                  one job's state
-GET      ``/jobs/<id>/events``           NDJSON event stream until terminal
-GET      ``/jobs/<id>/result``           canonical result summary (done jobs)
-GET      ``/jobs/<id>/artifacts``        servable artifact names
-GET      ``/jobs/<id>/artifacts/<name>`` raw artifact bytes (byte-identical
-                                         to a direct ``run_campaign`` store)
-POST     ``/jobs/<id>/cancel``           cancel a queued job
-POST     ``/drain``                      graceful drain (SIGTERM equivalent)
-GET      ``/healthz``, ``/stats``        liveness / queue + coalescing counters
-=======  ==============================  ========================================
+=======  =================================  ========================================
+POST     ``/v1/jobs``                       submit (returns the job + coalesced flag)
+GET      ``/v1/jobs``                       list all jobs
+GET      ``/v1/jobs/<id>``                  one job's state
+GET      ``/v1/jobs/<id>/events``           NDJSON event stream until terminal
+GET      ``/v1/jobs/<id>/result``           canonical result summary (done jobs)
+GET      ``/v1/jobs/<id>/artifacts``        servable artifact names
+GET      ``/v1/jobs/<id>/artifacts/<name>`` raw artifact bytes (byte-identical
+                                            to a direct ``run_campaign`` store)
+POST     ``/v1/jobs/<id>/cancel``           cancel a queued job
+POST     ``/v1/drain``                      graceful drain (SIGTERM equivalent)
+GET      ``/v1/healthz``, ``/v1/stats``     liveness / queue + coalescing counters
+POST     ``/v1/broker/tasks``               publish a task envelope
+POST     ``/v1/broker/lease``               claim one pending task (worker pull)
+POST     ``/v1/broker/ack``                 store a completed task's result
+POST     ``/v1/broker/nack``                record a failed execution
+POST     ``/v1/broker/heartbeat``           extend a worker's lease
+POST     ``/v1/broker/discard``             drop a stored ack
+POST     ``/v1/broker/reclaim``             break stale leases now
+GET      ``/v1/broker/results/<key>``       ack payload bytes (404 until acked)
+GET      ``/v1/broker/tasks/<key>``         one task's completion/failure state
+GET      ``/v1/broker/stats``               broker counters + queue census
+=======  =================================  ========================================
 
 ``OptimizationService`` wires the scheduler to the socket and owns the
-graceful-shutdown path: SIGTERM (or ``POST /drain``) cancels running
+graceful-shutdown path: SIGTERM (or ``POST /v1/drain``) cancels running
 campaigns at their next scenario boundary, requeues them, persists the
 queue and exits — a subsequent start resumes it.  ``BackgroundServer``
 runs the whole service on a daemon thread with its own event loop, for
@@ -41,12 +57,19 @@ import traceback
 from pathlib import Path
 from typing import Any
 
+from repro.engine.broker import DEFAULT_LEASE_TTL, DirectoryBroker, check_key
 from repro.errors import ServiceError, SpecificationError
 from repro.service.jobs import JobStore
 from repro.service.scheduler import TERMINAL_STATES, JobScheduler
 
 #: Largest accepted request body [bytes].
 MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: Version segment of the current HTTP surface.
+API_VERSION = "v1"
+
+#: Subdirectory of the service store holding the task broker's files.
+BROKER_DIRNAME = "broker"
 
 _STATUS_TEXT = {
     200: "OK",
@@ -59,13 +82,22 @@ _STATUS_TEXT = {
 }
 
 
-def _response_head(status: int, content_type: str, length: int | None) -> bytes:
+def _response_head(
+    status: int,
+    content_type: str,
+    length: int | None,
+    deprecated: bool = False,
+) -> bytes:
     lines = [
         f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
         f"Content-Type: {content_type}",
         "Connection: close",
         "Cache-Control: no-store",
     ]
+    if deprecated:
+        # RFC 9745 deprecation signal: the unversioned alias still works,
+        # but clients should move to the /v1/ path.
+        lines.append("Deprecation: true")
     if length is not None:
         lines.append(f"Content-Length: {length}")
     return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
@@ -91,10 +123,20 @@ class OptimizationService:
         port: int = 0,
         job_workers: int = 1,
         cache_dir: str | None = None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
     ):
         self.store = JobStore(store_dir)
+        #: The server's task broker: one directory inside the store, shared
+        #: by the ``/v1/broker/*`` routes (remote workers) and by
+        #: ``backend: broker`` jobs (the scheduler publishes there).
+        self.broker = DirectoryBroker(
+            self.store.root / BROKER_DIRNAME, lease_ttl=lease_ttl
+        )
         self.scheduler = JobScheduler(
-            self.store, job_workers=job_workers, cache_dir=cache_dir
+            self.store,
+            job_workers=job_workers,
+            cache_dir=cache_dir,
+            broker_dir=str(self.broker.root),
         )
         self.host = host
         self.port = port
@@ -203,17 +245,21 @@ class OptimizationService:
                 )
             except (asyncio.IncompleteReadError, asyncio.TimeoutError):
                 return  # client stalled or hung up mid-body
+            parts = [p for p in path.split("?", 1)[0].split("/") if p]
+            deprecated = parts[:1] != [API_VERSION]
+            if not deprecated:
+                parts = parts[1:]
             try:
-                await self._route(method, path, body, writer)
+                await self._route(method, parts, path, body, writer, deprecated)
             except _HttpError as exc:
-                await self._send_error(writer, exc.status, exc.message)
+                await self._send_error(writer, exc.status, exc.message, deprecated)
             except (SpecificationError, ServiceError) as exc:
-                await self._send_error(writer, 400, str(exc))
+                await self._send_error(writer, 400, str(exc), deprecated)
             except (ConnectionError, asyncio.CancelledError):
                 raise
             except Exception as exc:  # never kill the accept loop
                 await self._send_error(
-                    writer, 500, f"{type(exc).__name__}: {exc}"
+                    writer, 500, f"{type(exc).__name__}: {exc}", deprecated
                 )
         except (ConnectionError, asyncio.CancelledError):
             pass
@@ -227,23 +273,41 @@ class OptimizationService:
                 pass
 
     async def _send_json(
-        self, writer: asyncio.StreamWriter, payload: Any, status: int = 200
+        self,
+        writer: asyncio.StreamWriter,
+        payload: Any,
+        status: int = 200,
+        deprecated: bool = False,
     ) -> None:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
-        writer.write(_response_head(status, "application/json", len(body)) + body)
+        writer.write(
+            _response_head(status, "application/json", len(body), deprecated) + body
+        )
         await writer.drain()
 
     async def _send_bytes(
-        self, writer: asyncio.StreamWriter, payload: bytes, content_type: str
+        self,
+        writer: asyncio.StreamWriter,
+        payload: bytes,
+        content_type: str,
+        deprecated: bool = False,
     ) -> None:
-        writer.write(_response_head(200, content_type, len(payload)) + payload)
+        writer.write(
+            _response_head(200, content_type, len(payload), deprecated) + payload
+        )
         await writer.drain()
 
     async def _send_error(
-        self, writer: asyncio.StreamWriter, status: int, message: str
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        message: str,
+        deprecated: bool = False,
     ) -> None:
         try:
-            await self._send_json(writer, {"error": message}, status=status)
+            await self._send_json(
+                writer, {"error": message}, status=status, deprecated=deprecated
+            )
         except (ConnectionError, OSError):
             pass
 
@@ -256,10 +320,14 @@ class OptimizationService:
         return record
 
     async def _route(
-        self, method: str, path: str, body: bytes, writer: asyncio.StreamWriter
+        self,
+        method: str,
+        parts: list[str],
+        path: str,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+        deprecated: bool,
     ) -> None:
-        parts = [p for p in path.split("?", 1)[0].split("/") if p]
-
         if method == "GET" and parts == ["healthz"]:
             stats = self.scheduler.stats()
             await self._send_json(
@@ -270,14 +338,21 @@ class OptimizationService:
                     "running": stats["running"],
                     "jobs": stats["jobs"],
                 },
+                deprecated=deprecated,
             )
             return
         if method == "GET" and parts == ["stats"]:
-            await self._send_json(writer, self.scheduler.stats())
+            await self._send_json(writer, self.scheduler.stats(), deprecated=deprecated)
             return
         if method == "POST" and parts == ["drain"]:
             self.request_stop()
-            await self._send_json(writer, {"status": "draining"})
+            await self._send_json(writer, {"status": "draining"}, deprecated=deprecated)
+            return
+        if parts and parts[0] == "broker":
+            if deprecated:
+                # The broker surface postdates versioning: /v1 only, no alias.
+                raise _HttpError(404, f"no route for {method} {path} (use /v1)")
+            await self._route_broker(method, parts[1:], path, body, writer)
             return
         if parts and parts[0] == "jobs":
             if method == "POST" and len(parts) == 1:
@@ -290,29 +365,36 @@ class OptimizationService:
                 payload = self._parse_body(body)
                 record, coalesced = self.scheduler.submit(payload)
                 await self._send_json(
-                    writer, {"job": record.summary(), "coalesced": coalesced}
+                    writer,
+                    {"job": record.summary(), "coalesced": coalesced},
+                    deprecated=deprecated,
                 )
                 return
             if method == "GET" and len(parts) == 1:
                 records = sorted(self.scheduler.jobs.values(), key=lambda r: r.seq)
                 await self._send_json(
-                    writer, {"jobs": [r.summary() for r in records]}
+                    writer,
+                    {"jobs": [r.summary() for r in records]},
+                    deprecated=deprecated,
                 )
                 return
             if len(parts) >= 2:
                 record = self._record(parts[1])
                 if method == "GET" and len(parts) == 2:
-                    await self._send_json(writer, {"job": record.summary()})
+                    await self._send_json(
+                        writer, {"job": record.summary()}, deprecated=deprecated
+                    )
                     return
                 if method == "POST" and parts[2:] == ["cancel"]:
                     cancelled = self.scheduler.cancel(record.key)
                     await self._send_json(
                         writer,
                         {"job": record.summary(), "cancelled": cancelled},
+                        deprecated=deprecated,
                     )
                     return
                 if method == "GET" and parts[2:] == ["events"]:
-                    await self._stream_events(record, writer)
+                    await self._stream_events(record, writer, deprecated)
                     return
                 if method == "GET" and parts[2:] == ["result"]:
                     payload = self.store.read_result(record.key)
@@ -320,12 +402,15 @@ class OptimizationService:
                         raise _HttpError(
                             409, f"job {record.job_id} is {record.state}, not done"
                         )
-                    await self._send_bytes(writer, payload, "application/json")
+                    await self._send_bytes(
+                        writer, payload, "application/json", deprecated
+                    )
                     return
                 if method == "GET" and parts[2:] == ["artifacts"]:
                     await self._send_json(
                         writer,
                         {"artifacts": sorted(self.store.artifacts(record.key))},
+                        deprecated=deprecated,
                     )
                     return
                 if method == "GET" and len(parts) == 4 and parts[2] == "artifacts":
@@ -343,9 +428,114 @@ class OptimizationService:
                         None, artifact.read_bytes
                     )
                     await self._send_bytes(
-                        writer, payload, "application/octet-stream"
+                        writer, payload, "application/octet-stream", deprecated
                     )
                     return
+        raise _HttpError(404, f"no route for {method} {path}")
+
+    # -- the broker surface ----------------------------------------------------
+
+    @staticmethod
+    def _broker_key(value: Any) -> str:
+        try:
+            return check_key(value)
+        except ValueError as exc:
+            raise _HttpError(400, str(exc)) from exc
+
+    async def _route_broker(
+        self,
+        method: str,
+        parts: list[str],
+        path: str,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """``/v1/broker/*``: the :class:`DirectoryBroker` over HTTP.
+
+        Every broker call touches the filesystem, so each runs off-loop in
+        the default executor — a slow disk must not stall event streams.
+        """
+        loop = asyncio.get_running_loop()
+
+        async def offload(fn, *args):
+            return await loop.run_in_executor(None, fn, *args)
+
+        if method == "GET" and parts == ["stats"]:
+            await self._send_json(writer, await offload(self.broker.stats))
+            return
+        if method == "GET" and len(parts) == 2 and parts[0] == "results":
+            payload = await offload(self.broker.result, self._broker_key(parts[1]))
+            if payload is None:
+                raise _HttpError(404, f"no result for task {parts[1]}")
+            await self._send_bytes(writer, payload, "application/octet-stream")
+            return
+        if method == "GET" and len(parts) == 2 and parts[0] == "tasks":
+            key = self._broker_key(parts[1])
+            acked = await offload(lambda: self.broker.result(key) is not None)
+            failure = await offload(self.broker.failure, key)
+            await self._send_json(writer, {"acked": acked, "failure": failure})
+            return
+        if method != "POST":
+            raise _HttpError(404, f"no route for {method} {path}")
+        payload = self._parse_body(body) if body else {}
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "broker request body must be a JSON object")
+        if parts == ["tasks"]:
+            envelope = payload.get("envelope")
+            if not isinstance(envelope, dict):
+                raise _HttpError(400, "task submission needs an envelope object")
+            submitted = await offload(
+                self.broker.submit, self._broker_key(payload.get("key")), envelope
+            )
+            await self._send_json(writer, {"submitted": submitted})
+            return
+        if parts == ["lease"]:
+            worker = str(payload.get("worker") or "anon")
+            leased = await offload(self.broker.lease, worker)
+            task = (
+                None
+                if leased is None
+                else {"key": leased[0], "envelope": leased[1]}
+            )
+            await self._send_json(writer, {"task": task})
+            return
+        if parts == ["ack"]:
+            from repro.service import wire
+
+            key = self._broker_key(payload.get("key"))
+            try:
+                result = wire.decode_result_b64(str(payload.get("result_b64", "")))
+            except ValueError as exc:
+                raise _HttpError(400, str(exc)) from exc
+            worker = payload.get("worker")
+            await offload(self.broker.ack, key, result, worker)
+            await self._send_json(writer, {"ok": True})
+            return
+        if parts == ["nack"]:
+            key = self._broker_key(payload.get("key"))
+            error = payload.get("error")
+            retries = await offload(
+                self.broker.nack,
+                key,
+                payload.get("worker"),
+                None if error is None else str(error),
+            )
+            await self._send_json(writer, {"retries": retries})
+            return
+        if parts == ["heartbeat"]:
+            key = self._broker_key(payload.get("key"))
+            worker = str(payload.get("worker") or "anon")
+            ok = await offload(self.broker.heartbeat, key, worker)
+            await self._send_json(writer, {"ok": ok})
+            return
+        if parts == ["discard"]:
+            await offload(self.broker.discard, self._broker_key(payload.get("key")))
+            await self._send_json(writer, {"ok": True})
+            return
+        if parts == ["reclaim"]:
+            reclaimed = await offload(self.broker.reclaim)
+            await self._send_json(writer, {"reclaimed": reclaimed})
+            return
         raise _HttpError(404, f"no route for {method} {path}")
 
     @staticmethod
@@ -355,11 +545,15 @@ class OptimizationService:
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise _HttpError(400, f"request body is not valid JSON ({exc})") from exc
 
-    async def _stream_events(self, record, writer: asyncio.StreamWriter) -> None:
+    async def _stream_events(
+        self, record, writer: asyncio.StreamWriter, deprecated: bool = False
+    ) -> None:
         """NDJSON event stream: snapshot first, then live until terminal."""
         queue = self.scheduler.subscribe(record.key)
         try:
-            writer.write(_response_head(200, "application/x-ndjson", None))
+            writer.write(
+                _response_head(200, "application/x-ndjson", None, deprecated)
+            )
             await writer.drain()
             while True:
                 event = await queue.get()
@@ -391,6 +585,7 @@ class BackgroundServer:
         port: int = 0,
         job_workers: int = 1,
         cache_dir: str | None = None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
         startup_timeout: float = 30.0,
     ):
         self.service = OptimizationService(
@@ -399,6 +594,7 @@ class BackgroundServer:
             port=port,
             job_workers=job_workers,
             cache_dir=cache_dir,
+            lease_ttl=lease_ttl,
         )
         self._ready = threading.Event()
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -454,4 +650,10 @@ class BackgroundServer:
         self.stop()
 
 
-__all__ = ["BackgroundServer", "MAX_BODY_BYTES", "OptimizationService"]
+__all__ = [
+    "API_VERSION",
+    "BROKER_DIRNAME",
+    "BackgroundServer",
+    "MAX_BODY_BYTES",
+    "OptimizationService",
+]

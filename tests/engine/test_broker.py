@@ -1,0 +1,442 @@
+"""Broker protocol: directory broker semantics, worker loop, broker backend."""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+
+from repro.engine.broker import (
+    DEFAULT_LEASE_TTL,
+    MAX_RETRIES,
+    Broker,
+    BrokerBackend,
+    DirectoryBroker,
+    HttpBroker,
+    check_key,
+)
+from repro.engine.persist import digest
+from repro.engine.worker import WorkerLoop, default_worker_id, resolve_task_fn
+from repro.engine.workqueue import ACK_SUFFIX, LEASE_SUFFIX, task_key
+from repro.errors import SpecificationError
+from repro.service import wire
+
+
+def _key(n: int = 0) -> str:
+    return digest({"test-task": n})
+
+
+def _envelope(task, fn=digest) -> dict:
+    return wire.encode_task(fn, task)
+
+
+def _seed(broker: DirectoryBroker, n: int = 0) -> str:
+    """Publish one digest task; returns its key."""
+    key = _key(n)
+    assert broker.submit(key, _envelope({"test-task": n}))
+    return key
+
+
+class TestCheckKey:
+    def test_hex_digests_pass_through(self):
+        key = digest({"x": 1})
+        assert check_key(key) == key
+
+    @pytest.mark.parametrize(
+        "bad", ["", "short", "../../etc/passwd", "ABCDEF123456", "x" * 64, 42]
+    )
+    def test_malformed_keys_raise(self, bad):
+        with pytest.raises(ValueError):
+            check_key(bad)
+
+
+class TestDirectoryBrokerLifecycle:
+    def test_submit_lease_ack_result_roundtrip(self, tmp_path):
+        broker = DirectoryBroker(tmp_path)
+        key = _seed(broker)
+        leased = broker.lease("w1")
+        assert leased is not None
+        got_key, envelope = leased
+        assert got_key == key
+        fn_name, task = wire.decode_task(envelope)
+        assert fn_name == "repro.engine.persist.digest"
+        broker.ack(key, wire.encode_result(digest(task)), "w1")
+        assert wire.decode_result(broker.result(key)) == digest({"test-task": 0})
+        # Ack clears the lease and the pending envelope.
+        assert not (tmp_path / f"{key}{LEASE_SUFFIX}").exists()
+        assert broker.lease("w1") is None
+
+    def test_submit_is_idempotent(self, tmp_path):
+        broker = DirectoryBroker(tmp_path)
+        key = _seed(broker)
+        assert broker.submit(key, _envelope({"test-task": 0})) is False
+        broker.lease("w1")
+        broker.ack(key, b"payload", "w1")
+        # An acked task is never re-published either.
+        assert broker.submit(key, _envelope({"test-task": 0})) is False
+
+    def test_lease_is_exclusive(self, tmp_path):
+        broker = DirectoryBroker(tmp_path)
+        _seed(broker)
+        assert broker.lease("w1") is not None
+        assert broker.lease("w2") is None
+
+    def test_nack_counts_retries_and_releases(self, tmp_path):
+        broker = DirectoryBroker(tmp_path)
+        key = _seed(broker)
+        broker.lease("w1")
+        assert broker.nack(key, "w1", "boom") == 1
+        assert broker.failure(key) == {"retries": 1, "error": "boom"}
+        # Released: another worker can lease and fail it again.
+        assert broker.lease("w2") is not None
+        assert broker.nack(key, "w2", "boom again") == 2
+
+    def test_retry_exhausted_tasks_stop_leasing(self, tmp_path):
+        broker = DirectoryBroker(tmp_path)
+        key = _seed(broker)
+        for _ in range(MAX_RETRIES):
+            assert broker.lease("w1") is not None
+            broker.nack(key, "w1", "persistent failure")
+        assert broker.failure(key)["retries"] == MAX_RETRIES
+        assert broker.lease("w1") is None  # poisoned: evidence kept, no re-lease
+
+    def test_discard_reopens_a_completed_task(self, tmp_path):
+        broker = DirectoryBroker(tmp_path)
+        key = _seed(broker)
+        broker.lease("w1")
+        broker.ack(key, b"corrupt", "w1")
+        broker.discard(key)
+        assert broker.result(key) is None
+
+    def test_stats_census(self, tmp_path):
+        broker = DirectoryBroker(tmp_path, lease_ttl=5.0)
+        _seed(broker, 0)
+        _seed(broker, 1)
+        broker.lease("w1")
+        stats = broker.stats()
+        assert stats["pending"] == 2
+        assert stats["leases"] == 1
+        assert stats["acks"] == 0
+        assert stats["submitted"] == 2
+        assert stats["lease_ttl"] == 5.0
+
+
+class TestDirectoryBrokerLeases:
+    def test_heartbeat_extends_the_deadline(self, tmp_path):
+        broker = DirectoryBroker(tmp_path, lease_ttl=10.0)
+        key = _key()
+        assert broker.claim(key, "w1")
+        lease_path = tmp_path / f"{key}{LEASE_SUFFIX}"
+        before = wire.parse_lease(lease_path.read_text())["deadline"]
+        time.sleep(0.05)
+        assert broker.heartbeat(key, "w1") is True
+        after = wire.parse_lease(lease_path.read_text())["deadline"]
+        assert after > before
+
+    def test_heartbeat_keeps_a_lease_alive_past_its_ttl(self, tmp_path):
+        broker = DirectoryBroker(tmp_path, lease_ttl=0.2)
+        key = _key()
+        assert broker.claim(key, "w1")
+        deadline = time.monotonic() + 0.6  # three TTLs
+        while time.monotonic() < deadline:
+            assert broker.heartbeat(key, "w1") is True
+            assert broker.reclaim() == 0
+            time.sleep(0.05)
+        # The beat stops; the TTL now runs out and the lease is reclaimed.
+        time.sleep(0.3)
+        assert broker.reclaim() == 1
+        assert broker.claim(key, "w2")
+
+    def test_heartbeat_refuses_a_foreign_worker(self, tmp_path):
+        broker = DirectoryBroker(tmp_path)
+        key = _key()
+        assert broker.claim(key, "w1")
+        assert broker.heartbeat(key, "intruder") is False
+        assert broker.heartbeat(key, "w1") is True
+
+    def test_heartbeat_reports_a_lost_lease(self, tmp_path):
+        broker = DirectoryBroker(tmp_path)
+        key = _key()
+        assert broker.heartbeat(key, "w1") is False
+
+    def test_live_lease_is_not_reclaimed(self, tmp_path):
+        broker = DirectoryBroker(tmp_path, lease_ttl=60.0)
+        key = _key()
+        assert broker.claim(key, "w1")  # our own live pid, unexpired TTL
+        assert broker.reclaim() == 0
+
+    def test_expired_deadline_is_reclaimed_even_with_a_live_pid(self, tmp_path):
+        # The recycled-pid case: the worker died, its pid was reused by a
+        # live process (pid 1 here), but the lease still dies at TTL expiry.
+        broker = DirectoryBroker(tmp_path)
+        key = _key()
+        lease_path = tmp_path / f"{key}{LEASE_SUFFIX}"
+        lease_path.write_text(
+            wire.lease_body(
+                pid=1, worker="w1", host=broker.host, deadline=time.time() - 1.0
+            )
+        )
+        assert broker.reclaim() == 1
+        assert not lease_path.exists()
+
+    def test_dead_local_pid_is_reclaimed_before_the_ttl(self, tmp_path):
+        broker = DirectoryBroker(tmp_path)
+        key = _key()
+        lease_path = tmp_path / f"{key}{LEASE_SUFFIX}"
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        lease_path.write_text(
+            wire.lease_body(
+                pid=proc.pid,
+                worker="w1",
+                host=broker.host,
+                deadline=time.time() + 3600.0,  # TTL far away: pid check wins
+            )
+        )
+        assert broker.reclaim() == 1
+
+    def test_legacy_pid_only_lease_still_parses(self, tmp_path):
+        # PR 4 leases were {"pid": N} with no deadline: keep iff pid alive.
+        broker = DirectoryBroker(tmp_path)
+        alive, dead = _key(1), _key(2)
+        (tmp_path / f"{alive}{LEASE_SUFFIX}").write_text(
+            json.dumps({"pid": os.getpid()})
+        )
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        (tmp_path / f"{dead}{LEASE_SUFFIX}").write_text(
+            json.dumps({"pid": proc.pid})
+        )
+        assert broker.reclaim() == 1
+        assert (tmp_path / f"{alive}{LEASE_SUFFIX}").exists()
+        assert not (tmp_path / f"{dead}{LEASE_SUFFIX}").exists()
+
+    def test_sigkilled_claimer_is_reclaimed(self, tmp_path):
+        """A worker SIGKILLed mid-task leaves a lease the broker breaks."""
+        broker = DirectoryBroker(tmp_path, lease_ttl=60.0)
+        key = _seed(broker)
+        claimer = subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                "import sys, time\n"
+                "from repro.engine.broker import DirectoryBroker\n"
+                f"b = DirectoryBroker({str(tmp_path)!r}, lease_ttl=60.0)\n"
+                f"assert b.lease('victim') is not None\n"
+                "print('leased', flush=True)\n"
+                "time.sleep(600)\n",
+            ],
+            stdout=subprocess.PIPE,
+            env={
+                **os.environ,
+                "PYTHONPATH": str(Path(repro.__file__).resolve().parents[1]),
+            },
+        )
+        try:
+            assert claimer.stdout.readline().strip() == b"leased"
+            assert broker.lease("survivor") is None  # exclusively held
+            claimer.kill()
+            claimer.wait()
+            # The pid is dead on this host: reclaimed without waiting the TTL.
+            leased = broker.lease("survivor")
+            assert leased is not None and leased[0] == key
+            assert broker.counters["reclaimed"] == 1
+        finally:
+            claimer.kill()
+            claimer.wait()
+
+
+class TestWorkerLoop:
+    def test_executes_and_acks(self, tmp_path):
+        broker = DirectoryBroker(tmp_path)
+        key = _seed(broker)
+        loop = WorkerLoop(broker, worker_id="w1", max_tasks=1, poll_interval=0.01)
+        counters = loop.run()
+        assert counters["executed"] == 1 and counters["failed"] == 0
+        assert wire.decode_result(broker.result(key)) == digest({"test-task": 0})
+
+    def test_failing_task_is_nacked_with_the_error(self, tmp_path):
+        broker = DirectoryBroker(tmp_path)
+        key = digest({"fn": "repro.engine.broker.check_key", "task": "not-hex"})
+        broker.submit(key, wire.encode_task(check_key, "not-hex"))
+        loop = WorkerLoop(broker, worker_id="w1", max_tasks=1, poll_interval=0.01)
+        counters = loop.run()
+        assert counters["failed"] == 1
+        failure = broker.failure(key)
+        assert failure["retries"] == 1
+        assert failure["error"].startswith("ValueError:")
+
+    def test_rejects_functions_outside_repro(self, tmp_path):
+        broker = DirectoryBroker(tmp_path)
+        key = _key()
+        envelope = _envelope("echo pwned")
+        envelope["fn"] = "os.system"
+        broker.submit(key, envelope)
+        loop = WorkerLoop(broker, worker_id="w1", idle_exit=0.0, poll_interval=0.01)
+        counters = loop.run()
+        # The rejection nacks; the loop re-leases until the retry budget is
+        # spent, then the task is poisoned and the idle exit fires.
+        assert counters["rejected"] == MAX_RETRIES and counters["executed"] == 0
+        assert "outside the repro package" in broker.failure(key)["error"]
+
+    def test_rejects_newer_schema_envelopes(self, tmp_path):
+        broker = DirectoryBroker(tmp_path)
+        key = _key()
+        envelope = _envelope({"test-task": 0})
+        envelope["schema"] = wire.WIRE_SCHEMA + 1
+        broker.submit(key, envelope)
+        loop = WorkerLoop(broker, worker_id="w1", idle_exit=0.0, poll_interval=0.01)
+        assert loop.run()["rejected"] == MAX_RETRIES
+
+    def test_heartbeats_keep_the_lease_during_a_slow_task(self, tmp_path, monkeypatch):
+        # TTL 0.6 with a ~0.2s heartbeat cadence leaves ~0.4s of scheduling
+        # slack before a late beat could let the rival reclaim the lease.
+        broker = DirectoryBroker(tmp_path, lease_ttl=0.6)
+        # The slow task lives in this test module, outside the allow-list;
+        # pin the resolver so the loop can still run it.
+        monkeypatch.setattr(
+            "repro.engine.worker.resolve_task_fn", lambda name: _slow_digest
+        )
+        key = task_key(_slow_digest, {"n": 1})
+        broker.submit(key, wire.encode_task(_slow_digest, {"n": 1}))
+        loop = WorkerLoop(
+            broker, worker_id="w1", lease_ttl=0.6, max_tasks=1, poll_interval=0.01
+        )
+        stolen = []
+        rival = DirectoryBroker(tmp_path, lease_ttl=0.6)
+        lease_path = tmp_path / f"{key}{LEASE_SUFFIX}"
+
+        def _try_steal():
+            # Wait for the worker to claim first (racing it for the initial
+            # lease is not the point), then poll well past the TTL: the
+            # running worker's heartbeats must keep the lease
+            # un-reclaimable the whole time.
+            while not lease_path.exists():
+                time.sleep(0.005)
+            deadline = time.monotonic() + 0.9
+            while time.monotonic() < deadline:
+                if rival.lease("rival") is not None:
+                    stolen.append(True)
+                    return
+                time.sleep(0.02)
+
+        thief = threading.Thread(target=_try_steal)
+        thief.start()
+        counters = loop.run()
+        thief.join()
+        assert counters["executed"] == 1
+        assert not stolen
+        assert wire.decode_result(broker.result(key)) == digest({"n": 1})
+
+
+def _slow_digest(task):
+    """A deliberately slow task (module-level: resolvable by workers)."""
+    time.sleep(1.0)
+    return digest(task)
+
+
+class TestBrokerBackend:
+    def test_requires_a_broker_source(self):
+        with pytest.raises(SpecificationError):
+            BrokerBackend()
+
+    def test_map_through_a_worker_thread(self, tmp_path):
+        backend = BrokerBackend(queue_dir=tmp_path, poll_interval=0.01)
+        worker = WorkerLoop(
+            DirectoryBroker(tmp_path),
+            worker_id="w1",
+            poll_interval=0.01,
+            idle_exit=2.0,
+        )
+        thread = threading.Thread(target=worker.run)
+        thread.start()
+        tasks = [{"n": i} for i in range(4)] + [{"n": 0}]  # one duplicate
+        try:
+            results = backend.map(digest, tasks)
+        finally:
+            thread.join()
+        assert results == [digest(t) for t in tasks]
+        assert backend.dispatched == 4  # the duplicate shipped once
+
+    def test_map_replays_existing_acks_without_workers(self, tmp_path):
+        backend = BrokerBackend(queue_dir=tmp_path, poll_interval=0.01)
+        worker = WorkerLoop(
+            DirectoryBroker(tmp_path), worker_id="w1", poll_interval=0.01, idle_exit=1.0
+        )
+        thread = threading.Thread(target=worker.run)
+        thread.start()
+        tasks = [{"n": i} for i in range(3)]
+        first = backend.map(digest, tasks)
+        thread.join()
+        # Second map: every ack replays; nobody needs to execute anything.
+        replay = BrokerBackend(queue_dir=tmp_path)
+        assert replay.map(digest, tasks) == first
+        assert replay.replayed == 3 and replay.dispatched == 0
+
+    def test_unkeyed_tasks_run_locally(self, tmp_path):
+        backend = BrokerBackend(queue_dir=tmp_path, wait_timeout=0.1)
+        # Mixed-type dict keys defeat the structural digest, so this task
+        # has no stable identity and must execute in-process.
+        probe = {1: "a", "b": 2}
+        assert task_key(repr, probe) is None
+        results = backend.map(repr, [probe])
+        assert results == [repr(probe)]
+        assert backend.dispatched == 0
+
+    def test_retry_exhaustion_surfaces_the_recorded_error(self, tmp_path):
+        broker = DirectoryBroker(tmp_path)
+        backend = BrokerBackend(broker, poll_interval=0.01)
+        key = task_key(check_key, "not-hex")
+        worker = WorkerLoop(broker, worker_id="w1", poll_interval=0.01, idle_exit=2.0)
+        thread = threading.Thread(target=worker.run)
+        thread.start()
+        try:
+            with pytest.raises(RuntimeError, match="ValueError"):
+                backend.map(check_key, ["not-hex"])
+        finally:
+            thread.join()
+        assert broker.failure(key)["retries"] == MAX_RETRIES
+
+    def test_no_workers_times_out_with_a_hint(self, tmp_path):
+        backend = BrokerBackend(
+            queue_dir=tmp_path, poll_interval=0.01, wait_timeout=0.05
+        )
+        with pytest.raises(RuntimeError, match="workers attached"):
+            backend.map(digest, [{"n": 1}])
+
+    def test_corrupt_ack_is_discarded_and_reexecuted(self, tmp_path):
+        broker = DirectoryBroker(tmp_path)
+        key = task_key(digest, {"n": 1})
+        (tmp_path / f"{key}{ACK_SUFFIX}").write_bytes(b"not a pickle")
+        backend = BrokerBackend(broker, poll_interval=0.01)
+        worker = WorkerLoop(broker, worker_id="w1", poll_interval=0.01, idle_exit=2.0)
+        thread = threading.Thread(target=worker.run)
+        thread.start()
+        try:
+            assert backend.map(digest, [{"n": 1}]) == [digest({"n": 1})]
+        finally:
+            thread.join()
+        assert backend.replayed == 0 and backend.dispatched == 1
+
+
+class TestProtocolConformance:
+    def test_both_brokers_satisfy_the_protocol(self, tmp_path):
+        assert isinstance(DirectoryBroker(tmp_path), Broker)
+        assert isinstance(HttpBroker("http://127.0.0.1:1"), Broker)
+
+    def test_default_worker_id_is_host_pid(self):
+        assert default_worker_id().endswith(f"-{os.getpid()}")
+
+    def test_resolve_rejects_non_repro_names(self):
+        for name in ("os.system", "builtins.eval", "repro_evil.fn", "digest"):
+            with pytest.raises(ValueError):
+                resolve_task_fn(name)
+
+    def test_default_ttl_matches_the_workqueue_timeout(self):
+        assert DEFAULT_LEASE_TTL == 60.0

@@ -1,0 +1,127 @@
+"""The versioned HTTP surface: /v1/ routes, legacy aliases, Deprecation."""
+
+import json
+from http.client import HTTPConnection
+from urllib.parse import urlsplit
+
+import pytest
+
+from repro.service import BackgroundServer, ServiceClient
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    store = tmp_path_factory.mktemp("versioning") / "svc"
+    with BackgroundServer(store_dir=store) as background:
+        yield background
+
+
+def _raw(server, method: str, path: str, body: dict | None = None):
+    """One raw request; returns (status, headers-dict, body-bytes)."""
+    split = urlsplit(server.base_url)
+    connection = HTTPConnection(split.hostname, split.port, timeout=10)
+    try:
+        payload = json.dumps(body).encode() if body is not None else None
+        connection.request(
+            method,
+            path,
+            body=payload,
+            headers={"Content-Type": "application/json"} if payload else {},
+        )
+        response = connection.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        connection.close()
+
+
+class TestVersionedRoutes:
+    def test_v1_routes_answer_without_deprecation(self, server):
+        status, headers, body = _raw(server, "GET", "/v1/healthz")
+        assert status == 200
+        assert "Deprecation" not in headers
+        assert json.loads(body)["status"] == "ok"
+
+    def test_legacy_aliases_answer_with_deprecation(self, server):
+        for path in ("/healthz", "/stats", "/jobs"):
+            status, headers, _ = _raw(server, "GET", path)
+            assert status == 200, path
+            assert headers.get("Deprecation") == "true", path
+
+    def test_v1_and_legacy_serve_identical_bodies(self, server):
+        _, _, legacy = _raw(server, "GET", "/stats")
+        _, _, versioned = _raw(server, "GET", "/v1/stats")
+        assert json.loads(legacy) == json.loads(versioned)
+
+    def test_legacy_errors_also_carry_deprecation(self, server):
+        status, headers, _ = _raw(server, "GET", "/jobs/nonexistent")
+        assert status == 404
+        assert headers.get("Deprecation") == "true"
+        status, headers, _ = _raw(server, "GET", "/v1/jobs/nonexistent")
+        assert status == 404
+        assert "Deprecation" not in headers
+
+    def test_unknown_version_prefix_is_not_a_route(self, server):
+        status, _, body = _raw(server, "GET", "/v2/healthz")
+        assert status == 404
+        # /v2/... is treated as a legacy path that happens not to exist,
+        # not as a future version this server half-understands.
+
+    def test_submit_via_v1_roundtrip(self, server):
+        status, headers, body = _raw(
+            server,
+            "POST",
+            "/v1/jobs",
+            {"kind": "campaign", "grid": {"resolutions": [10]}},
+        )
+        assert status == 200
+        assert "Deprecation" not in headers
+        job_id = json.loads(body)["job"]["id"]
+        client = ServiceClient(server.base_url)
+        assert client.wait(job_id)["state"] == "done"
+
+
+class TestBrokerRoutesAreV1Only:
+    def test_unversioned_broker_routes_404(self, server):
+        status, _, body = _raw(server, "GET", "/broker/stats")
+        assert status == 404
+        assert "/v1" in json.loads(body)["error"]
+        status, _, _ = _raw(server, "POST", "/broker/lease", {"worker": "w"})
+        assert status == 404
+
+    def test_v1_broker_stats_serves(self, server):
+        status, headers, body = _raw(server, "GET", "/v1/broker/stats")
+        assert status == 200
+        assert "Deprecation" not in headers
+        stats = json.loads(body)
+        assert stats["pending"] == 0 and stats["leases"] == 0
+
+    def test_malformed_task_keys_are_rejected(self, server):
+        status, _, body = _raw(
+            server, "GET", "/v1/broker/results/../../../etc/passwd"
+        )
+        assert status in (400, 404)
+        status, _, body = _raw(
+            server,
+            "POST",
+            "/v1/broker/tasks",
+            {"key": "../escape", "envelope": {}},
+        )
+        assert status == 400
+        assert "malformed task key" in json.loads(body)["error"]
+
+
+class TestClientSpeaksV1:
+    def test_client_requests_carry_the_version_prefix(self, server):
+        # The stdlib client's paths are hard-coded; assert at the source
+        # level so a stray unversioned path cannot sneak back in.
+        import inspect
+
+        import repro.service.client as client_module
+
+        source = inspect.getsource(client_module)
+        for route in ("/jobs", "/stats", "/healthz", "/drain"):
+            assert f'"{route}' not in source.replace(f'"/v1{route}', ""), route
+
+    def test_client_works_end_to_end(self, server):
+        client = ServiceClient(server.base_url)
+        assert client.health()["status"] == "ok"
