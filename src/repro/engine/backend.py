@@ -169,16 +169,27 @@ def _make_queue_backend(max_workers=None, chunksize=1, queue_dir=None):
 
 
 def _make_broker_backend(
-    max_workers=None, chunksize=1, queue_dir=None, broker_url=None
+    max_workers=None, chunksize=1, queue_dir=None, broker_url=None,
+    wait_timeout=None,
 ):
-    """Factory for the distributed broker backend (lazy import)."""
-    from repro.engine.broker import BrokerBackend
+    """Factory for the distributed broker backend (lazy import).
 
+    ``wait_timeout`` semantics: ``None`` keeps the backend's finite default
+    (:data:`~repro.engine.broker.DEFAULT_WAIT_TIMEOUT`); zero or negative
+    means wait forever.
+    """
+    from repro.engine.broker import DEFAULT_WAIT_TIMEOUT, BrokerBackend
+
+    if wait_timeout is None:
+        wait_timeout = DEFAULT_WAIT_TIMEOUT
+    elif wait_timeout <= 0:
+        wait_timeout = None
     return BrokerBackend(
         broker_url=broker_url,
         queue_dir=queue_dir,
         max_workers=max_workers,
         chunksize=chunksize,
+        wait_timeout=wait_timeout,
     )
 
 
@@ -202,12 +213,13 @@ def make_backend(
     chunksize: int = 1,
     queue_dir: str | None = None,
     broker_url: str | None = None,
+    wait_timeout: float | None = None,
 ) -> ExecutionBackend:
     """Instantiate a backend by registered name.
 
-    ``queue_dir`` and ``broker_url`` are forwarded only to factories whose
-    signature accepts them (the work-queue and broker backends); other
-    backends ignore them.
+    ``queue_dir``, ``broker_url``, and ``wait_timeout`` are forwarded only
+    to factories whose signature accepts them (the work-queue and broker
+    backends); other backends ignore them.
     """
     try:
         factory = BACKENDS[name]
@@ -225,6 +237,8 @@ def make_backend(
         kwargs["queue_dir"] = queue_dir
     if "broker_url" in params:
         kwargs["broker_url"] = broker_url
+    if "wait_timeout" in params:
+        kwargs["wait_timeout"] = wait_timeout
     return factory(**kwargs)
 
 
@@ -246,4 +260,5 @@ def create_backend(name: str, config: Any = None) -> ExecutionBackend:
         chunksize=getattr(config, "chunksize", 1),
         queue_dir=getattr(config, "queue_dir", None),
         broker_url=getattr(config, "broker_url", None),
+        wait_timeout=getattr(config, "broker_wait_timeout", None),
     )

@@ -33,13 +33,15 @@ byte-identical to the serial reference (the fabric tests and the CI
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import re
 import socket
+import threading
 import time
 from pathlib import Path
-from typing import Any, Callable, Iterable, Protocol, TypeVar, runtime_checkable
+from typing import Any, Callable, Iterable, Iterator, Protocol, TypeVar, runtime_checkable
 
 from repro.engine.persist import atomic_write_bytes
 from repro.errors import ServiceError, SpecificationError
@@ -62,6 +64,13 @@ MAX_RETRIES = 3
 #: worker heartbeats at TTL/3, so 60 s tolerates slow tasks while keeping
 #: reclaim-after-SIGKILL prompt.
 DEFAULT_LEASE_TTL = 60.0
+
+#: Default :class:`BrokerBackend` no-progress timeout [s].  Finite on
+#: purpose: ``--backend broker`` with zero attached workers must fail with
+#: a diagnostic, not block ``map()`` forever.  A *live* lease counts as
+#: progress (the holder's heartbeats keep it live), so this only has to
+#: cover queue-drained-but-nobody-attached gaps, not slow tasks.
+DEFAULT_WAIT_TIMEOUT = 300.0
 
 #: Task keys are hex digests (sha256 via :func:`repro.engine.persist.digest`).
 #: Everything the brokers touch on disk or serve over HTTP is validated
@@ -97,11 +106,11 @@ class Broker(Protocol):
         ...
 
     def ack(self, key: str, payload: bytes, worker: str | None = None) -> None:
-        """Record a completed task's result bytes; releases the lease."""
+        """Record a completed task's result bytes; releases an owned lease."""
         ...
 
     def nack(self, key: str, worker: str | None = None, error: str | None = None) -> int:
-        """Record a failed execution; returns the task's retry count."""
+        """Record a failed execution (ownership-gated); returns retry count."""
         ...
 
     def heartbeat(self, key: str, worker: str) -> bool:
@@ -114,6 +123,16 @@ class Broker(Protocol):
 
     def failure(self, key: str) -> dict | None:
         """``{"retries": N, "error": str}`` for a nacked task, else None."""
+        ...
+
+    def statuses(self, keys: Iterable[str]) -> dict[str, dict]:
+        """One batched poll: ``{key: {"acked", "leased", "failure"}}``.
+
+        ``acked`` — a result is stored; ``leased`` — a *live* (non-stale)
+        claim exists right now; ``failure`` — the :meth:`failure` record.
+        The submitter's polling loop calls this instead of two round trips
+        per key.
+        """
         ...
 
     def discard(self, key: str) -> None:
@@ -146,12 +165,31 @@ class DirectoryBroker:
     deadline is always kept — that covers the recycled-pid case, where a
     SIGKILLed worker's pid was reused by an unrelated process: the impostor
     pid looks alive, but the lease still dies when its TTL runs out.
+
+    Ownership, per mutation: ``ack``/``nack``/``heartbeat`` only touch a
+    lease the caller still owns (recorded worker matches, or — for legacy
+    worker-less leases — recorded pid is this process).  A worker whose
+    lease was reclaimed and re-leased therefore cannot delete or rewrite
+    the new holder's claim: its ack still lands (results are deterministic,
+    so a double execution's duplicate ack is byte-identical and harmless)
+    but the lease stays with the new holder; its nack becomes a no-op
+    "lease lost" instead of a spurious retry that could poison the task at
+    :data:`MAX_RETRIES`.
     """
 
     def __init__(self, root: str | Path, lease_ttl: float = DEFAULT_LEASE_TTL):
         self.root = Path(root)
         self.lease_ttl = lease_ttl
         self.host = socket.gethostname()
+        #: Serializes lease read-modify-write cycles (heartbeat, ownership
+        #: checks before release) against claim/release in this process.  The
+        #: HTTP fabric funnels every lease mutation through the server's one
+        #: DirectoryBroker, so in-process is the case that matters; two
+        #: unrelated processes mutating one directory still have a small
+        #: read-to-unlink window, which the ownership checks shrink from
+        #: "any ack/nack clobbers any lease" to "a lost-lease race during
+        #: the victim's own claim".
+        self._mutex = threading.Lock()
         self.counters = {
             "submitted": 0,
             "leased": 0,
@@ -217,6 +255,24 @@ class DirectoryBroker:
         except OSError:
             pass
 
+    def statuses(self, keys: Iterable[str]) -> dict[str, dict]:
+        """Batched submitter poll: ack/lease/failure state per key.
+
+        ``leased`` is True only for a *live* claim (an unexpired TTL with no
+        conclusive dead-pid evidence) — a stale lease left by a killed
+        worker must not count as progress, or a submitter waiting on it
+        would never hit its no-progress timeout.
+        """
+        out: dict[str, dict] = {}
+        for key in keys:
+            check_key(key)
+            out[key] = {
+                "acked": self._ack_path(key).exists(),
+                "leased": self._lease_is_stale(key) is False,
+                "failure": self.failure(key),
+            }
+        return out
+
     # -- leases ----------------------------------------------------------------
 
     def claim(self, key: str, worker: str | None = None) -> bool:
@@ -253,33 +309,65 @@ class DirectoryBroker:
 
     def release(self, key: str) -> None:
         """Drop the lease file; tolerant of it already being gone."""
+        with self._mutex:
+            try:
+                self._lease_path(key).unlink()
+            except OSError:
+                pass
+
+    def lease_info(self, key: str) -> dict | None:
+        """The parsed lease record for ``key``, or None if unleased."""
+        from repro.service import wire
+
         try:
-            self._lease_path(key).unlink()
+            return wire.parse_lease(
+                self._lease_path(key).read_text(errors="replace")
+            )
         except OSError:
-            pass
+            return None
+
+    @staticmethod
+    def _owns(parsed: dict, worker: str | None) -> bool:
+        """Whether ``worker`` (or, legacy, this process) holds this lease."""
+        if parsed["worker"] is not None:
+            return parsed["worker"] == worker
+        # Legacy worker-less lease: claimed in-process by a backend thread.
+        return parsed["pid"] == os.getpid()
+
+    def release_if_owner(self, key: str, worker: str | None) -> bool:
+        """Drop the lease iff the caller still owns it; True if dropped."""
+        with self._mutex:
+            parsed = self.lease_info(key)
+            if parsed is None or not self._owns(parsed, worker):
+                return False
+            try:
+                self._lease_path(key).unlink()
+            except OSError:
+                return False
+            return True
 
     def heartbeat(self, key: str, worker: str) -> bool:
         """Extend ``worker``'s lease on ``key``; False if lost or foreign."""
         from repro.service import wire
 
         lease = self._lease_path(key)
-        try:
-            parsed = wire.parse_lease(lease.read_text(errors="replace"))
-        except OSError:
-            return False
-        if parsed["worker"] is not None and parsed["worker"] != worker:
-            return False
-        # Rewrite-in-place (atomic replace) keeps the O_EXCL claim intact
-        # for everyone else while pushing the deadline out.
-        atomic_write_bytes(
-            lease,
-            wire.lease_body(
-                pid=parsed["pid"] or os.getpid(),
-                worker=worker,
-                host=parsed["host"] or self.host,
-                deadline=time.time() + self.lease_ttl,
-            ).encode("utf-8"),
-        )
+        with self._mutex:
+            parsed = self.lease_info(key)
+            if parsed is None or not self._owns(parsed, worker):
+                return False
+            # Rewrite-in-place (atomic replace) keeps the O_EXCL claim intact
+            # for everyone else while pushing the deadline out.  The mutex
+            # covers the read-check-write so a concurrent in-process
+            # release + re-claim can't be overwritten with a stale record.
+            atomic_write_bytes(
+                lease,
+                wire.lease_body(
+                    pid=parsed["pid"] or os.getpid(),
+                    worker=worker,
+                    host=parsed["host"] or self.host,
+                    deadline=time.time() + self.lease_ttl,
+                ).encode("utf-8"),
+            )
         return True
 
     def _lease_is_stale(self, key: str) -> bool | None:
@@ -377,18 +465,37 @@ class DirectoryBroker:
     # -- completion --------------------------------------------------------------
 
     def ack(self, key: str, payload: bytes, worker: str | None = None) -> None:
-        """Atomically store the result, then clear lease/envelope/failure."""
+        """Atomically store the result, then clear lease/envelope/failure.
+
+        The result and the envelope/failure sweeps are unconditional — tasks
+        are pure, so even an ack from a worker whose lease was reclaimed is
+        byte-identical to the rightful holder's and safe to store.  The
+        *lease* is only dropped if the caller still owns it: a reclaimed
+        worker must not delete the new holder's live claim (the new holder's
+        own ack, or the acked-lease sweep in :meth:`break_if_stale`, clears
+        it instead).
+        """
         atomic_write_bytes(self._ack_path(key), payload)
         self.counters["acked"] += 1
-        for path in (self._lease_path(key), self._task_path(key), self._nack_path(key)):
+        self.release_if_owner(key, worker)
+        for path in (self._task_path(key), self._nack_path(key)):
             try:
                 path.unlink()
             except OSError:
                 pass
 
     def nack(self, key: str, worker: str | None = None, error: str | None = None) -> int:
-        """Record one failed execution and release the lease."""
+        """Record one failed execution and release the lease.
+
+        Ownership-gated: if the caller's lease was reclaimed and possibly
+        re-leased, its failure report is dropped — the rightful holder's
+        execution is the one that counts, and a zombie's nack must not burn
+        a retry (three zombies would poison the task at
+        :data:`MAX_RETRIES`).  Returns the retry count on record either way.
+        """
         record = self.failure(key) or {"retries": 0, "error": ""}
+        if not self.release_if_owner(key, worker):
+            return record["retries"]  # lease lost: not our failure to record
         retries = record["retries"] + 1
         atomic_write_bytes(
             self._nack_path(key),
@@ -398,7 +505,6 @@ class DirectoryBroker:
             ).encode("utf-8"),
         )
         self.counters["nacked"] += 1
-        self.release(key)
         return retries
 
     def stats(self) -> dict:
@@ -418,6 +524,40 @@ class DirectoryBroker:
             "acks": count(ACK_SUFFIX),
             "lease_ttl": self.lease_ttl,
         }
+
+
+@contextlib.contextmanager
+def lease_heartbeat(
+    broker: Broker, key: str, worker: str, interval: float
+) -> Iterator[threading.Event]:
+    """Extend ``worker``'s lease on ``key`` every ``interval`` seconds.
+
+    Wrap the execution of one leased task; the background thread stops when
+    the ``with`` block exits, when a beat reports the lease lost (reclaimed
+    or foreign — keep computing, the ack is still valid, but stop fighting
+    for the claim), or on transport loss (the TTL decides from there).  The
+    yielded event is set iff the lease was lost mid-flight, for callers
+    that want to log it.
+    """
+    done = threading.Event()
+    lost = threading.Event()
+
+    def beat() -> None:
+        while not done.wait(interval):
+            try:
+                if not broker.heartbeat(key, worker):
+                    lost.set()
+                    return
+            except Exception:
+                return
+
+    thread = threading.Thread(target=beat, daemon=True)
+    thread.start()
+    try:
+        yield lost
+    finally:
+        done.set()
+        thread.join()
 
 
 class HttpBroker:
@@ -539,6 +679,27 @@ class HttpBroker:
             "error": str(failure.get("error", "")),
         }
 
+    def statuses(self, keys: Iterable[str]) -> dict[str, dict]:
+        """One POST per ~1000 keys instead of two GETs per key."""
+        out: dict[str, dict] = {}
+        chunk = [check_key(key) for key in keys]
+        for start in range(0, len(chunk), 1000):
+            reply = self._json(
+                "POST", "/v1/broker/status", {"keys": chunk[start : start + 1000]}
+            )
+            statuses = reply.get("statuses")
+            if not isinstance(statuses, dict):
+                raise ServiceError(
+                    f"malformed status reply from broker at {self.base_url}"
+                )
+            for key, record in statuses.items():
+                out[check_key(key)] = {
+                    "acked": bool(record.get("acked")),
+                    "leased": bool(record.get("leased")),
+                    "failure": record.get("failure"),
+                }
+        return out
+
     def discard(self, key: str) -> None:
         self._json("POST", "/v1/broker/discard", {"key": check_key(key)})
 
@@ -578,7 +739,7 @@ class BrokerBackend:
         chunksize: int = 1,  # registry parity; the broker doesn't batch
         lease_ttl: float = DEFAULT_LEASE_TTL,
         poll_interval: float = 0.05,
-        wait_timeout: float | None = None,
+        wait_timeout: float | None = DEFAULT_WAIT_TIMEOUT,
     ):
         if broker is None:
             if broker_url is not None:
@@ -592,13 +753,30 @@ class BrokerBackend:
                 )
         self.broker = broker
         self.poll_interval = poll_interval
-        #: Give up if no task completes for this many seconds (None: wait
-        #: forever).  Guards against a fleet of zero workers.
+        #: Give up if nothing moves — no ack, no failure, no *live* lease —
+        #: for this many seconds (None: wait forever).  Guards against a
+        #: fleet of zero workers; a leased task under execution counts as
+        #: progress, so slow tasks don't trip it.
         self.wait_timeout = wait_timeout
         #: Tasks served from an existing ack instead of dispatching.
         self.replayed = 0
         #: Tasks published to the broker by this backend.
         self.dispatched = 0
+
+    def _poll_statuses(self, keys: list[str]) -> dict[str, dict]:
+        """Batched ack/lease/failure poll, with a fallback for brokers
+        that predate :meth:`Broker.statuses` (two calls per key)."""
+        statuses = getattr(self.broker, "statuses", None)
+        if callable(statuses):
+            return statuses(keys)
+        out = {}
+        for key in keys:
+            out[key] = {
+                "acked": self.broker.result(key) is not None,
+                "leased": False,
+                "failure": self.broker.failure(key),
+            }
+        return out
 
     def _take_result(self, key: str) -> tuple[bool, Any]:
         """(done, value) for one key; discards + leaves pending if corrupt."""
@@ -646,15 +824,25 @@ class BrokerBackend:
                 self.dispatched += 1
 
         last_progress = time.monotonic()
+        delay = self.poll_interval
         while outstanding:
+            # One batched status poll for every outstanding key (a single
+            # HTTP round trip on HttpBroker); result *bytes* are fetched
+            # only for keys the poll reports acked.
+            statuses = self._poll_statuses(list(outstanding))
             completed = []
+            live_leases = 0
             for key in outstanding:
-                done, value = self._take_result(key)
-                if done:
-                    results[key] = value
-                    completed.append(key)
-                    continue
-                record = self.broker.failure(key)
+                status = statuses.get(key, {})
+                if status.get("acked"):
+                    done, value = self._take_result(key)
+                    if done:
+                        results[key] = value
+                        completed.append(key)
+                        continue
+                if status.get("leased"):
+                    live_leases += 1
+                record = status.get("failure")
                 if record is not None and record["retries"] >= MAX_RETRIES:
                     raise RuntimeError(
                         f"broker task {key[:12]} failed {record['retries']} "
@@ -662,8 +850,12 @@ class BrokerBackend:
                     )
             for key in completed:
                 del outstanding[key]
-            if completed:
+            if completed or live_leases:
+                # A live lease is a worker mid-task: that is progress even
+                # when no ack lands this poll, so slow tasks never trip the
+                # no-progress timeout — only a genuinely idle queue does.
                 last_progress = time.monotonic()
+                delay = self.poll_interval
             elif (
                 self.wait_timeout is not None
                 and time.monotonic() - last_progress > self.wait_timeout
@@ -673,8 +865,13 @@ class BrokerBackend:
                     f"{len(outstanding)} task(s) outstanding — are any "
                     "repro-adc workers attached?"
                 )
+            else:
+                # Nothing moved: back the poll off (capped at ~1 s) so an
+                # idle wait costs the server a couple of requests a second,
+                # not hundreds.
+                delay = min(delay * 1.5, max(self.poll_interval, 1.0))
             if outstanding:
-                time.sleep(self.poll_interval)
+                time.sleep(delay)
 
         # Unkeyed tasks cannot ship (no stable identity): run them here.
         unkeyed_results = {i: fn(task_list[i]) for i in unkeyed}
@@ -698,10 +895,12 @@ __all__ = [
     "Broker",
     "BrokerBackend",
     "DEFAULT_LEASE_TTL",
+    "DEFAULT_WAIT_TIMEOUT",
     "DirectoryBroker",
     "HttpBroker",
     "MAX_RETRIES",
     "NACK_SUFFIX",
     "TASK_SUFFIX",
     "check_key",
+    "lease_heartbeat",
 ]

@@ -48,6 +48,12 @@ class FlowConfig:
     #: knob — like ``backend`` itself it never enters result identity
     #: (campaign manifests exclude it).  Ignored by the other backends.
     broker_url: str | None = None
+    #: The 'broker' backend's no-progress timeout [s]: abort a ``map`` when
+    #: no ack, failure, or live worker lease has been seen for this long
+    #: (the diagnostic names the likely cause — no workers attached).  Zero
+    #: or negative waits forever.  A pure execution knob like ``broker_url``;
+    #: never enters result identity.  Ignored by the other backends.
+    broker_wait_timeout: float = 300.0
     #: Directory for the persistent block cache; ``None`` keeps synthesis
     #: results in-memory only.
     cache_dir: str | None = None

@@ -13,8 +13,14 @@ byte-identical stores.
 Safety properties:
 
 * **Function allow-list** — envelopes name their function; the loop only
-  resolves names inside the ``repro`` package.  A broker fed by an
-  untrusted submitter cannot make a worker import and run arbitrary code.
+  resolves names inside the ``repro`` package.  Task *bodies* are decoded
+  through :func:`repro.service.wire.restricted_loads`, which admits
+  ``repro`` classes and plain data but no callable globals, so a broker
+  fed by an untrusted submitter cannot make a worker import and run
+  arbitrary code — neither via the function name nor via a pickle gadget
+  in the payload.  (An untrusted submitter can still make workers *do
+  work*: run allow-listed ``repro`` functions over attacker-chosen data.
+  Keep broker ports on trusted networks.)
 * **Liveness** — a background heartbeat extends the lease at TTL/3 cadence
   while a task runs, so long syntheses survive; if the worker is SIGKILLed
   the heartbeat stops and the lease expires, and the broker re-leases the
@@ -33,7 +39,7 @@ import threading
 import time
 from typing import Callable
 
-from repro.engine.broker import DEFAULT_LEASE_TTL, Broker
+from repro.engine.broker import DEFAULT_LEASE_TTL, Broker, lease_heartbeat
 
 
 def default_worker_id() -> str:
@@ -116,14 +122,6 @@ class WorkerLoop:
         self.idle_exit = idle_exit
         self.counters = {"executed": 0, "failed": 0, "rejected": 0, "polls": 0}
 
-    def _heartbeat_until(self, key: str, done: threading.Event) -> None:
-        while not done.wait(self.heartbeat_interval):
-            try:
-                if not self.broker.heartbeat(key, self.worker_id):
-                    return  # lease lost (reclaimed or foreign): stop beating
-            except Exception:
-                return  # transport loss: the TTL decides our fate
-
     def _execute(self, key: str, envelope: dict) -> None:
         from repro.service import wire
 
@@ -134,23 +132,17 @@ class WorkerLoop:
             self.counters["rejected"] += 1
             self.broker.nack(key, self.worker_id, f"rejected envelope: {exc}")
             return
-        done = threading.Event()
-        beater = threading.Thread(
-            target=self._heartbeat_until, args=(key, done), daemon=True
-        )
-        beater.start()
         try:
-            result = fn(task)
+            with lease_heartbeat(
+                self.broker, key, self.worker_id, self.heartbeat_interval
+            ):
+                result = fn(task)
         except BaseException as exc:
-            done.set()
-            beater.join()
             self.counters["failed"] += 1
             self.broker.nack(key, self.worker_id, f"{type(exc).__name__}: {exc}")
             if not isinstance(exc, Exception):
                 raise  # KeyboardInterrupt/SystemExit: nack, then propagate
             return
-        done.set()
-        beater.join()
         self.broker.ack(key, wire.encode_result(result), self.worker_id)
         self.counters["executed"] += 1
 

@@ -36,7 +36,12 @@ identical whether a map executed, replayed, or mixed both.
 The queue directory is single-campaign-scoped (the campaign runner places
 it inside the results store).  Concurrent *processes* sharing one directory
 are tolerated conservatively: a foreign live lease is waited on until its
-ack appears, then stolen after ``lease_timeout``.
+ack appears.  Executor threads heartbeat their own leases while a task
+runs, so a task longer than ``lease_timeout`` is never reclaimed out from
+under a live claimant; the wait on a foreign TTL'd lease is bounded by the
+holder's heartbeats (a killed holder stops beating and the lease breaks
+within one TTL).  Only a *legacy* deadline-less lease from a live pid keeps
+the PR 4 wait-then-steal rule, because nothing else ever expires it.
 """
 
 from __future__ import annotations
@@ -44,13 +49,14 @@ from __future__ import annotations
 import os
 import pickle
 import shutil
+import socket
 import tempfile
 import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Callable, Iterable, TypeVar
 
-from repro.engine.broker import DirectoryBroker
+from repro.engine.broker import DirectoryBroker, lease_heartbeat
 from repro.engine.persist import digest
 from repro.engine.threads import pin_blas_threads
 
@@ -121,8 +127,14 @@ class QueueBackend:
             tempfile.mkdtemp(prefix="repro-queue-") if queue_dir is None else queue_dir
         )
         #: All file plumbing goes through the broker protocol; the lease
-        #: TTL doubles as the wait-then-steal timeout for foreign claims.
+        #: TTL doubles as the foreign-claim wait quantum.
         self.broker = DirectoryBroker(self.queue_dir, lease_ttl=lease_timeout)
+        #: One identity for every executor thread of this backend — leases
+        #: carry it so ack/release are ownership-checked, and heartbeats
+        #: from any of our threads match.
+        self.worker_id = f"queue-{socket.gethostname()}-{os.getpid()}"
+        #: Same cadence as ``WorkerLoop``: three beats per TTL.
+        self._heartbeat_interval = max(lease_timeout / 3.0, 0.05)
         self._executor: ThreadPoolExecutor | None = None
         #: Tasks served from a pre-existing ack instead of executing.
         self.replayed = 0
@@ -134,16 +146,23 @@ class QueueBackend:
     # -- queue file plumbing (delegated to the directory broker) --------------
 
     def _load_ack(self, key: str):
+        from repro.service import wire
+
         payload = self.broker.result(key)
         if payload is None:
             return _MISS
         try:
-            return pickle.loads(payload)
+            # The restricted wire decoder, not bare pickle: queue
+            # directories can be shared with remote workers, so acks get
+            # the same allow-list the broker fabric applies.
+            return wire.decode_result(payload)
         except (
             pickle.UnpicklingError,
             EOFError,
             AttributeError,
             ValueError,
+            TypeError,
+            IndexError,
             ImportError,  # a pickled class moved between code versions
         ):
             # An unreadable ack degrades to a miss; the task re-executes and
@@ -153,7 +172,9 @@ class QueueBackend:
 
     def _store_ack(self, key: str, result: object) -> None:
         self.broker.ack(
-            key, pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+            key,
+            pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL),
+            self.worker_id,
         )
 
     def _break_stale_lease(self, key: str) -> None:
@@ -172,25 +193,43 @@ class QueueBackend:
     def _run_one(self, fn: Callable[[T], R], key: str | None, task: T) -> R:
         if key is None:  # undigestable task: execute without the protocol
             return fn(task)
-        if not self.broker.claim(key):
-            # A foreign process claimed the key after our stale-lease sweep:
-            # wait for its ack, steal the lease once it looks dead.
+        while not self.broker.claim(key, self.worker_id):
+            # A foreign claimant holds the lease: wait for its ack.  The
+            # broker's reclaim policy bounds the wait when the claimant is
+            # dead (expired TTL, dead local pid); a *live* TTL'd lease is
+            # honored for as long as its holder keeps heartbeating, because
+            # stealing it would double-execute the task.  Only a legacy
+            # deadline-less lease from a live pid keeps the PR 4
+            # wait-then-steal rule — nothing else ever expires it.
             deadline = time.monotonic() + self.lease_timeout
+            reclaimed = False
             while time.monotonic() < deadline:
                 hit = self._load_ack(key)
                 if hit is not _MISS:
                     self.replayed += 1
                     return hit
+                if self.broker.break_if_stale(key):
+                    reclaimed = True
+                    break
                 time.sleep(0.05)
-            self.broker.release(key)
-            return self._run_one(fn, key, task)
+            if not reclaimed:
+                info = self.broker.lease_info(key)
+                if info is not None and info["deadline"] is None:
+                    self.broker.release(key)  # legacy steal (PR 4 rule)
         try:
-            result = fn(task)
+            hit = self._load_ack(key)
+            if hit is not _MISS:  # acked between our sweep and our claim
+                self.replayed += 1
+                return hit
+            with lease_heartbeat(
+                self.broker, key, self.worker_id, self._heartbeat_interval
+            ):
+                result = fn(task)
             self._store_ack(key, result)
             self.executed += 1
             return result
         finally:
-            self.broker.release(key)
+            self.broker.release_if_owner(key, self.worker_id)
 
     # -- the backend contract ------------------------------------------------
 

@@ -32,6 +32,7 @@ POST     ``/v1/broker/lease``               claim one pending task (worker pull)
 POST     ``/v1/broker/ack``                 store a completed task's result
 POST     ``/v1/broker/nack``                record a failed execution
 POST     ``/v1/broker/heartbeat``           extend a worker's lease
+POST     ``/v1/broker/status``              batched ack/lease/failure poll
 POST     ``/v1/broker/discard``             drop a stored ack
 POST     ``/v1/broker/reclaim``             break stale leases now
 GET      ``/v1/broker/results/<key>``       ack payload bytes (404 until acked)
@@ -527,6 +528,16 @@ class OptimizationService:
             worker = str(payload.get("worker") or "anon")
             ok = await offload(self.broker.heartbeat, key, worker)
             await self._send_json(writer, {"ok": ok})
+            return
+        if parts == ["status"]:
+            keys = payload.get("keys")
+            if not isinstance(keys, list) or len(keys) > 1000:
+                raise _HttpError(
+                    400, "status poll needs a keys list (at most 1000 keys)"
+                )
+            checked = [self._broker_key(key) for key in keys]
+            statuses = await offload(self.broker.statuses, checked)
+            await self._send_json(writer, {"statuses": statuses})
             return
         if parts == ["discard"]:
             await offload(self.broker.discard, self._broker_key(payload.get("key")))

@@ -22,18 +22,35 @@ Compatibility contracts enforced by ``tests/service/test_wire.py``:
   ``.ack.pkl``; changing it orphans every completed task on disk.  Its
   ``"kind"`` field is the schema tag (a ``"schema"`` key would change the
   digest).
-* Result payloads stay raw :mod:`pickle` bytes (the PR 4 ack format);
-  :func:`encode_result_b64` / :func:`decode_result_b64` only wrap them for
-  JSON transport over the HTTP broker.
+* Result payloads stay raw :mod:`pickle` bytes on disk (the PR 4 ack
+  format — old acks still replay); :func:`encode_result_b64` /
+  :func:`decode_result_b64` only wrap them for JSON transport over the
+  HTTP broker, and :func:`decode_result` reads them through the
+  restricted unpickler described below.
 * :func:`parse_lease` accepts every lease body ever written: the v1 fabric
   dict (pid/worker/host/deadline), the PR 4 ``{"pid": N}`` dict, a bare
   integer, and garbage (which parses to a dead claim, never an error).
+
+Trust model: task and result bodies are pickle *bytes* (the PR 4 ack
+format), but they are never fed to a bare ``pickle.loads``.  Both decode
+through :func:`restricted_loads`, whose ``find_class`` admits only
+``repro.*`` **classes** plus a fixed allow-list of data-carrier globals
+(container builtins, numpy array reconstruction).  Arbitrary importables —
+``os.system``, ``subprocess.Popen``, ``builtins.eval``, even ``repro``
+module-level *functions* (call gadgets: ``REDUCE`` invokes whatever
+``find_class`` returns) — raise ``pickle.UnpicklingError`` before any code
+runs.  Together with the worker's task-function allow-list this is what
+lets a broker accept envelopes from untrusted submitters without handing
+them code execution; what remains reachable is constructing ``repro`` data
+objects with attacker-chosen fields, which the task functions treat as
+(possibly garbage) work.
 """
 
 from __future__ import annotations
 
 import base64
 import binascii
+import io
 import json
 import pickle
 from typing import Any, Callable, Iterable
@@ -49,6 +66,68 @@ def canonical_json(payload: Any) -> bytes:
     return (json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n").encode(
         "utf-8"
     )
+
+
+# -- restricted unpickling ----------------------------------------------------
+
+#: Non-``repro`` globals a wire pickle may reference: pure data carriers
+#: whose construction runs no caller-supplied code.  Everything here is a
+#: container/value type or a numpy array-reconstruction hook (the names
+#: numpy itself emits for ``ndarray.__reduce__``, old and new layouts).
+_SAFE_GLOBALS = frozenset(
+    [("builtins", name) for name in (
+        "bool", "bytearray", "bytes", "complex", "dict", "float",
+        "frozenset", "int", "list", "range", "set", "slice", "str", "tuple",
+    )]
+    + [
+        ("collections", "OrderedDict"),
+        ("collections", "deque"),
+        ("copyreg", "_reconstructor"),
+        ("numpy", "dtype"),
+        ("numpy", "ndarray"),
+        ("numpy.core.multiarray", "_reconstruct"),
+        ("numpy.core.multiarray", "scalar"),
+        ("numpy.core.numeric", "_frombuffer"),
+        ("numpy._core.multiarray", "_reconstruct"),
+        ("numpy._core.multiarray", "scalar"),
+        ("numpy._core.numeric", "_frombuffer"),
+    ]
+)
+
+
+class _RestrictedUnpickler(pickle.Unpickler):
+    """``pickle.Unpickler`` that refuses code-execution gadgets.
+
+    ``find_class`` is the only door a pickle has into the interpreter's
+    namespace; narrowing it to :data:`_SAFE_GLOBALS` plus ``repro.*``
+    *classes* (not functions — ``REDUCE`` calls whatever comes back) turns
+    a hostile payload into an :class:`pickle.UnpicklingError` instead of a
+    remote shell.
+    """
+
+    def find_class(self, module: str, name: str) -> Any:
+        if (module, name) in _SAFE_GLOBALS:
+            return super().find_class(module, name)
+        if module == "repro" or module.startswith("repro."):
+            target = super().find_class(module, name)
+            if isinstance(target, type):
+                return target
+            raise pickle.UnpicklingError(
+                f"wire payloads may reference repro classes, not "
+                f"{module}.{name} (a {type(target).__name__})"
+            )
+        raise pickle.UnpicklingError(
+            f"wire payloads may not reference {module}.{name}"
+        )
+
+
+def restricted_loads(payload: bytes) -> Any:
+    """``pickle.loads`` through the wire allow-list (see module docstring).
+
+    Raises :class:`pickle.UnpicklingError` (or the usual truncation/codec
+    errors) for anything referencing a global outside the allow-list.
+    """
+    return _RestrictedUnpickler(io.BytesIO(payload)).load()
 
 
 # -- task envelopes -----------------------------------------------------------
@@ -78,6 +157,8 @@ def decode_task(envelope: dict) -> tuple[str, Any]:
 
     Raises ``ValueError`` for envelopes from a *newer* schema or with a
     malformed body — a worker must reject what it cannot faithfully run.
+    The body is unpickled through :func:`restricted_loads`, so a hostile
+    envelope surfaces as a rejection, never as code execution.
     """
     if not isinstance(envelope, dict):
         raise ValueError("task envelope must be a JSON object")
@@ -91,10 +172,10 @@ def decode_task(envelope: dict) -> tuple[str, Any]:
     if not isinstance(fn_name, str) or "." not in fn_name:
         raise ValueError(f"task envelope has no importable fn ({fn_name!r})")
     try:
-        task = pickle.loads(base64.b64decode(envelope["task_pkl"]))
+        task = restricted_loads(base64.b64decode(envelope["task_pkl"]))
     except (KeyError, TypeError, ValueError, binascii.Error,
             pickle.UnpicklingError, EOFError, AttributeError,
-            ImportError) as exc:
+            ImportError, IndexError) as exc:
         raise ValueError(f"task envelope body is unreadable ({exc})") from exc
     return fn_name, task
 
@@ -108,8 +189,13 @@ def encode_result(result: Any) -> bytes:
 
 
 def decode_result(payload: bytes) -> Any:
-    """Inverse of :func:`encode_result` (raises like ``pickle.loads``)."""
-    return pickle.loads(payload)
+    """Inverse of :func:`encode_result`, via :func:`restricted_loads`.
+
+    Ack bytes come back from brokers other processes write into, so the
+    submitter applies the same allow-list the worker applies to tasks;
+    raises like ``pickle.loads`` on truncation or a disallowed global.
+    """
+    return restricted_loads(payload)
 
 
 def encode_result_b64(payload: bytes) -> str:
@@ -285,6 +371,7 @@ __all__ = [
     "function_name",
     "lease_body",
     "parse_lease",
+    "restricted_loads",
     "synthesis_task_payload",
     "topology_payload",
 ]

@@ -14,6 +14,7 @@ import repro
 
 from repro.engine.broker import (
     DEFAULT_LEASE_TTL,
+    DEFAULT_WAIT_TIMEOUT,
     MAX_RETRIES,
     Broker,
     BrokerBackend,
@@ -252,6 +253,100 @@ class TestDirectoryBrokerLeases:
             claimer.wait()
 
 
+class TestLeaseOwnership:
+    """A reclaimed worker must not clobber the new holder's lease."""
+
+    def test_nack_from_a_lost_lease_burns_no_retry(self, tmp_path):
+        broker = DirectoryBroker(tmp_path)
+        key = _seed(broker)
+        assert broker.lease("w1") is not None
+        broker.release(key)  # reclaim; w2 picks the task up
+        assert broker.claim(key, "w2")
+        # The zombie's failure report is dropped: no record, no release.
+        assert broker.nack(key, "w1", "zombie boom") == 0
+        assert broker.failure(key) is None
+        assert (tmp_path / f"{key}{LEASE_SUFFIX}").exists()
+        # The rightful holder's nack still counts.
+        assert broker.nack(key, "w2", "real boom") == 1
+
+    def test_nack_with_no_lease_at_all_burns_no_retry(self, tmp_path):
+        broker = DirectoryBroker(tmp_path)
+        key = _seed(broker)
+        assert broker.nack(key, "w1", "never leased") == 0
+        assert broker.failure(key) is None
+
+    def test_three_zombie_nacks_cannot_poison_a_task(self, tmp_path):
+        broker = DirectoryBroker(tmp_path)
+        key = _seed(broker)
+        assert broker.claim(key, "holder")
+        for _ in range(MAX_RETRIES):
+            broker.nack(key, "zombie", "boom")
+        assert broker.failure(key) is None
+        assert (tmp_path / f"{key}{LEASE_SUFFIX}").exists()
+
+    def test_ack_from_a_lost_lease_keeps_the_new_holders_claim(self, tmp_path):
+        broker = DirectoryBroker(tmp_path)
+        key = _seed(broker)
+        assert broker.lease("w1") is not None
+        broker.release(key)
+        assert broker.claim(key, "w2")
+        # Results are deterministic, so the zombie's ack is stored — but the
+        # live lease stays w2's until its own ack (or the acked-lease sweep).
+        broker.ack(key, wire.encode_result(digest({"test-task": 0})), "w1")
+        assert broker.result(key) is not None
+        info = broker.lease_info(key)
+        assert info is not None and info["worker"] == "w2"
+
+    def test_owned_ack_releases_the_lease(self, tmp_path):
+        broker = DirectoryBroker(tmp_path)
+        key = _seed(broker)
+        assert broker.lease("w1") is not None
+        broker.ack(key, b"payload", "w1")
+        assert not (tmp_path / f"{key}{LEASE_SUFFIX}").exists()
+
+    def test_legacy_workerless_lease_is_owned_by_its_pid(self, tmp_path):
+        broker = DirectoryBroker(tmp_path)
+        key = _key()
+        assert broker.claim(key)  # worker=None: in-process queue-style claim
+        assert broker.release_if_owner(key, None) is True
+        assert not (tmp_path / f"{key}{LEASE_SUFFIX}").exists()
+
+
+class TestStatuses:
+    def test_statuses_report_ack_lease_and_failure(self, tmp_path):
+        broker = DirectoryBroker(tmp_path)
+        acked, running, failed, idle = (_seed(broker, n) for n in range(4))
+        broker.claim(acked, "w1")
+        broker.ack(acked, b"payload", "w1")
+        broker.claim(running, "w1")
+        broker.claim(failed, "w2")
+        broker.nack(failed, "w2", "boom")
+        statuses = broker.statuses([acked, running, failed, idle])
+        assert statuses[acked]["acked"] is True
+        assert statuses[running]["leased"] is True
+        assert statuses[failed]["failure"] == {"retries": 1, "error": "boom"}
+        assert statuses[idle] == {
+            "acked": False,
+            "leased": False,
+            "failure": None,
+        }
+
+    def test_a_stale_lease_does_not_count_as_leased(self, tmp_path):
+        broker = DirectoryBroker(tmp_path)
+        key = _key()
+        (tmp_path / f"{key}{LEASE_SUFFIX}").write_text(
+            wire.lease_body(
+                pid=1, worker="w1", host=broker.host, deadline=time.time() - 1.0
+            )
+        )
+        assert broker.statuses([key])[key]["leased"] is False
+
+    def test_statuses_validate_keys(self, tmp_path):
+        broker = DirectoryBroker(tmp_path)
+        with pytest.raises(ValueError):
+            broker.statuses(["../../etc/passwd"])
+
+
 class TestWorkerLoop:
     def test_executes_and_acks(self, tmp_path):
         broker = DirectoryBroker(tmp_path)
@@ -409,6 +504,37 @@ class TestBrokerBackend:
         )
         with pytest.raises(RuntimeError, match="workers attached"):
             backend.map(digest, [{"n": 1}])
+
+    def test_wait_timeout_defaults_finite(self, tmp_path):
+        # --backend broker with zero workers must eventually diagnose, not
+        # block map() forever.
+        backend = BrokerBackend(queue_dir=tmp_path)
+        assert backend.wait_timeout == DEFAULT_WAIT_TIMEOUT
+
+    def test_a_live_lease_counts_as_progress(self, tmp_path):
+        # A worker mid-task (holding a live lease) resets the no-progress
+        # clock even when no ack lands within wait_timeout.
+        broker = DirectoryBroker(tmp_path, lease_ttl=60.0)
+        backend = BrokerBackend(broker, poll_interval=0.01, wait_timeout=0.15)
+        key = task_key(digest, {"n": 7})
+
+        def _slow_holder():
+            # Claim shortly after dispatch, hold well past wait_timeout,
+            # then ack — the backend must wait it out, not raise.
+            deadline = time.monotonic() + 2.0
+            while time.monotonic() < deadline:
+                if broker.claim(key, "slow"):
+                    break
+                time.sleep(0.005)
+            time.sleep(0.4)
+            broker.ack(key, wire.encode_result(digest({"n": 7})), "slow")
+
+        holder = threading.Thread(target=_slow_holder)
+        holder.start()
+        try:
+            assert backend.map(digest, [{"n": 7}]) == [digest({"n": 7})]
+        finally:
+            holder.join()
 
     def test_corrupt_ack_is_discarded_and_reexecuted(self, tmp_path):
         broker = DirectoryBroker(tmp_path)

@@ -212,6 +212,46 @@ class TestCrashTolerance:
             assert backend.broken_leases == 0  # sweep kept the "live" claim
         assert CALLS == [14]  # stolen after the timeout and executed
 
+    def test_long_task_heartbeats_keep_its_lease(self, tmp_path):
+        # A task running past lease_timeout is NOT reclaimable: the executor
+        # thread heartbeats its own lease, so a concurrent worker or resumed
+        # run sweeping the directory sees a live claim the whole time (the
+        # PR 4 pid-alive protection, now preserved under TTL'd leases).
+        import threading
+        import time
+
+        from repro.engine.broker import DirectoryBroker
+
+        def slow(task):
+            time.sleep(0.8)
+            return task.value + 100
+
+        task = TrackedTask(21)
+        key = task_key(slow, task)
+        rival = DirectoryBroker(tmp_path, lease_ttl=0.3)
+        lease_path = tmp_path / f"{key}{LEASE_SUFFIX}"
+        reclaims = []
+
+        def sweep():
+            while not lease_path.exists():
+                time.sleep(0.005)
+            deadline = time.monotonic() + 0.7  # two TTLs into the run
+            while time.monotonic() < deadline:
+                if rival.reclaim():
+                    reclaims.append(True)
+                    return
+                time.sleep(0.02)
+
+        thief = threading.Thread(target=sweep)
+        thief.start()
+        with QueueBackend(
+            max_workers=1, queue_dir=tmp_path, lease_timeout=0.3
+        ) as backend:
+            assert backend.map(slow, [task]) == [121]
+            assert backend.executed == 1
+        thief.join()
+        assert not reclaims
+
     def test_failed_task_leaves_no_ack(self, tmp_path):
         def explode(task):
             raise RuntimeError("boom")

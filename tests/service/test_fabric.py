@@ -95,6 +95,24 @@ class TestHttpBrokerProtocol:
         broker.discard(key)
         assert broker.result(key) is None
 
+    def test_statuses_batch_over_http(self, broker):
+        keys = [task_key(digest, {"n": n}) for n in (20, 21, 22)]
+        for key, n in zip(keys, (20, 21, 22)):
+            broker.submit(key, wire.encode_task(digest, {"n": n}))
+        acked_key = broker.lease("w1")[0]  # first two in lease order
+        running_key = broker.lease("w1")[0]
+        idle_key = next(k for k in keys if k not in (acked_key, running_key))
+        broker.ack(acked_key, wire.encode_result(0), "w1")
+        statuses = broker.statuses(keys)
+        assert statuses[acked_key]["acked"] is True
+        assert statuses[running_key]["leased"] is True
+        assert statuses[running_key]["acked"] is False
+        assert statuses[idle_key] == {
+            "acked": False,
+            "leased": False,
+            "failure": None,
+        }
+
     def test_heartbeat_extends_a_lease_past_its_ttl(self, broker):
         # Server TTL is 2s: beat for 3s, the lease must survive; stop, and
         # one TTL later the reclaim sweep breaks it.

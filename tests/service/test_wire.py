@@ -71,6 +71,74 @@ class TestResultPayloads:
             wire.decode_result_b64("!!! definitely not base64 !!!")
 
 
+class TestRestrictedUnpickling:
+    """The RCE gate: wire payloads decode through an allow-list, not pickle."""
+
+    def test_repro_classes_and_plain_data_round_trip(self):
+        import numpy as np
+
+        job = _job()
+        payload = wire.encode_result(
+            {"job": job, "gains": np.asarray([0.5, 1.0]), "label": ("a", 1)}
+        )
+        decoded = wire.restricted_loads(payload)
+        assert decoded["job"] == job
+        assert decoded["gains"].tolist() == [0.5, 1.0]
+
+    def test_stdlib_call_gadgets_are_blocked(self):
+        import pickle
+
+        class Gadget:
+            def __reduce__(self):
+                import os
+
+                return (os.system, ("true",))
+
+        payload = pickle.dumps(Gadget())
+        with pytest.raises(pickle.UnpicklingError, match="may not reference"):
+            wire.restricted_loads(payload)
+
+    def test_builtins_beyond_data_types_are_blocked(self):
+        import pickle
+
+        class Gadget:
+            def __reduce__(self):
+                return (eval, ("1+1",))
+
+        with pytest.raises(pickle.UnpicklingError, match="may not reference"):
+            wire.restricted_loads(pickle.dumps(Gadget()))
+
+    def test_repro_functions_are_blocked(self):
+        # Classes reconstruct state; module-level *functions* are REDUCE
+        # call gadgets even inside our own package (atomic_write_bytes
+        # would be a file-write primitive), so only classes pass.
+        import pickle
+
+        class Gadget:
+            def __reduce__(self):
+                return (wire.canonical_json, ({},))
+
+        with pytest.raises(pickle.UnpicklingError, match="classes"):
+            wire.restricted_loads(pickle.dumps(Gadget()))
+
+    def test_decode_task_rejects_gadget_payloads_as_unreadable(self):
+        import base64
+        import pickle
+
+        class Gadget:
+            def __reduce__(self):
+                import os
+
+                return (os.system, ("true",))
+
+        envelope = wire.encode_task(digest, {"n": 1})
+        envelope["task_pkl"] = base64.b64encode(
+            pickle.dumps(Gadget())
+        ).decode("ascii")
+        with pytest.raises(ValueError, match="unreadable"):
+            wire.decode_task(envelope)
+
+
 class TestLeases:
     def test_v1_roundtrip(self):
         body = wire.lease_body(pid=1234, worker="w1", host="h", deadline=42.5)
