@@ -1,0 +1,157 @@
+"""Observability overhead benchmark: telemetry must be near-free.
+
+The contract the unified observability layer ships with: `metrics` mode
+(the default) may not tax the hot evaluation path, and `trace` mode's
+span export stays cheap enough for production use.  The workload is the
+48-candidate DC staging pass from the ``dc_batch`` stage — the hottest
+instrumented loop in the repo (every Newton iteration bumps registry
+counters through the ``NEWTON_STATS`` view) — wrapped in one span per
+pass, exactly as the scheduler wraps each synthesis job.
+
+Three timed configurations, best-of-N walls:
+
+* ``off``     — gated helpers are no-ops, tracer disabled;
+* ``metrics`` — the shipping default: registry counters live;
+* ``trace``   — metrics plus JSONL span export to a sink directory.
+
+A registry micro-rate (plain ``REGISTRY.counter`` calls per second) is
+reported alongside so the per-event cost is visible in absolute terms.
+
+Runs standalone through ``benchmarks/run_all.py`` (the ``obs`` stage):
+``--check`` fails the run when metrics-mode overhead exceeds 3% of the
+off-mode wall (the acceptance floor), when trace mode recorded no spans,
+or when trace overhead exceeds a looser 15% sanity bound.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs import metrics
+from repro.obs.trace import configure_tracing, span
+from repro.specs import AdcSpec, plan_stages
+from repro.enumeration.candidates import PipelineCandidate
+from repro.synth import HybridEvaluator, two_stage_space
+from repro.tech.process import CMOS025
+
+
+def _workload(population: int):
+    spec = AdcSpec(resolution_bits=13)
+    plan = plan_stages(spec, PipelineCandidate((4, 3, 2), 13, 7))
+    mdac = plan.mdacs[2]
+    space = two_stage_space(mdac, CMOS025)
+    rng = np.random.default_rng(17)
+    sizings = [space.decode(rng.random(space.dimension)) for _ in range(population)]
+    evaluator = HybridEvaluator(mdac, CMOS025, kernel="compiled", dc_kernel="batched")
+    return evaluator, sizings
+
+
+def _interleaved_walls(fn, modes, configure, repeats: int) -> dict[str, float]:
+    """Best wall per mode, measured round-robin.
+
+    The per-pass walls are tens of milliseconds, so sequential per-mode
+    blocks would fold clock/thermal drift into the overhead percentages;
+    interleaving the modes samples each against the same drift.
+    """
+    walls: dict[str, list[float]] = {mode: [] for mode in modes}
+    for mode in modes:
+        configure(mode)
+        fn()  # warm layout/template caches and the trace sink per mode
+    for _ in range(repeats):
+        for mode in modes:
+            configure(mode)
+            start = time.perf_counter()
+            for _ in range(_INNER_LOOPS):
+                fn()
+            walls[mode].append((time.perf_counter() - start) / _INNER_LOOPS)
+    return {mode: min(samples) for mode, samples in walls.items()}
+
+
+#: Passes per timed sample — one pass is ~30 ms, too small for a stable
+#: percentage; four amortize scheduler jitter without hiding the overhead.
+_INNER_LOOPS = 4
+
+
+def _counter_rate(events: int = 200_000) -> float:
+    registry = metrics.MetricsRegistry()
+    start = time.perf_counter()
+    for _ in range(events):
+        registry.counter("bench.micro")
+    return events / (time.perf_counter() - start)
+
+
+def run_obs_benchmark(population: int = 48, repeats: int = 9) -> dict:
+    evaluator, sizings = _workload(population)
+
+    def one_pass():
+        with span("bench.dc_pass", population=population):
+            evaluator._stage_batched(sizings)
+
+    previous_mode = metrics.telemetry_mode()
+    spans_written = 0
+    try:
+        with tempfile.TemporaryDirectory(prefix="bench-obs-") as tmp:
+            trace_dir = Path(tmp) / "traces"
+
+            def configure(mode: str) -> None:
+                metrics.reset_all(mode)
+                configure_tracing(trace_dir if mode == "trace" else None)
+
+            walls = _interleaved_walls(
+                one_pass, metrics.TELEMETRY_MODES, configure, repeats
+            )
+            spans_written = sum(
+                len(path.read_text().splitlines())
+                for path in trace_dir.glob("*.jsonl")
+            )
+    finally:
+        configure_tracing(None)
+        metrics.reset_all(previous_mode)
+
+    def overhead_pct(mode: str) -> float:
+        return round((walls[mode] - walls["off"]) / walls["off"] * 100.0, 2)
+
+    return {
+        "workload": f"{population}-candidate DC staging pass "
+                    f"(batched lockstep), best of {repeats}",
+        "wall_off_s": round(walls["off"], 4),
+        "wall_metrics_s": round(walls["metrics"], 4),
+        "wall_trace_s": round(walls["trace"], 4),
+        "overhead_metrics_pct": overhead_pct("metrics"),
+        "overhead_trace_pct": overhead_pct("trace"),
+        "spans_written": spans_written,
+        "counter_rate_per_s": round(_counter_rate(), 0),
+    }
+
+
+def check_obs_report(report: dict) -> list[str]:
+    """``--check`` failures for the obs stage (empty list = pass)."""
+    failures = []
+    if report["overhead_metrics_pct"] > 3.0:
+        failures.append(
+            "regression: metrics-mode telemetry over its 3% overhead "
+            f"floor on the DC workload ({report['overhead_metrics_pct']}%)"
+        )
+    if report["spans_written"] == 0:
+        failures.append("trace mode exported no spans on the DC workload")
+    if report["overhead_trace_pct"] > 15.0:
+        failures.append(
+            "regression: trace-mode telemetry over its 15% sanity bound "
+            f"({report['overhead_trace_pct']}%)"
+        )
+    return failures
+
+
+if __name__ == "__main__":
+    import json
+
+    report = run_obs_benchmark()
+    print(json.dumps(report, indent=2))
+    problems = check_obs_report(report)
+    for problem in problems:
+        print(f"CHECK FAILED: {problem}")
+    raise SystemExit(1 if problems else 0)

@@ -1,4 +1,4 @@
-"""Run the standalone benchmark suite and emit ``BENCH_PR9.json``.
+"""Run the standalone benchmark suite and emit ``BENCH_PR10.json``.
 
 Standalone (no pytest): fixed seeds, deterministic workloads, wall-clock
 measurements of the compiled evaluation kernels against the legacy path,
@@ -21,7 +21,10 @@ fleet throughput at 1 vs 2 workers on fixed-service-time probe tasks
 (isolating dispatch concurrency from the runner's core count), sizing
 digests of a 2-worker synthesis batch against a local serial run, and
 the time for a SIGKILLed worker's lease to be reclaimed
-(see ``benchmarks/bench_fabric.py``).
+(see ``benchmarks/bench_fabric.py``).  PR 10 adds ``obs``: telemetry
+overhead on the 48-candidate DC workload — ``off`` vs ``metrics`` vs
+``trace`` walls measured round-robin, plus a registry counter micro-rate
+(see ``benchmarks/bench_obs.py``).
 
 ``--check`` is the CI regression guard: it fails the run when the compiled
 kernel is slower than the legacy path on the same workload, when any
@@ -36,7 +39,8 @@ stage breaks its coalescing contract (N identical concurrent submissions
 must perform exactly one cold synthesis), or when the ``fabric`` stage
 misses its 1.5x two-worker throughput floor, diverges from the local
 serial run, or fails to reclaim a SIGKILLed worker's lease within 3x the
-lease TTL.
+lease TTL, or when the ``obs`` stage shows metrics-mode telemetry above
+its 3% overhead floor (or trace mode exporting nothing).
 
 A stage that *raises* is recorded in its JSON slot as ``{"error": ...}``
 and the run exits non-zero after writing the (partial) report — CI fails
@@ -520,8 +524,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="tiny budgets for CI (seconds, not minutes)")
-    parser.add_argument("--out", default="BENCH_PR9.json",
-                        help="output JSON path (default: BENCH_PR9.json)")
+    parser.add_argument("--out", default="BENCH_PR10.json",
+                        help="output JSON path (default: BENCH_PR10.json)")
     parser.add_argument("--check", action="store_true",
                         help="exit nonzero if compiled is slower than legacy "
                              "or any result diverges")
@@ -553,6 +557,7 @@ def main(argv=None) -> int:
     # bench_service/bench_fabric sit next to this script; script-dir
     # imports resolve them.
     from bench_fabric import check_fabric_report, run_fabric_benchmark
+    from bench_obs import check_obs_report, run_obs_benchmark
     from bench_service import check_service_report, run_service_benchmark
 
     # Fabric probes measure dispatch concurrency (off-CPU service time),
@@ -580,6 +585,11 @@ def main(argv=None) -> int:
         ),
         "service": lambda: run_service_benchmark(identical, distinct),
         "fabric": lambda: run_fabric_benchmark(**fabric_kwargs),
+        # Telemetry overhead holds its floor at the full DC population;
+        # smoke trims only the sample count.
+        "obs": lambda: run_obs_benchmark(
+            dc_population, repeats=5 if args.smoke else 9
+        ),
     }
     stages: dict[str, dict] = {}
     stage_errors: list[str] = []
@@ -591,7 +601,7 @@ def main(argv=None) -> int:
             stage_errors.append(name)
 
     report = {
-        "bench": "PR9 distributed execution fabric tier",
+        "bench": "PR10 unified observability tier",
         "config": {
             "smoke": args.smoke,
             "budget": budget,
@@ -622,6 +632,7 @@ def main(argv=None) -> int:
     speculation = report["stages"]["speculation"]
     service = report["stages"]["service"]
     fabric = report["stages"]["fabric"]
+    obs = report["stages"]["obs"]
     print(
         f"\nfull-candidate speedup: {synth['speedup_full_candidate']}x, "
         f"equation-metric stage: {eqn['speedup']}x, "
@@ -638,7 +649,10 @@ def main(argv=None) -> int:
         f"{service['throughput']['jobs_per_s']} jobs/s, "
         f"fabric: {fabric['throughput']['speedup_two_vs_one']}x at 2 workers "
         f"({fabric['lease_overhead']['median_ms']}ms lease overhead, "
-        f"reclaim in {fabric['reclaim']['seconds_to_reclaim']}s) -> {out_path}"
+        f"reclaim in {fabric['reclaim']['seconds_to_reclaim']}s), "
+        f"obs: {obs['overhead_metrics_pct']}% metrics / "
+        f"{obs['overhead_trace_pct']}% trace overhead "
+        f"({obs['spans_written']} spans) -> {out_path}"
     )
 
     if args.check:
@@ -710,6 +724,7 @@ def main(argv=None) -> int:
             )
         failures.extend(check_service_report(service))
         failures.extend(check_fabric_report(fabric))
+        failures.extend(check_obs_report(obs))
         if failures:
             for failure in failures:
                 print(f"CHECK FAILED: {failure}", file=sys.stderr)

@@ -56,6 +56,7 @@ from repro.analysis.dc import (
 from repro.analysis.mna import GROUND
 from repro.analysis.template import BoundMna
 from repro.errors import AnalysisError, ReproError
+from repro.obs.metrics import REGISTRY, CounterView
 from repro.tech.mosfet import _GDS_MIN, _VEFF_DELTA
 
 #: Supported DC solver kernels (`FlowConfig.dc_kernel` values).
@@ -93,17 +94,23 @@ BATCHED_STRATEGY = "batched"
 #: * ``fallbacks`` — members resolved by the scalar chained walk (full
 #:   homotopy) after the lockstep gave up on them;
 #: * ``failures`` — members that failed even the scalar fallback.
-NEWTON_STATS = {
-    "lockstep_calls": 0,
-    "lockstep_members": 0,
-    "lockstep_iterations": 0,
-    "mask_occupancy": 0,
-    "member_iterations": 0,
-    "converged": 0,
-    "divergences": 0,
-    "fallbacks": 0,
-    "failures": 0,
-}
+#: Stored in the process-global metrics registry (``newton.*`` counters,
+#: see :mod:`repro.obs`); this view keeps the historical dict API.
+NEWTON_STATS = CounterView(
+    REGISTRY,
+    "newton",
+    (
+        "lockstep_calls",
+        "lockstep_members",
+        "lockstep_iterations",
+        "mask_occupancy",
+        "member_iterations",
+        "converged",
+        "divergences",
+        "fallbacks",
+        "failures",
+    ),
+)
 
 
 def reset_newton_stats() -> None:

@@ -74,6 +74,7 @@ from repro.circuit.elements import (
 )
 from repro.circuit.netlist import Circuit
 from repro.errors import AnalysisError
+from repro.obs.metrics import REGISTRY, CounterView
 from repro.tech.mosfet import dc_current
 
 #: MOSFET DC slot kinds (see ``kindvals`` in :meth:`BoundMna.assemble`).
@@ -982,7 +983,11 @@ _TEMPLATE_CACHE_MAX = 128
 #: loaded from a :class:`TemplateStore`, ``store_misses`` store lookups
 #: that fell through to a compile.  Benchmarks reset and read these to
 #: prove that warm reruns stop recompiling.
-TEMPLATE_STATS = {"compiled": 0, "store_hits": 0, "store_misses": 0}
+#: Stored in the process-global metrics registry (``template.*`` counters,
+#: see :mod:`repro.obs`); this view keeps the historical dict API.
+TEMPLATE_STATS = CounterView(
+    REGISTRY, "template", ("compiled", "store_hits", "store_misses")
+)
 
 
 def reset_template_stats() -> None:

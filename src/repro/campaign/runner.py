@@ -36,7 +36,9 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import shutil
+import socket
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -68,6 +70,8 @@ from repro.engine.config import FlowConfig
 from repro.engine.persist import digest as persist_digest, sizing_digest
 from repro.flow.cache import PersistentBlockCache
 from repro.flow.topology import TopologyResult, optimize_topology
+from repro.obs import metrics as obs
+from repro.obs.trace import TRACE_DIRNAME, TRACE_ENV, configure_tracing, span
 from repro.synth.result import SynthesisResult
 
 
@@ -137,6 +141,11 @@ class SynthesisLedger:
         """
         if self.journal is not None:
             self.journal.append((fingerprint, spec_key, scope, result))
+        # The dedup metric counts designs the ledger already knew — the
+        # campaign-wide reuse the paper's retarget economy buys.
+        obs.counter(
+            "ledger.dedup" if fingerprint in self.memory else "ledger.records"
+        )
         self.memory.setdefault(fingerprint, result)
         if result.feasible:
             self.by_spec.setdefault(spec_key, result)
@@ -219,6 +228,7 @@ class LedgerBackedCache(PersistentBlockCache):
             if hit is not None:
                 self.shared_hits += 1
                 self.ledger.shared_hits += 1
+                obs.counter("ledger.shared_hits")
                 return hit
         if self.cache_dir is not None:
             return super().load_persistent(fingerprint, spec)
@@ -488,6 +498,104 @@ def _behavioral_record(
     )
 
 
+def _snapshot_delta(baseline: dict, current: dict) -> dict:
+    """``current`` minus ``baseline``: the campaign-window view.
+
+    The registry is process-cumulative (a service scheduler runs many
+    campaigns in one process), so the runner's *local* contribution to a
+    store's ``metrics.json`` is the delta across the run.  Counters and
+    histogram count/total subtract (zeroed entries drop out); gauges keep
+    their current value; histogram min/max keep the cumulative extrema —
+    the window's own extrema are not recoverable from two snapshots, and
+    a widened bound is the honest approximation.
+    """
+    counters: dict[str, float] = {}
+    base_counters = baseline.get("counters", {})
+    for name, value in current.get("counters", {}).items():
+        diff = value - base_counters.get(name, 0)
+        if diff:
+            counters[name] = diff
+    histograms: dict[str, dict] = {}
+    base_hists = baseline.get("histograms", {})
+    for name, h in current.get("histograms", {}).items():
+        prior = base_hists.get(name, {})
+        count = h["count"] - prior.get("count", 0)
+        if count <= 0:
+            continue
+        histograms[name] = {
+            "count": count,
+            "total": h["total"] - prior.get("total", 0.0),
+            "min": h["min"],
+            "max": h["max"],
+        }
+    return {
+        "counters": counters,
+        "gauges": dict(current.get("gauges", {})),
+        "histograms": histograms,
+    }
+
+
+def _write_campaign_metrics(
+    store_path: Path, backend: ExecutionBackend, baseline: dict
+) -> Path:
+    """Aggregate every telemetry channel into ``<store>/metrics.json``.
+
+    Three sources fold into one snapshot (see docs/observability.md):
+
+    * the runner's own live registry, as a delta over ``baseline`` — the
+      snapshot taken when the campaign started — so a long-lived process
+      (the job service) attributes to each store only what its campaign
+      did (serial/thread/queue execution, plus everything the campaign
+      layer itself counted);
+    * spool files under ``<store>/metrics/`` — process-pool workers rewrite
+      their cumulative snapshot after every job (the runner's own file is
+      excluded: its live registry already covers it);
+    * fleet census records — broker workers piggyback a registry snapshot
+      on their census entry, so remote hosts' counters aggregate without
+      any shared filesystem (same-process entries are skipped to avoid
+      double counting an in-process worker).
+
+    Like ``meta.json`` this artifact is nondeterministic (wall-clock
+    histograms, fleet composition) and sits outside the byte-identity
+    contract — the deterministic artifacts never mention it.
+    """
+    snapshots = [_snapshot_delta(baseline, obs.snapshot())]
+    sources = {"local": 1, "spooled": 0, "fleet": 0}
+    spool_dir = os.environ.get(obs.SPOOL_ENV)
+    if spool_dir:
+        spooled = obs.read_spool_snapshots(spool_dir, exclude_self=True)
+        snapshots.extend(spooled)
+        sources["spooled"] = len(spooled)
+    workers_fn = getattr(getattr(backend, "broker", None), "workers", None)
+    if callable(workers_fn):
+        try:
+            census = workers_fn()
+        except Exception:
+            census = []
+        me = (socket.gethostname(), os.getpid())
+        for record in census:
+            if not isinstance(record, dict):
+                continue
+            snap = record.get("metrics")
+            if not isinstance(snap, dict):
+                continue
+            if (record.get("host"), record.get("pid")) == me:
+                continue
+            snapshots.append(snap)
+            sources["fleet"] += 1
+    payload = {
+        "schema": 1,
+        "telemetry": obs.telemetry_mode(),
+        "sources": sources,
+        "metrics": obs.aggregate_snapshots(snapshots),
+    }
+    path = store_path / obs.METRICS_FILENAME
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
 def run_campaign(
     grid: CampaignGrid,
     config: FlowConfig | None = None,
@@ -578,103 +686,157 @@ def run_campaign(
         if resume:
             completed = checkpoints.completed_prefix(scenarios)
 
-    results: list[ScenarioResult] = []
-    #: (K, rate, corner) -> (winner label, winner power) from this run's
-    #: synthesis scenarios — live or replayed — feeding the behavioral
-    #: tier the topology each synthesis point actually selected.
-    synthesis_winners: dict[tuple[int, float, str], tuple[str, float]] = {}
-    campaign_start = time.perf_counter()
-    for scenario, record, journal in completed:
-        ledger.replay(journal)
-        if record.mode == "synthesis":
-            synthesis_winners[_winner_key(record)] = (
-                record.winner,
-                record.winner_power_w,
-            )
-        scenario_result = ScenarioResult(
-            scenario=scenario,
-            topology=None,
-            record=record,
-            wall_seconds=0.0,
-            replayed=True,
-        )
-        results.append(scenario_result)
-        if progress is not None:
-            progress(scenario_result)
+    # Telemetry is a pure execution knob (see FlowConfig.telemetry): it is
+    # applied here — mode, trace sink, and the env vars pool workers
+    # inherit — and fully unwound on exit, so one campaign's choice never
+    # leaks into the next call or the surrounding process.
+    telemetry = getattr(config, "telemetry", "metrics")
+    previous_mode = obs.telemetry_mode()
+    obs.set_mode(telemetry)
+    metrics_baseline = obs.snapshot()
+    saved_env: dict[str, str | None] = {}
+    tracing_here = False
+    if store_dir is not None and telemetry != "off":
+        spool_dir = store_path / obs.METRICS_DIRNAME
+        if not resume:
+            shutil.rmtree(spool_dir, ignore_errors=True)
+            shutil.rmtree(store_path / TRACE_DIRNAME, ignore_errors=True)
+        saved_env[obs.SPOOL_ENV] = os.environ.get(obs.SPOOL_ENV)
+        os.environ[obs.SPOOL_ENV] = str(spool_dir)
+        if telemetry == "trace":
+            trace_dir = store_path / TRACE_DIRNAME
+            saved_env[TRACE_ENV] = os.environ.get(TRACE_ENV)
+            os.environ[TRACE_ENV] = str(trace_dir)
+            configure_tracing(trace_dir)
+            tracing_here = True
 
-    backend = config.make_backend()
     try:
-        for scenario in scenarios[len(completed):]:
-            if cancel is not None and cancel.cancelled:
-                raise CampaignInterrupted(len(results), len(scenarios))
-            if checkpoints is not None:
-                ledger.journal = []
-            try:
-                cache: LedgerBackedCache | None = None
-                topology: TopologyResult | None = None
-                start = time.perf_counter()
-                if scenario.mode == "behavioral":
-                    record = _behavioral_record(
-                        scenario, config, backend, synthesis_winners
-                    )
-                else:
-                    if scenario.mode == "synthesis":
-                        cache = LedgerBackedCache(
-                            tech=scenario.spec.tech,
-                            budget=config.budget,
-                            retarget_budget=config.retarget_budget,
-                            seed=config.seed,
-                            retarget_seed=config.retarget_seed,
-                            verify_transient=config.verify_transient,
-                            eval_kernel=config.eval_kernel,
-                            eval_speculation=config.eval_speculation,
-                            dc_kernel=config.dc_kernel,
-                            donor_pool=ledger.donors_for(scenario.spec.tech.name),
-                            ledger=ledger,
-                            cache_dir=config.cache_dir,
-                        )
-                    topology = optimize_topology(
-                        scenario.spec,
-                        mode=scenario.mode,
-                        cache=cache,
-                        config=config,
-                        backend=backend,
-                    )
-                    record = _make_record(scenario, topology, cache)
-                    if scenario.mode == "synthesis":
-                        synthesis_winners[_winner_key(scenario)] = (
-                            record.winner,
-                            record.winner_power_w,
-                        )
-                wall = time.perf_counter() - start
-                if checkpoints is not None:
-                    checkpoints.write(scenario, record, ledger.journal or [])
-            finally:
-                ledger.journal = None
+        results: list[ScenarioResult] = []
+        #: (K, rate, corner) -> (winner label, winner power) from this run's
+        #: synthesis scenarios — live or replayed — feeding the behavioral
+        #: tier the topology each synthesis point actually selected.
+        synthesis_winners: dict[tuple[int, float, str], tuple[str, float]] = {}
+        campaign_start = time.perf_counter()
+        for scenario, record, journal in completed:
+            ledger.replay(journal)
+            obs.counter("campaign.scenarios_replayed")
+            if record.mode == "synthesis":
+                synthesis_winners[_winner_key(record)] = (
+                    record.winner,
+                    record.winner_power_w,
+                )
             scenario_result = ScenarioResult(
                 scenario=scenario,
-                topology=topology,
+                topology=None,
                 record=record,
-                wall_seconds=wall,
+                wall_seconds=0.0,
+                replayed=True,
             )
             results.append(scenario_result)
             if progress is not None:
                 progress(scenario_result)
-    finally:
-        backend.close()
 
-    campaign = CampaignResult(
-        grid=grid,
-        scenarios=tuple(results),
-        backend_name=backend.name,
-        wall_seconds=time.perf_counter() - campaign_start,
-        shard=shard,
-        manifest=manifest,
-        replayed_scenarios=len(completed),
-    )
-    if store_dir is not None:
-        campaign.save(store_dir)
-    return campaign
+        backend = config.make_backend()
+        try:
+            with span(
+                "campaign.run",
+                scenarios=len(scenarios),
+                shard=f"{shard[0]}/{shard[1]}",
+                backend=backend.name,
+            ):
+                for scenario in scenarios[len(completed):]:
+                    if cancel is not None and cancel.cancelled:
+                        raise CampaignInterrupted(len(results), len(scenarios))
+                    if checkpoints is not None:
+                        ledger.journal = []
+                    try:
+                        cache: LedgerBackedCache | None = None
+                        topology: TopologyResult | None = None
+                        start = time.perf_counter()
+                        with span(
+                            "campaign.scenario",
+                            label=scenario.label,
+                            mode=scenario.mode,
+                        ):
+                            obs.counter("campaign.scenarios")
+                            if scenario.mode == "behavioral":
+                                record = _behavioral_record(
+                                    scenario, config, backend, synthesis_winners
+                                )
+                            else:
+                                if scenario.mode == "synthesis":
+                                    cache = LedgerBackedCache(
+                                        tech=scenario.spec.tech,
+                                        budget=config.budget,
+                                        retarget_budget=config.retarget_budget,
+                                        seed=config.seed,
+                                        retarget_seed=config.retarget_seed,
+                                        verify_transient=config.verify_transient,
+                                        eval_kernel=config.eval_kernel,
+                                        eval_speculation=config.eval_speculation,
+                                        dc_kernel=config.dc_kernel,
+                                        donor_pool=ledger.donors_for(
+                                            scenario.spec.tech.name
+                                        ),
+                                        ledger=ledger,
+                                        cache_dir=config.cache_dir,
+                                    )
+                                topology = optimize_topology(
+                                    scenario.spec,
+                                    mode=scenario.mode,
+                                    cache=cache,
+                                    config=config,
+                                    backend=backend,
+                                )
+                                record = _make_record(scenario, topology, cache)
+                                if scenario.mode == "synthesis":
+                                    synthesis_winners[_winner_key(scenario)] = (
+                                        record.winner,
+                                        record.winner_power_w,
+                                    )
+                        wall = time.perf_counter() - start
+                        if checkpoints is not None:
+                            checkpoints.write(scenario, record, ledger.journal or [])
+                    finally:
+                        ledger.journal = None
+                    scenario_result = ScenarioResult(
+                        scenario=scenario,
+                        topology=topology,
+                        record=record,
+                        wall_seconds=wall,
+                    )
+                    results.append(scenario_result)
+                    if progress is not None:
+                        progress(scenario_result)
+        finally:
+            backend.close()
+
+        campaign = CampaignResult(
+            grid=grid,
+            scenarios=tuple(results),
+            backend_name=backend.name,
+            wall_seconds=time.perf_counter() - campaign_start,
+            shard=shard,
+            manifest=manifest,
+            replayed_scenarios=len(completed),
+        )
+        if store_dir is not None:
+            campaign.save(store_dir)
+            if telemetry != "off":
+                try:
+                    _write_campaign_metrics(store_path, backend, metrics_baseline)
+                except Exception:
+                    pass  # telemetry must never fail the campaign it observes
+        return campaign
+    finally:
+        if tracing_here:
+            configure_tracing(None)
+        for key, value in saved_env.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        obs.set_mode(previous_mode)
 
 
 __all__ = [

@@ -37,6 +37,7 @@ import asyncio
 import json
 import os
 import sys
+import time
 from pathlib import Path
 
 from repro.campaign import (
@@ -62,6 +63,7 @@ from repro.experiments import (
     retarget_economy,
 )
 from repro.flow.topology import optimize_topology
+from repro.obs.metrics import TELEMETRY_MODES
 from repro.specs.adc import AdcSpec
 
 #: Default service URL (``repro-adc submit``/``jobs``), env-overridable.
@@ -136,8 +138,22 @@ distributed fabric:
   (--queue-dir).  Results stay byte-identical to a serial run.  See
   docs/engine.md.
 
+observability:
+  --telemetry {off,metrics,trace} sets the telemetry level for any flow
+  command: 'metrics' (the default) accumulates counters — cache hits,
+  scheduler waves, broker lease traffic — and campaigns write an
+  aggregated metrics.json (runner + pool workers + broker fleet) into
+  their store; 'trace' additionally exports nested timing spans to
+  <store>/traces/*.jsonl, replayable with repro-adc trace STORE_DIR.
+  Records are byte-identical in every mode — telemetry never enters
+  manifests or fingerprints.  --verbose dumps the process's metrics
+  registry to stderr after any command; repro-adc status --broker URL
+  (or --queue-dir DIR) shows a broker's queue depths and live worker
+  fleet.  See docs/observability.md.
+
 docs: docs/architecture.md (layer map), docs/engine.md (backends, waves,
-fingerprints), docs/service.md (job API).
+fingerprints), docs/service.md (job API), docs/observability.md
+(metrics, traces, fleet liveness).
 """
 
 
@@ -229,11 +245,22 @@ def _engine_parent() -> argparse.ArgumentParser:
         "ack, failure, or live worker lease (default 300; 0 waits forever)",
     )
     group.add_argument(
+        "--telemetry",
+        choices=TELEMETRY_MODES,
+        default=FlowConfig.telemetry,
+        help="telemetry level (default metrics): 'off' records nothing, "
+        "'metrics' accumulates counters and writes an aggregated "
+        "metrics.json into campaign stores, 'trace' additionally exports "
+        "timing spans to <store>/traces/ (results are byte-identical in "
+        "every mode; see docs/observability.md)",
+    )
+    group.add_argument(
         "--verbose",
         action="store_true",
-        help="print kernel telemetry (compiled-template and batched-Newton "
-        "counters) to stderr after the command; meaningful for in-process "
-        "backends (serial/thread) — pool workers keep their own counters",
+        help="print this process's metrics registry (one name-sorted "
+        "'name value' line per metric) to stderr after the command; "
+        "pool/fleet workers keep their own registries — campaign stores "
+        "aggregate them into metrics.json",
     )
     return parent
 
@@ -330,6 +357,7 @@ def _flow_config(args: argparse.Namespace) -> FlowConfig:
         behavioral_kernel=getattr(
             args, "behavioral_kernel", FlowConfig.behavioral_kernel
         ),
+        telemetry=getattr(args, "telemetry", FlowConfig.telemetry),
     )
 
 
@@ -642,6 +670,13 @@ def main(argv: list[str] | None = None) -> int:
         "batched and chained jobs never coalesce)",
     )
     p_submit.add_argument(
+        "--telemetry",
+        choices=TELEMETRY_MODES,
+        default=FlowConfig.telemetry,
+        help="telemetry level the server runs this job with (excluded from "
+        "the coalescing digest — it never changes results)",
+    )
+    p_submit.add_argument(
         "--priority",
         type=int,
         default=0,
@@ -675,6 +710,52 @@ def main(argv: list[str] | None = None) -> int:
         "--stats", action="store_true", help="also print scheduler counters"
     )
 
+    p_trace = sub.add_parser(
+        "trace",
+        help="render a campaign store's recorded trace spans",
+        description=(
+            "Read the span files a --telemetry trace run exported under "
+            "<store>/traces/ and render them as per-trace timing trees "
+            "(nested spans indented under their parents, durations and "
+            "attributes inline)."
+        ),
+    )
+    p_trace.add_argument(
+        "store",
+        metavar="STORE_DIR",
+        help="campaign store directory (or a traces/ directory directly)",
+    )
+
+    p_status = sub.add_parser(
+        "status",
+        help="show a broker's queue depths and worker fleet",
+        description=(
+            "Query a task broker (a repro-adc serve instance via --broker, "
+            "or a shared --queue-dir directly) and print its lifecycle "
+            "counters, queue depths, and the live worker census: every "
+            "attached worker's identity, current task, completion counts "
+            "and last-seen age."
+        ),
+    )
+    p_status.add_argument(
+        "--broker",
+        default=None,
+        metavar="URL",
+        help="broker endpoint (a repro-adc serve instance, e.g. "
+        f"{DEFAULT_SERVICE_URL})",
+    )
+    p_status.add_argument(
+        "--queue-dir",
+        default=None,
+        metavar="DIR",
+        help="inspect a directory broker in-place instead of an HTTP one",
+    )
+    p_status.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw stats payload as JSON instead of the summary",
+    )
+
     args = parser.parse_args(argv)
 
     try:
@@ -683,41 +764,28 @@ def main(argv: list[str] | None = None) -> int:
         print(f"repro-adc: error: {exc}", file=sys.stderr)
         return 2
     if getattr(args, "verbose", False):
-        _print_kernel_telemetry()
+        _print_telemetry()
     return code
 
 
-def _print_kernel_telemetry() -> None:
-    """Dump the in-process kernel counters to stderr (``--verbose``).
+def _print_telemetry() -> None:
+    """Dump the in-process metrics registry to stderr (``--verbose``).
 
-    Counters are module-global and per process: under the pool/queue
-    backends the workers' counters stay in the workers, so this reflects
-    only work done in the CLI process itself.
+    One stable format — name-sorted ``<name> <value>`` lines straight from
+    :meth:`repro.obs.metrics.MetricsRegistry.lines` (histograms expand to
+    ``.count/.total/.min/.max``), so scripts can grep a metric without
+    caring which subsystem emitted it.  The registry is per process: under
+    the pool/queue/broker backends the workers keep their own registries,
+    which campaign stores aggregate into ``metrics.json``.
     """
-    from repro.analysis.dcbatch import NEWTON_STATS
-    from repro.analysis.template import TEMPLATE_STATS
+    from repro.obs import metrics
 
-    print("kernel telemetry (this process):", file=sys.stderr)
-    print(
-        "  templates: "
-        + ", ".join(f"{k}={v}" for k, v in sorted(TEMPLATE_STATS.items())),
-        file=sys.stderr,
-    )
-    print(
-        "  newton:    "
-        + ", ".join(f"{k}={v}" for k, v in sorted(NEWTON_STATS.items())),
-        file=sys.stderr,
-    )
-    iters = NEWTON_STATS["lockstep_iterations"]
-    members = NEWTON_STATS["converged"]
-    if iters and members:
-        occupancy = NEWTON_STATS["mask_occupancy"] / iters
-        mean_iters = NEWTON_STATS["member_iterations"] / members
-        print(
-            f"  lockstep:  mean active members/iteration {occupancy:.1f}, "
-            f"mean iterations/converged member {mean_iters:.1f}",
-            file=sys.stderr,
-        )
+    lines = metrics.REGISTRY.lines()
+    print("telemetry (this process):", file=sys.stderr)
+    if not lines:
+        print("  (no metrics recorded)", file=sys.stderr)
+    for line in lines:
+        print(f"  {line}", file=sys.stderr)
 
 
 def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
@@ -798,6 +866,10 @@ def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         return _cmd_submit(args)
     elif args.command == "jobs":
         return _cmd_jobs(args)
+    elif args.command == "trace":
+        return _cmd_trace(args)
+    elif args.command == "status":
+        return _cmd_status(args)
     return 0
 
 
@@ -892,6 +964,76 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Render a store's recorded spans (``repro-adc trace STORE_DIR``)."""
+    from repro.obs.report import read_spans, render_trace
+
+    if not Path(args.store).exists():
+        raise SpecificationError(
+            f"no such store {args.store!r} (pass a campaign --out directory "
+            "written with --telemetry trace, or its traces/ subdirectory)"
+        )
+    print(render_trace(read_spans(args.store)), end="")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    """Show a broker's counters, queue depths and worker fleet."""
+    from repro.engine.broker import DirectoryBroker, HttpBroker
+
+    if (args.broker is None) == (args.queue_dir is None):
+        raise SpecificationError(
+            "pick exactly one broker: --broker URL (a repro-adc serve "
+            "instance) or --queue-dir DIR (a shared queue directory)"
+        )
+    if args.broker is not None:
+        broker = HttpBroker(args.broker)
+        source = broker.base_url
+    else:
+        _require_store_dir(args.queue_dir, "--queue-dir")
+        broker = DirectoryBroker(args.queue_dir)
+        source = args.queue_dir
+    stats = broker.stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    workers = stats.get("workers")
+    if not isinstance(workers, list):
+        workers = []
+    print(f"broker {source}:")
+    print(
+        "  queue:   "
+        + ", ".join(
+            f"{name}={stats.get(name, 0)}" for name in ("pending", "leases", "acks")
+        )
+    )
+    print(
+        "  lifetime: "
+        + ", ".join(
+            f"{name}={stats.get(name, 0)}"
+            for name in ("submitted", "leased", "acked", "nacked", "reclaimed")
+        )
+    )
+    print(f"workers: {len(workers)} live")
+    now = time.time()
+    for record in workers:
+        ident = record.get("worker", "?")
+        current = record.get("current")
+        state = f"running {str(current)[:12]}" if current else "idle"
+        try:
+            seen = max(0.0, now - float(record.get("last_seen", now)))
+        except (TypeError, ValueError):
+            seen = 0.0
+        print(
+            f"  {ident}: {state}, "
+            f"executed={record.get('executed', 0)}, "
+            f"failed={record.get('failed', 0)}, "
+            f"busy={record.get('busy_seconds', 0.0)}s, "
+            f"seen {seen:.0f}s ago"
+        )
+    return 0
+
+
 def _submit_request(args: argparse.Namespace) -> dict:
     """Build the submission body from CLI flags (validates axes locally)."""
     if args.bits is None:
@@ -908,6 +1050,7 @@ def _submit_request(args: argparse.Namespace) -> dict:
         "behavioral_draws": args.behavioral_draws,
         "behavioral_seed": args.seed,
         "behavioral_kernel": args.behavioral_kernel,
+        "telemetry": args.telemetry,
     }
     if args.kind == "campaign":
         grid = _grid_from_args(args)

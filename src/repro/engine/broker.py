@@ -45,12 +45,28 @@ from typing import Any, Callable, Iterable, Iterator, Protocol, TypeVar, runtime
 
 from repro.engine.persist import atomic_write_bytes
 from repro.errors import ServiceError, SpecificationError
+from repro.obs import metrics
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 #: Pending-task envelope files (JSON, see :func:`repro.service.wire.encode_task`).
 TASK_SUFFIX = ".task.json"
+
+#: Subdirectory of a :class:`DirectoryBroker` root holding one JSON record
+#: per worker that ever leased from it (the fleet census; see
+#: docs/observability.md).  File-backed on purpose: a broker restart
+#: re-reads the same directory, so the census survives it.
+WORKERS_DIRNAME = "workers"
+
+#: A worker whose census record has not been refreshed for this many lease
+#: TTLs is reported stale (dropped from :meth:`DirectoryBroker.workers`
+#: unless explicitly asked for).  Three TTLs ≈ nine missed heartbeats.
+STALE_AFTER_TTLS = 3.0
+
+#: Worker ids come from the wire (HTTP bodies, CLI flags); everything that
+#: becomes a census filename is squeezed through this first.
+_WORKER_SAFE_RE = re.compile(r"[^A-Za-z0-9._-]+")
 
 #: Failure records: ``{"retries": N, "error": "..."}``.
 NACK_SUFFIX = ".nack.json"
@@ -198,6 +214,11 @@ class DirectoryBroker:
             "reclaimed": 0,
         }
 
+    def _count(self, name: str) -> None:
+        """Bump an instance counter and mirror it into the obs registry."""
+        self.counters[name] += 1
+        metrics.counter(f"broker.{name}")
+
     # -- paths ----------------------------------------------------------------
 
     def _task_path(self, key: str) -> Path:
@@ -227,7 +248,7 @@ class DirectoryBroker:
         from repro.service import wire
 
         atomic_write_bytes(self._task_path(key), wire.canonical_json(envelope))
-        self.counters["submitted"] += 1
+        self._count("submitted")
         return True
 
     def result(self, key: str) -> bytes | None:
@@ -368,6 +389,7 @@ class DirectoryBroker:
                     deadline=time.time() + self.lease_ttl,
                 ).encode("utf-8"),
             )
+        self._touch_worker(worker)
         return True
 
     def _lease_is_stale(self, key: str) -> bool | None:
@@ -409,7 +431,7 @@ class DirectoryBroker:
             return False
         if self._lease_is_stale(key):
             self.release(key)
-            self.counters["reclaimed"] += 1
+            self._count("reclaimed")
             return True
         return False
 
@@ -428,10 +450,107 @@ class DirectoryBroker:
                 broken += 1
         return broken
 
+    # -- the fleet census ---------------------------------------------------------
+
+    def _worker_path(self, worker: str) -> Path:
+        safe = _WORKER_SAFE_RE.sub("_", str(worker))[:120] or "worker"
+        return self.root / WORKERS_DIRNAME / f"{safe}.json"
+
+    def register_worker(self, record: dict) -> None:
+        """Create or refresh one worker's census record.
+
+        ``record`` must carry ``worker`` (the id); anything else — host,
+        pid, started_unix, current task, executed/failed counts,
+        busy_seconds, a metrics snapshot — is merged over what is already
+        on file.  ``last_seen`` is stamped here, ``registered_unix`` is
+        preserved from the first registration, so the record answers both
+        "is it alive?" and "how long has it been around?".
+        """
+        worker = str(record.get("worker", "")).strip()
+        if not worker:
+            raise ValueError("worker census record needs a non-empty 'worker' id")
+        path = self._worker_path(worker)
+        now = time.time()
+        merged: dict = {"worker": worker, "registered_unix": now}
+        try:
+            existing = json.loads(path.read_text())
+            if isinstance(existing, dict):
+                merged.update(existing)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            pass
+        merged.update(record)
+        merged["worker"] = worker
+        merged["last_seen"] = now
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_bytes(
+            path, json.dumps(merged, sort_keys=True, default=str).encode("utf-8")
+        )
+
+    def _touch_worker(self, worker: str | None) -> None:
+        """Refresh ``last_seen`` on an existing census record (no-op else).
+
+        Heartbeats route through here: a worker busy on one long task never
+        posts a full census update, but its lease extensions keep it out of
+        the stale set.
+        """
+        if not worker:
+            return
+        path = self._worker_path(worker)
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return
+        if not isinstance(record, dict):
+            return
+        record["last_seen"] = time.time()
+        atomic_write_bytes(
+            path, json.dumps(record, sort_keys=True, default=str).encode("utf-8")
+        )
+
+    def workers(self, max_age: float | None = None) -> list[dict]:
+        """The live fleet: census records seen within ``max_age`` seconds.
+
+        ``max_age=None`` means :data:`STALE_AFTER_TTLS` lease TTLs — a
+        worker that missed that many heartbeat windows is presumed dead and
+        dropped from the listing (its record stays on disk, so a comeback
+        under the same id resurrects it).  Pass ``max_age <= 0`` to list
+        everything ever registered.
+        """
+        if max_age is None:
+            max_age = STALE_AFTER_TTLS * self.lease_ttl
+        cutoff = time.time() - max_age if max_age > 0 else None
+        out: list[dict] = []
+        try:
+            paths = sorted((self.root / WORKERS_DIRNAME).glob("*.json"))
+        except OSError:
+            return out
+        for path in paths:
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                continue
+            if not isinstance(record, dict) or not record.get("worker"):
+                continue
+            try:
+                last_seen = float(record.get("last_seen", 0.0))
+            except (TypeError, ValueError):
+                last_seen = 0.0
+            if cutoff is not None and last_seen < cutoff:
+                continue
+            out.append(record)
+        return out
+
     # -- the worker's pull loop --------------------------------------------------
 
     def lease(self, worker: str) -> tuple[str, dict] | None:
         """Reclaim, then claim the first leasable pending task."""
+        # First contact registers the worker in the census — even a worker
+        # that only ever polls an empty queue shows up in the fleet view.
+        if worker and not self._worker_path(worker).exists():
+            try:
+                self.register_worker({"worker": worker})
+            except (OSError, ValueError):
+                pass
         self.reclaim()
         try:
             pending = sorted(self.root.glob(f"*{TASK_SUFFIX}"))
@@ -458,7 +577,7 @@ class DirectoryBroker:
             except (OSError, json.JSONDecodeError, UnicodeDecodeError):
                 self.release(key)
                 continue
-            self.counters["leased"] += 1
+            self._count("leased")
             return key, envelope
         return None
 
@@ -476,7 +595,7 @@ class DirectoryBroker:
         it instead).
         """
         atomic_write_bytes(self._ack_path(key), payload)
-        self.counters["acked"] += 1
+        self._count("acked")
         self.release_if_owner(key, worker)
         for path in (self._task_path(key), self._nack_path(key)):
             try:
@@ -504,7 +623,7 @@ class DirectoryBroker:
                 sort_keys=True,
             ).encode("utf-8"),
         )
-        self.counters["nacked"] += 1
+        self._count("nacked")
         return retries
 
     def stats(self) -> dict:
@@ -523,6 +642,7 @@ class DirectoryBroker:
             "leases": count(LEASE_SUFFIX),
             "acks": count(ACK_SUFFIX),
             "lease_ttl": self.lease_ttl,
+            "workers": self.workers(),
         }
 
 
@@ -705,6 +825,14 @@ class HttpBroker:
 
     def reclaim(self) -> int:
         return int(self._json("POST", "/v1/broker/reclaim").get("reclaimed", 0))
+
+    def register_worker(self, record: dict) -> None:
+        self._json("POST", "/v1/broker/workers", {"record": record})
+
+    def workers(self, max_age: float | None = None) -> list[dict]:
+        reply = self._json("GET", "/v1/broker/workers")
+        workers = reply.get("workers")
+        return [w for w in workers if isinstance(w, dict)] if isinstance(workers, list) else []
 
     def stats(self) -> dict:
         return self._json("GET", "/v1/broker/stats")
@@ -900,7 +1028,9 @@ __all__ = [
     "HttpBroker",
     "MAX_RETRIES",
     "NACK_SUFFIX",
+    "STALE_AFTER_TTLS",
     "TASK_SUFFIX",
+    "WORKERS_DIRNAME",
     "check_key",
     "lease_heartbeat",
 ]

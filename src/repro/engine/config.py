@@ -77,7 +77,7 @@ class FlowConfig:
     #: :data:`SPECULATION_AUTO` resolves per DC kernel at synthesis time:
     #: depth 8 under ``dc_kernel='batched'``, where the lockstep solve
     #: batches the DC stage across speculated proposals (~1.2x, the
-    #: BENCH_PR9.json ``speculation`` receipt), and 0 under ``'chained'``,
+    #: BENCH_PR10.json ``speculation`` receipt), and 0 under ``'chained'``,
     #: whose warm-start walk cannot batch DC (~0.8x).  Explicit
     #: non-negative values override the auto choice.
     eval_speculation: int = SPECULATION_AUTO
@@ -96,6 +96,14 @@ class FlowConfig:
     #: per-sample walk).  Bit-identical results either way — a pure
     #: speed knob like ``eval_kernel``.
     behavioral_kernel: str = "batch"
+    #: Telemetry level (see :mod:`repro.obs` and docs/observability.md):
+    #: 'off' (no metric export, no traces), 'metrics' (the default —
+    #: counters accumulate and campaigns write an aggregated
+    #: ``metrics.json`` into their store) or 'trace' (metrics plus span
+    #: export to ``<store>/traces/*.jsonl``).  A pure execution knob:
+    #: records are byte-identical whichever mode ran them, so it never
+    #: enters manifests, fingerprints or task payloads.
+    telemetry: str = "metrics"
 
     def make_backend(self) -> ExecutionBackend:
         """Instantiate this configuration's execution backend."""

@@ -36,11 +36,14 @@ reuse can only add feasibility, never remove it.  See
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 from repro.engine.backend import ExecutionBackend
 from repro.engine.persist import block_fingerprint, sizing_digest
+from repro.obs import metrics
+from repro.obs.trace import span
 from repro.specs.stage import MdacSpec
 from repro.synth.result import SynthesisResult
 from repro.synth.retarget import retarget_mdac
@@ -164,30 +167,48 @@ def run_synthesis_job(job: SynthesisJob) -> SynthesisResult:
     Module-level so :class:`~repro.engine.backend.ProcessPoolBackend` can
     pickle a reference to it.
     """
-    if job.donor is None:
-        return synthesize_mdac(
-            job.spec,
-            job.tech,
-            budget=job.budget,
-            seed=job.seed,
-            verify_transient=job.verify_transient,
-            kernel=job.eval_kernel,
-            speculation=job.eval_speculation,
-            template_store=job.template_dir,
-            dc_kernel=job.dc_kernel,
-        )
-    return retarget_mdac(
-        job.donor,
-        job.spec,
-        job.tech,
-        budget=job.retarget_budget,
-        seed=job.retarget_seed,
-        verify_transient=job.verify_transient,
-        kernel=job.eval_kernel,
-        speculation=job.eval_speculation,
-        template_store=job.template_dir,
-        dc_kernel=job.dc_kernel,
+    start = time.perf_counter()
+    with span(
+        "synth.job",
+        stage_bits=job.spec.stage_bits,
+        accuracy_bits=job.spec.input_accuracy_bits,
+        retarget=job.donor is not None,
+    ):
+        metrics.counter("scheduler.job_executions")
+        if job.donor is None:
+            result = synthesize_mdac(
+                job.spec,
+                job.tech,
+                budget=job.budget,
+                seed=job.seed,
+                verify_transient=job.verify_transient,
+                kernel=job.eval_kernel,
+                speculation=job.eval_speculation,
+                template_store=job.template_dir,
+                dc_kernel=job.dc_kernel,
+            )
+        else:
+            result = retarget_mdac(
+                job.donor,
+                job.spec,
+                job.tech,
+                budget=job.retarget_budget,
+                seed=job.retarget_seed,
+                verify_transient=job.verify_transient,
+                kernel=job.eval_kernel,
+                speculation=job.eval_speculation,
+                template_store=job.template_dir,
+                dc_kernel=job.dc_kernel,
+            )
+    metrics.observe(
+        "scheduler.job_seconds" if job.donor is None else "scheduler.retarget_seconds",
+        time.perf_counter() - start,
     )
+    # Pool workers accumulate metrics in their own process; rewriting the
+    # cumulative spool snapshot after every job is what lets the campaign
+    # runner fold worker-side counters into the store's metrics.json.
+    metrics.write_spool_snapshot()
+    return result
 
 
 def _relative_gm_distance(donor_spec: MdacSpec, target: MdacSpec) -> float:
@@ -329,7 +350,7 @@ def execute_plan(
             dc_kernel=getattr(cache, "dc_kernel", "chained"),
         )
 
-    for wave in plan.waves:
+    def run_wave(wave: Sequence[int]) -> None:
         pending: list[PlanNode] = []
         jobs: list[SynthesisJob] = []
         fingerprints: dict[int, str] = {}
@@ -399,6 +420,8 @@ def execute_plan(
                 )
             )
         if jobs:
+            metrics.counter("scheduler.jobs_dispatched", len(jobs))
+            metrics.observe("scheduler.wave_width", len(jobs))
             results = backend.map(run_synthesis_job, jobs)
             # Feasibility escalation, pool-donated nodes only: a warm start
             # from another system spec's design is a heuristic — when the
@@ -425,6 +448,7 @@ def execute_plan(
                     node = pending[i]
                     fingerprints[node.index] = cold_fingerprint(node)
                     cache.pool_escalations += 1
+                    metrics.counter("scheduler.pool_escalations")
                     cold_hit = cache.load_persistent(
                         fingerprints[node.index], spec=node.spec
                     )
@@ -448,6 +472,11 @@ def execute_plan(
                     fingerprints[node.index],
                     newly_synthesized=i not in loaded,
                 )
+
+    for wave_number, wave in enumerate(plan.waves):
+        with span("synth.wave", wave=wave_number, nodes=len(wave)):
+            metrics.counter("scheduler.waves")
+            run_wave(wave)
 
     return {plan.nodes[i].key: result for i, result in resolved.items()}
 

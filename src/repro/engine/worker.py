@@ -40,6 +40,8 @@ import time
 from typing import Callable
 
 from repro.engine.broker import DEFAULT_LEASE_TTL, Broker, lease_heartbeat
+from repro.obs import metrics
+from repro.obs.trace import TRACER, span
 
 
 def default_worker_id() -> str:
@@ -121,6 +123,41 @@ class WorkerLoop:
         self.max_tasks = max_tasks
         self.idle_exit = idle_exit
         self.counters = {"executed": 0, "failed": 0, "rejected": 0, "polls": 0}
+        #: Wall seconds spent executing leased tasks (census metadata).
+        self.busy_seconds = 0.0
+        self.started_unix = time.time()
+        self._census_pushed = 0.0
+
+    # -- the fleet census ---------------------------------------------------------
+
+    def census_record(self, current: str | None = None) -> dict:
+        """This worker's census record: identity, workload, metrics."""
+        return {
+            "worker": self.worker_id,
+            "host": socket.gethostname(),
+            "pid": os.getpid(),
+            "started_unix": self.started_unix,
+            "current": current,
+            "executed": self.counters["executed"],
+            "failed": self.counters["failed"],
+            "rejected": self.counters["rejected"],
+            "polls": self.counters["polls"],
+            "busy_seconds": round(self.busy_seconds, 3),
+            "metrics": metrics.snapshot(),
+        }
+
+    def _push_census(self, current: str | None = None) -> None:
+        """Best-effort census refresh; brokers without one are fine."""
+        register = getattr(self.broker, "register_worker", None)
+        if not callable(register):
+            return
+        try:
+            register(self.census_record(current))
+            self._census_pushed = time.monotonic()
+        except Exception:
+            pass  # census is advisory; never let it take a worker down
+
+    # -- execution ----------------------------------------------------------------
 
     def _execute(self, key: str, envelope: dict) -> None:
         from repro.service import wire
@@ -130,27 +167,39 @@ class WorkerLoop:
             fn = resolve_task_fn(fn_name)
         except ValueError as exc:
             self.counters["rejected"] += 1
+            metrics.counter("worker.rejected")
             self.broker.nack(key, self.worker_id, f"rejected envelope: {exc}")
             return
+        t0 = time.perf_counter()
         try:
             with lease_heartbeat(
                 self.broker, key, self.worker_id, self.heartbeat_interval
             ):
-                result = fn(task)
+                # The submitter's span context rides the envelope; adopting
+                # it as the parent stitches this worker's execution into the
+                # campaign's trace tree even across hosts.
+                with span("worker.task", parent=wire.trace_context(envelope), key=key[:12]):
+                    result = fn(task)
         except BaseException as exc:
+            self.busy_seconds += time.perf_counter() - t0
             self.counters["failed"] += 1
+            metrics.counter("worker.failed")
             self.broker.nack(key, self.worker_id, f"{type(exc).__name__}: {exc}")
             if not isinstance(exc, Exception):
                 raise  # KeyboardInterrupt/SystemExit: nack, then propagate
             return
+        self.busy_seconds += time.perf_counter() - t0
         self.broker.ack(key, wire.encode_result(result), self.worker_id)
         self.counters["executed"] += 1
+        metrics.counter("worker.executed")
 
     def run(self, stop: threading.Event | None = None) -> dict:
         """Serve tasks until ``stop`` is set, ``max_tasks`` executed, or the
         broker stays empty past ``idle_exit`` seconds.  Returns counters."""
         stop = stop or threading.Event()
+        TRACER.worker = self.worker_id
         idle_since = time.monotonic()
+        self._push_census()
         while not stop.is_set():
             if (
                 self.max_tasks is not None
@@ -166,11 +215,18 @@ class WorkerLoop:
                     and time.monotonic() - idle_since > self.idle_exit
                 ):
                     break
+                # An idle worker still refreshes its census entry at the
+                # heartbeat cadence, so the fleet view shows it attached.
+                if time.monotonic() - self._census_pushed > self.heartbeat_interval:
+                    self._push_census()
                 stop.wait(self.poll_interval)
                 continue
             key, envelope = leased
+            self._push_census(current=key)
             self._execute(key, envelope)
+            self._push_census()
             idle_since = time.monotonic()
+        self._push_census()
         return dict(self.counters)
 
 

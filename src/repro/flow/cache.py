@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.engine.persist import load_result, store_result
 from repro.errors import SpecificationError
+from repro.obs import metrics
 from repro.specs.stage import MdacSpec
 from repro.synth.result import SynthesisResult
 from repro.tech.process import Technology
@@ -85,6 +86,7 @@ class BlockCache:
         hit = self.lookup(key)
         if hit is not None:
             self.cache_hits += 1
+            metrics.counter("cache.memory_hits")
             return hit
 
         # Imported here: the scheduler sits in the engine package, which
@@ -119,8 +121,10 @@ class BlockCache:
         if newly_synthesized:
             if result.retargeted:
                 self.retargeted_runs += 1
+                metrics.counter("cache.retargeted_runs")
             else:
                 self.cold_runs += 1
+                metrics.counter("cache.cold_runs")
         self.results[key] = result
         if fingerprint is not None and newly_synthesized:
             self._persist(fingerprint, result)
@@ -192,6 +196,9 @@ class PersistentBlockCache(BlockCache):
         result = load_result(self.cache_dir, fingerprint)
         if result is not None:
             self.persistent_hits += 1
+            metrics.counter("cache.persistent_hits")
+        else:
+            metrics.counter("cache.persistent_misses")
         return result
 
     def _persist(self, fingerprint: str, result: SynthesisResult) -> None:

@@ -1,0 +1,144 @@
+"""Replay exported traces into a flame-style text report.
+
+``repro-adc trace <store>`` reads every ``<store>/traces/*.jsonl`` file
+(one per process that traced — the campaign runner plus any pool
+workers), stitches spans into parent/child trees by their recorded ids,
+and renders each trace as an indented tree with wall-clock durations:
+
+    trace 3f2a...  2 processes, 14 spans
+      campaign.run                              12.031s
+        campaign.scenario                        5.902s  label=13bit-40MHz
+          synth.wave                             4.411s  wave=0 jobs=3
+            synth.job                            1.520s  key=(4, 13)
+
+Spans whose parent never flushed (a killed worker) are promoted to roots
+of their trace rather than dropped — a partial trace still renders.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.trace import TRACE_DIRNAME
+
+
+def read_spans(store_dir: str | Path) -> list[dict]:
+    """Every parseable span record under ``<store_dir>/traces/``.
+
+    Accepts either a results store (containing ``traces/``) or the trace
+    directory itself.  Torn or malformed lines are skipped.
+    """
+    root = Path(store_dir)
+    trace_dir = root / TRACE_DIRNAME
+    if not trace_dir.is_dir():
+        trace_dir = root
+    spans: list[dict] = []
+    try:
+        paths = sorted(trace_dir.glob("*.jsonl"))
+    except OSError:
+        return spans
+    for path in paths:
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and "name" in record and "span" in record:
+                spans.append(record)
+    return spans
+
+
+def _format_attrs(span: dict) -> str:
+    attrs = span.get("attrs")
+    if not isinstance(attrs, dict) or not attrs:
+        return ""
+    body = " ".join(f"{k}={attrs[k]}" for k in sorted(attrs))
+    return f"  {body}"
+
+
+def render_trace(spans: list[dict]) -> str:
+    """The flame-style text report for a list of span records."""
+    if not spans:
+        return "no spans recorded (run with --telemetry trace)\n"
+
+    by_trace: dict[str, list[dict]] = {}
+    for span in spans:
+        by_trace.setdefault(str(span.get("trace", "?")), []).append(span)
+
+    lines: list[str] = []
+    processes = {(s.get("host"), s.get("pid")) for s in spans}
+    lines.append(
+        f"trace report: {len(spans)} span(s), {len(by_trace)} trace(s), "
+        f"{len(processes)} process(es)"
+    )
+    name_width = max(
+        (len(str(s.get("name", ""))) + 2 * _depth_bound for s in spans),
+        default=24,
+    )
+
+    for trace_id in sorted(by_trace, key=lambda t: _trace_start(by_trace[t])):
+        members = by_trace[trace_id]
+        ids = {str(s["span"]) for s in members}
+        children: dict[str | None, list[dict]] = {}
+        roots: list[dict] = []
+        for span in members:
+            parent = span.get("parent")
+            if parent is not None and str(parent) in ids:
+                children.setdefault(str(parent), []).append(span)
+            else:
+                roots.append(span)  # true root, or an orphan: still render
+        for bucket in children.values():
+            bucket.sort(key=_span_start)
+        roots.sort(key=_span_start)
+
+        trace_processes = {(s.get("host"), s.get("pid")) for s in members}
+        lines.append("")
+        lines.append(
+            f"trace {trace_id}  {len(trace_processes)} process(es), "
+            f"{len(members)} span(s)"
+        )
+
+        def walk(span: dict, depth: int) -> None:
+            indent = "  " * (depth + 1)
+            name = f"{indent}{span.get('name', '?')}"
+            duration = span.get("duration_s", 0.0)
+            try:
+                duration = float(duration)
+            except (TypeError, ValueError):
+                duration = 0.0
+            lines.append(
+                f"{name:<{name_width}} {duration:>9.3f}s{_format_attrs(span)}"
+            )
+            for child in children.get(str(span["span"]), ()):  # noqa: B023
+                walk(child, min(depth + 1, _depth_bound))
+
+        for root in roots:
+            walk(root, 0)
+
+    return "\n".join(lines) + "\n"
+
+
+#: Indentation cap — deeper nesting is flattened, never dropped.
+_depth_bound = 12
+
+
+def _span_start(span: dict) -> float:
+    try:
+        return float(span.get("start_unix", 0.0))
+    except (TypeError, ValueError):
+        return 0.0
+
+
+def _trace_start(members: list[dict]) -> float:
+    return min((_span_start(s) for s in members), default=0.0)
+
+
+__all__ = ["read_spans", "render_trace"]

@@ -51,6 +51,7 @@ from repro.engine.backend import BACKENDS
 from repro.engine.config import FlowConfig
 from repro.engine.persist import atomic_write_bytes, digest
 from repro.errors import SpecificationError
+from repro.obs.metrics import METRICS_FILENAME, TELEMETRY_MODES
 from repro.service.wire import campaign_payload, topology_payload
 from repro.specs.adc import AdcSpec
 from repro.tech.process import resolve_corner
@@ -86,6 +87,7 @@ CONFIG_FIELDS = (
     "behavioral_draws",
     "behavioral_seed",
     "behavioral_kernel",
+    "telemetry",
 )
 
 #: Subdirectory names inside the service store root.
@@ -137,6 +139,12 @@ def build_config(
         raise SpecificationError(
             f"unknown behavioral kernel {behavioral_kernel!r} "
             "(valid: batch, legacy)"
+        )
+    telemetry = body.get("telemetry", "metrics")
+    if telemetry not in TELEMETRY_MODES:
+        raise SpecificationError(
+            f"unknown telemetry mode {telemetry!r} "
+            f"(valid: {', '.join(TELEMETRY_MODES)})"
         )
     try:
         return FlowConfig(cache_dir=cache_dir, **body)
@@ -462,6 +470,7 @@ class JobStore:
             REPORT_FILENAME: store / REPORT_FILENAME,
             MANIFEST_FILENAME: store / MANIFEST_FILENAME,
             META_FILENAME: store / META_FILENAME,
+            METRICS_FILENAME: store / METRICS_FILENAME,
         }
         return {name: path for name, path in candidates.items() if path.is_file()}
 

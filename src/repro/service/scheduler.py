@@ -36,6 +36,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
 from repro.campaign.runner import run_campaign
+from repro.obs import metrics
 from repro.engine.cancel import CancelToken
 from repro.errors import CampaignInterrupted, SpecificationError
 from repro.flow.topology import optimize_topology
@@ -103,6 +104,16 @@ class JobScheduler:
             "recovered": 0,
         }
 
+    def _count(self, name: str) -> None:
+        """Bump an instance counter, mirrored into the obs registry.
+
+        The instance dict keeps per-scheduler exactness (``stats()`` and
+        the tests read it); the ``service.*`` mirror is what ``/v1/metrics``
+        and an aggregated ``metrics.json`` see.
+        """
+        self.counters[name] += 1
+        metrics.counter(f"service.{name}")
+
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> None:
@@ -122,7 +133,7 @@ class JobScheduler:
                 record.state = "queued"
                 self.store.save(record)
                 self._enqueue(record)
-                self.counters["recovered"] += 1
+                self._count("recovered")
         for _ in range(self.job_workers):
             self._workers.append(asyncio.ensure_future(self._worker()))
 
@@ -158,7 +169,7 @@ class JobScheduler:
         if self._draining:
             raise SpecificationError("service is draining; resubmit after restart")
         request = parse_request(body)
-        self.counters["submissions"] += 1
+        self._count("submissions")
         record = self.jobs.get(request.key)
         stale_done = (
             record is not None
@@ -167,7 +178,7 @@ class JobScheduler:
         )
         if record is not None and not stale_done and record.state in _COALESCABLE:
             record.submissions += 1
-            self.counters["coalesced"] += 1
+            self._count("coalesced")
             if record.state == "queued" and request.priority < record.priority:
                 # A more urgent identical submission escalates the queued
                 # job rather than waiting at the original priority.
@@ -348,7 +359,7 @@ class JobScheduler:
                 if record is not None and record.state == "running":
                     record.state = "failed"
                     record.error = f"scheduler error: {type(exc).__name__}: {exc}"
-                    self.counters["failed"] += 1
+                    self._count("failed")
                     try:
                         self.store.save(record)
                     except Exception:
@@ -363,7 +374,7 @@ class JobScheduler:
         try:
             record.state = "running"
             record.executions += 1
-            self.counters["executions"] += 1
+            self._count("executions")
             self.store.save(record)
             self._publish(key, {"event": "started"})
             await self._loop.run_in_executor(
@@ -372,7 +383,7 @@ class JobScheduler:
         except CampaignInterrupted as exc:
             record.state = "queued"
             record.completed_scenarios = exc.completed
-            self.counters["requeued"] += 1
+            self._count("requeued")
             self._save_quietly(record)
             self._publish(key, {"event": "requeued"})
             self._enqueue(record)
@@ -380,14 +391,14 @@ class JobScheduler:
             record.state = "failed"
             record.error = f"{type(exc).__name__}: {exc}"
             record.finished_unix = time.time()
-            self.counters["failed"] += 1
+            self._count("failed")
             self._save_quietly(record)
             self._publish(key, {"event": "failed"})
         else:
             record.state = "done"
             record.completed_scenarios = record.total_scenarios
             record.finished_unix = time.time()
-            self.counters["completed"] += 1
+            self._count("completed")
             self._save_quietly(record)
             self._publish(key, {"event": "done"})
         finally:

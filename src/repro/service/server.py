@@ -27,6 +27,7 @@ GET      ``/v1/jobs/<id>/artifacts/<name>`` raw artifact bytes (byte-identical
 POST     ``/v1/jobs/<id>/cancel``           cancel a queued job
 POST     ``/v1/drain``                      graceful drain (SIGTERM equivalent)
 GET      ``/v1/healthz``, ``/v1/stats``     liveness / queue + coalescing counters
+GET      ``/v1/metrics``                    this process's metrics-registry snapshot
 POST     ``/v1/broker/tasks``               publish a task envelope
 POST     ``/v1/broker/lease``               claim one pending task (worker pull)
 POST     ``/v1/broker/ack``                 store a completed task's result
@@ -37,7 +38,9 @@ POST     ``/v1/broker/discard``             drop a stored ack
 POST     ``/v1/broker/reclaim``             break stale leases now
 GET      ``/v1/broker/results/<key>``       ack payload bytes (404 until acked)
 GET      ``/v1/broker/tasks/<key>``         one task's completion/failure state
-GET      ``/v1/broker/stats``               broker counters + queue census
+GET      ``/v1/broker/stats``               broker counters + queue + fleet census
+GET      ``/v1/broker/workers``             live worker census records
+POST     ``/v1/broker/workers``             register / refresh one worker record
 =======  =================================  ========================================
 
 ``OptimizationService`` wires the scheduler to the socket and owns the
@@ -345,6 +348,17 @@ class OptimizationService:
         if method == "GET" and parts == ["stats"]:
             await self._send_json(writer, self.scheduler.stats(), deprecated=deprecated)
             return
+        if method == "GET" and parts == ["metrics"]:
+            if deprecated:
+                # Postdates versioning, like the broker surface: /v1 only.
+                raise _HttpError(404, f"no route for {method} {path} (use /v1)")
+            from repro.obs import metrics as obs
+
+            await self._send_json(
+                writer,
+                {"telemetry": obs.telemetry_mode(), "metrics": obs.snapshot()},
+            )
+            return
         if method == "POST" and parts == ["drain"]:
             self.request_stop()
             await self._send_json(writer, {"status": "draining"}, deprecated=deprecated)
@@ -464,6 +478,11 @@ class OptimizationService:
         if method == "GET" and parts == ["stats"]:
             await self._send_json(writer, await offload(self.broker.stats))
             return
+        if method == "GET" and parts == ["workers"]:
+            await self._send_json(
+                writer, {"workers": await offload(self.broker.workers)}
+            )
+            return
         if method == "GET" and len(parts) == 2 and parts[0] == "results":
             payload = await offload(self.broker.result, self._broker_key(parts[1]))
             if payload is None:
@@ -546,6 +565,16 @@ class OptimizationService:
         if parts == ["reclaim"]:
             reclaimed = await offload(self.broker.reclaim)
             await self._send_json(writer, {"reclaimed": reclaimed})
+            return
+        if parts == ["workers"]:
+            record = payload.get("record")
+            if not isinstance(record, dict):
+                raise _HttpError(400, "worker registration needs a record object")
+            try:
+                await offload(self.broker.register_worker, record)
+            except ValueError as exc:
+                raise _HttpError(400, str(exc)) from exc
+            await self._send_json(writer, {"ok": True})
             return
         raise _HttpError(404, f"no route for {method} {path}")
 

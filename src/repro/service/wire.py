@@ -138,18 +138,54 @@ def function_name(fn: Callable) -> str:
     return f"{fn.__module__}.{fn.__qualname__}"
 
 
-def encode_task(fn: Callable, task: Any) -> dict:
+def encode_task(fn: Callable, task: Any, trace: dict | None = None) -> dict:
     """A JSON-able envelope shipping one ``(fn, task)`` dispatch.
 
     The function travels by importable name (workers re-resolve it — code
-    never crosses the wire), the task object as a base64 pickle.
+    never crosses the wire), the task object as a base64 pickle.  When span
+    tracing is active (or ``trace`` is passed explicitly), the submitter's
+    span context rides along under ``"trace"`` so a remote worker can
+    parent its execution span into the same trace tree.  The key is
+    advisory: :func:`decode_task` ignores it, task *identity* digests
+    :func:`synthesis_task_payload` (never the envelope), and pre-fabric
+    workers see an unknown key they never read — so telemetry cannot
+    change what executes or which acks replay.
     """
     payload = pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
-    return {
+    envelope = {
         "schema": WIRE_SCHEMA,
         "fn": function_name(fn),
         "task_pkl": base64.b64encode(payload).decode("ascii"),
     }
+    if trace is None:
+        # Imported lazily and narrowly: wire stays a leaf module, and the
+        # context is only captured when a trace sink is actually configured.
+        from repro.obs.trace import TRACER, current_context
+
+        if TRACER.enabled:
+            trace = current_context()
+    if isinstance(trace, dict):
+        trace_id, span_id = trace.get("trace"), trace.get("span")
+        if isinstance(trace_id, str) and isinstance(span_id, str):
+            envelope["trace"] = {"trace": trace_id, "span": span_id}
+    return envelope
+
+
+def trace_context(envelope: Any) -> dict | None:
+    """The span context riding a task envelope, or None.
+
+    Tolerant by design — envelopes from pre-telemetry submitters, or with
+    a malformed ``"trace"`` value, simply yield no parent.
+    """
+    if not isinstance(envelope, dict):
+        return None
+    context = envelope.get("trace")
+    if not isinstance(context, dict):
+        return None
+    trace_id, span_id = context.get("trace"), context.get("span")
+    if isinstance(trace_id, str) and isinstance(span_id, str):
+        return {"trace": trace_id, "span": span_id}
+    return None
 
 
 def decode_task(envelope: dict) -> tuple[str, Any]:
@@ -374,4 +410,5 @@ __all__ = [
     "restricted_loads",
     "synthesis_task_payload",
     "topology_payload",
+    "trace_context",
 ]

@@ -32,7 +32,7 @@ _MAX_REPAIRS = 3
 #: Depth a negative ("auto") ``speculation`` resolves to under the batched
 #: DC kernel.  The chained kernel resolves auto to 0: its warm-start walk
 #: cannot batch the DC stage, so speculated proposals only tie the serial
-#: loop and discards are pure loss (the BENCH_PR9.json receipt measures
+#: loop and discards are pure loss (the BENCH_PR10.json receipt measures
 #: ~0.8x chained vs ~1.2x batched at this depth).
 _AUTO_SPECULATION_DEPTH = 8
 

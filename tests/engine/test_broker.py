@@ -566,3 +566,87 @@ class TestProtocolConformance:
 
     def test_default_ttl_matches_the_workqueue_timeout(self):
         assert DEFAULT_LEASE_TTL == 60.0
+
+
+class TestWorkerCensus:
+    def test_first_lease_registers_even_on_an_empty_queue(self, tmp_path):
+        broker = DirectoryBroker(tmp_path)
+        assert broker.lease("w-1") is None
+        (record,) = broker.workers()
+        assert record["worker"] == "w-1"
+        assert record["last_seen"] >= record["registered_unix"]
+
+    def test_heartbeat_refreshes_last_seen(self, tmp_path):
+        broker = DirectoryBroker(tmp_path)
+        _seed(broker)
+        key, _ = broker.lease("w-1")
+        (before,) = broker.workers()
+        time.sleep(0.05)
+        assert broker.heartbeat(key, "w-1")
+        (after,) = broker.workers()
+        assert after["last_seen"] > before["last_seen"]
+        assert after["registered_unix"] == before["registered_unix"]
+
+    def test_stale_workers_drop_after_missed_ttls(self, tmp_path):
+        broker = DirectoryBroker(tmp_path, lease_ttl=0.01)
+        broker.register_worker({"worker": "w-old"})
+        time.sleep(0.05)  # > STALE_AFTER_TTLS * lease_ttl = 0.03s
+        broker.register_worker({"worker": "w-new"})
+        assert [r["worker"] for r in broker.workers()] == ["w-new"]
+        # The stale record stays on disk: max_age <= 0 lists everything.
+        everyone = {r["worker"] for r in broker.workers(max_age=0)}
+        assert everyone == {"w-old", "w-new"}
+
+    def test_census_survives_a_broker_restart(self, tmp_path):
+        DirectoryBroker(tmp_path).register_worker(
+            {"worker": "w-1", "executed": 7}
+        )
+        reborn = DirectoryBroker(tmp_path)
+        (record,) = reborn.workers()
+        assert record["worker"] == "w-1" and record["executed"] == 7
+
+    def test_reregistration_merges_and_keeps_registration_time(self, tmp_path):
+        broker = DirectoryBroker(tmp_path)
+        broker.register_worker({"worker": "w-1", "host": "a", "executed": 1})
+        time.sleep(0.02)
+        broker.register_worker({"worker": "w-1", "executed": 5})
+        (record,) = broker.workers()
+        assert record["executed"] == 5
+        assert record["host"] == "a"  # untouched fields survive the merge
+        assert record["last_seen"] > record["registered_unix"]
+
+    def test_record_requires_a_worker_id(self, tmp_path):
+        broker = DirectoryBroker(tmp_path)
+        with pytest.raises(ValueError):
+            broker.register_worker({"worker": "   "})
+        with pytest.raises(ValueError):
+            broker.register_worker({})
+
+    def test_worker_ids_are_sanitized_into_the_census_dir(self, tmp_path):
+        broker = DirectoryBroker(tmp_path)
+        broker.register_worker({"worker": "../../etc/passwd"})
+        path = broker._worker_path("../../etc/passwd")
+        assert path.parent == tmp_path / "workers"
+        assert path.exists()
+        (record,) = broker.workers()
+        assert record["worker"] == "../../etc/passwd"  # id survives verbatim
+
+    def test_stats_include_the_fleet(self, tmp_path):
+        broker = DirectoryBroker(tmp_path)
+        broker.register_worker({"worker": "w-1"})
+        stats = broker.stats()
+        assert [r["worker"] for r in stats["workers"]] == ["w-1"]
+
+    def test_worker_loop_publishes_a_full_census_record(self, tmp_path):
+        broker = DirectoryBroker(tmp_path)
+        _seed(broker)
+        loop = WorkerLoop(broker, worker_id="w-loop", max_tasks=1, poll_interval=0.01)
+        loop.run()
+        (record,) = broker.workers()
+        assert record["worker"] == "w-loop"
+        assert record["executed"] == 1 and record["failed"] == 0
+        assert record["pid"] == os.getpid()
+        assert record["busy_seconds"] >= 0.0
+        assert record["current"] is None  # idle after the task acked
+        assert isinstance(record["metrics"], dict)
+        assert record["metrics"]["counters"]["worker.executed"] == 1

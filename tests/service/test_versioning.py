@@ -125,3 +125,55 @@ class TestClientSpeaksV1:
     def test_client_works_end_to_end(self, server):
         client = ServiceClient(server.base_url)
         assert client.health()["status"] == "ok"
+
+
+class TestObservabilityRoutes:
+    def test_v1_metrics_serves_the_registry(self, server):
+        from repro.obs import metrics
+
+        metrics.counter("test.versioning.ping", 3)
+        status, headers, body = _raw(server, "GET", "/v1/metrics")
+        assert status == 200
+        assert "Deprecation" not in headers
+        payload = json.loads(body)
+        assert payload["telemetry"] in ("off", "metrics", "trace")
+        assert payload["metrics"]["counters"]["test.versioning.ping"] == 3
+
+    def test_unversioned_metrics_is_not_a_route(self, server):
+        status, _, body = _raw(server, "GET", "/metrics")
+        assert status == 404
+        assert "/v1" in json.loads(body)["error"]
+
+    def test_worker_census_roundtrip(self, server):
+        status, _, body = _raw(
+            server,
+            "POST",
+            "/v1/broker/workers",
+            {"record": {"worker": "w-http", "executed": 2}},
+        )
+        assert status == 200 and json.loads(body) == {"ok": True}
+        status, _, body = _raw(server, "GET", "/v1/broker/workers")
+        assert status == 200
+        records = {r["worker"]: r for r in json.loads(body)["workers"]}
+        assert records["w-http"]["executed"] == 2
+        # The census also rides the stats payload the CLI status view reads.
+        _, _, body = _raw(server, "GET", "/v1/broker/stats")
+        assert "w-http" in {r["worker"] for r in json.loads(body)["workers"]}
+
+    def test_http_broker_client_speaks_the_census_routes(self, server):
+        from repro.engine.broker import HttpBroker
+
+        broker = HttpBroker(server.base_url)
+        broker.register_worker({"worker": "w-client", "busy_seconds": 1.5})
+        records = {r["worker"]: r for r in broker.workers()}
+        assert records["w-client"]["busy_seconds"] == 1.5
+
+    def test_census_registration_validation(self, server):
+        status, _, body = _raw(server, "POST", "/v1/broker/workers", {})
+        assert status == 400
+        assert "record" in json.loads(body)["error"]
+        status, _, body = _raw(
+            server, "POST", "/v1/broker/workers", {"record": {"worker": "  "}}
+        )
+        assert status == 400
+        assert "worker" in json.loads(body)["error"]
